@@ -1,0 +1,140 @@
+//! The slot-allocation view of a schedule — Eq. (1) of the paper.
+//!
+//! For SFQ schedules the paper defines a schedule as
+//! `S : τ × N → {0, 1}` with `S(T, t) = 1` iff `T` is scheduled in slot
+//! `t`, subject to `Σ_T S(T, t) ≤ M`. This module reconstructs that
+//! matrix from a recorded [`Schedule`] and exposes the per-slot and
+//! per-task sums classical Pfair arguments quantify over.
+//!
+//! For DVQ schedules, where the binary slot function is "not adequate"
+//! (§3), [`slot_occupancy`] generalizes to the *fraction* of slot `t`
+//! during which the task executes.
+
+use pfair_numeric::Rat;
+use pfair_sim::Schedule;
+use pfair_taskmodel::{TaskId, TaskSystem};
+
+/// `S(T, t)` for slot-based schedules: `true` iff some subtask of `T`
+/// commences in slot `t`.
+#[must_use]
+pub fn scheduled_in_slot(sys: &TaskSystem, sched: &Schedule, task: TaskId, t: i64) -> bool {
+    sys.task_subtask_refs(task)
+        .any(|st| sched.start(st).floor() == t && sched.start(st).is_integer())
+}
+
+/// The binary allocation matrix `S(T, t)` over slots `[0, horizon)`,
+/// row-major by task.
+///
+/// Intended for SFQ schedules; commencements inside slots (DVQ) count
+/// toward the slot containing them.
+#[must_use]
+pub fn allocation_matrix(sys: &TaskSystem, sched: &Schedule, horizon: i64) -> Vec<Vec<bool>> {
+    let mut matrix = vec![vec![false; horizon.max(0) as usize]; sys.num_tasks()];
+    for p in sched.placements() {
+        let t = p.start.floor();
+        if (0..horizon).contains(&t) {
+            let task = sys.subtask(p.st).id.task;
+            matrix[task.idx()][t as usize] = true;
+        }
+    }
+    matrix
+}
+
+/// Fraction of slot `t` (`[t, t+1)`) during which task `T` executes —
+/// the DVQ generalization of `S(T, t)`.
+#[must_use]
+pub fn slot_occupancy(sys: &TaskSystem, sched: &Schedule, task: TaskId, t: i64) -> Rat {
+    let lo = Rat::int(t);
+    let hi = Rat::int(t + 1);
+    let mut total = Rat::ZERO;
+    for st in sys.task_subtask_refs(task) {
+        let p = sched.placement(st);
+        let start = p.start.max(lo);
+        let end = p.completion().min(hi);
+        if end > start {
+            total += end - start;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfair_core::Pd2;
+    use pfair_sim::{simulate_dvq, simulate_sfq, FixedCosts, FullQuantum};
+    use pfair_taskmodel::release;
+
+    fn fig2_system() -> TaskSystem {
+        release::periodic_named(
+            &[
+                ("A", 1, 6),
+                ("B", 1, 6),
+                ("C", 1, 6),
+                ("D", 1, 2),
+                ("E", 1, 2),
+                ("F", 1, 2),
+            ],
+            6,
+        )
+    }
+
+    #[test]
+    fn matrix_respects_processor_bound() {
+        let sys = fig2_system();
+        let sched = simulate_sfq(&sys, 2, &Pd2, &mut FullQuantum);
+        let m = allocation_matrix(&sys, &sched, 6);
+        for t in 0..6 {
+            let active: usize = m.iter().filter(|row| row[t]).count();
+            assert!(active <= 2, "slot {t}: {active} > M");
+        }
+        // Full utilization + full costs: every slot fully used.
+        for t in 0..6 {
+            assert_eq!(m.iter().filter(|row| row[t]).count(), 2);
+        }
+    }
+
+    #[test]
+    fn per_task_allocations_match_weights_over_hyperperiod() {
+        // Over one hyperperiod (6 slots), a weight-e/p task receives
+        // 6·e/p quanta.
+        let sys = fig2_system();
+        let sched = simulate_sfq(&sys, 2, &Pd2, &mut FullQuantum);
+        let m = allocation_matrix(&sys, &sched, 6);
+        for task in sys.tasks() {
+            let quanta: usize = m[task.id.idx()].iter().filter(|&&b| b).count();
+            let expected = (Rat::int(6) * task.weight.as_rat()).floor() as usize;
+            assert_eq!(quanta, expected, "task {:?}", task.id);
+        }
+    }
+
+    #[test]
+    fn no_intra_slot_parallelism() {
+        // One task never occupies more than one full slot's worth of any
+        // slot (Eq. (1)'s "parallelism is not allowed").
+        let sys = fig2_system();
+        let delta = Rat::new(1, 4);
+        let mut costs = FixedCosts::new(Rat::ONE)
+            .with(pfair_taskmodel::TaskId(0), 1, Rat::ONE - delta)
+            .with(pfair_taskmodel::TaskId(5), 1, Rat::ONE - delta);
+        let sched = simulate_dvq(&sys, 2, &Pd2, &mut costs);
+        for task in sys.tasks() {
+            for t in 0..7 {
+                let occ = slot_occupancy(&sys, &sched, task.id, t);
+                assert!(occ <= Rat::ONE, "task {:?} slot {t}: {occ}", task.id);
+            }
+        }
+    }
+
+    #[test]
+    fn occupancy_sums_to_cost() {
+        let sys = release::periodic(&[(1, 2)], 4);
+        let mut c = FixedCosts::new(Rat::new(3, 4));
+        let sched = simulate_dvq(&sys, 1, &Pd2, &mut c);
+        let total: Rat = (0..5)
+            .map(|t| slot_occupancy(&sys, &sched, TaskId(0), t))
+            .sum();
+        // Two subtasks, 3/4 each.
+        assert_eq!(total, Rat::new(3, 2));
+    }
+}

@@ -1,0 +1,198 @@
+//! Detection of the DVQ model's priority inversions in a simulated
+//! schedule.
+//!
+//! "A *priority inversion* occurs whenever a lower-priority subtask (or
+//! job) executes, while a ready, higher-priority subtask waits" (§3). The
+//! paper distinguishes two kinds, by *when* the victim became ready:
+//!
+//! * **eligibility blocking** — the victim is blocked in the first slot of
+//!   its IS-window (it became ready at its eligibility time `e(T_i)`, an
+//!   integral instant, and found all processors occupied — some by
+//!   lower-priority subtasks that grabbed a processor moments earlier);
+//! * **predecessor blocking** — the victim became ready when its
+//!   predecessor completed, later than `e(T_i)`, and still had to wait
+//!   behind a lower-priority subtask.
+//!
+//! [`detect_blocking`] replays a schedule: for each subtask whose
+//! commencement is later than its ready time, it reports every
+//! lower-priority subtask that was *executing* somewhere in the waiting
+//! interval — the blockers. Under SFQ + PD² no event is ever reported
+//! (there are no inversions: that's the optimality setting); under DVQ the
+//! reported events are exactly the phenomena of Figs. 2(b) and 3(a).
+
+use pfair_core::priority::PriorityOrder;
+use pfair_numeric::{Rat, Time};
+use pfair_sim::Schedule;
+use pfair_taskmodel::{SubtaskRef, TaskSystem};
+
+/// Which of the paper's two inversion kinds a blocking event is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BlockingKind {
+    /// Blocked from the first instant of its IS-window.
+    Eligibility,
+    /// Blocked after becoming ready via predecessor completion.
+    Predecessor,
+}
+
+/// One observed priority inversion.
+#[derive(Clone, Debug)]
+pub struct BlockingEvent {
+    /// The waiting higher-priority subtask.
+    pub victim: SubtaskRef,
+    /// When it became ready.
+    pub ready_at: Time,
+    /// When it finally commenced.
+    pub scheduled_at: Time,
+    /// Eligibility vs predecessor blocking.
+    pub kind: BlockingKind,
+    /// Lower-priority subtasks that executed while the victim waited.
+    pub blockers: Vec<SubtaskRef>,
+}
+
+impl BlockingEvent {
+    /// How long the victim waited.
+    #[must_use]
+    pub fn duration(&self) -> Rat {
+        self.scheduled_at - self.ready_at
+    }
+}
+
+/// Scans a schedule for priority inversions under `order`.
+#[must_use]
+pub fn detect_blocking(
+    sys: &TaskSystem,
+    sched: &Schedule,
+    order: &dyn PriorityOrder,
+) -> Vec<BlockingEvent> {
+    let mut events = Vec::new();
+    for (st, s) in sys.iter_refs() {
+        let eligible = Rat::int(s.eligible);
+        let pred_completion = s.pred.map(|p| sched.completion(p));
+        let ready_at = match pred_completion {
+            Some(pc) => pc.max(eligible),
+            None => eligible,
+        };
+        let scheduled_at = sched.start(st);
+        if scheduled_at <= ready_at {
+            continue;
+        }
+        // Lower-priority subtasks executing within (ready_at, scheduled_at]
+        // — i.e. overlapping the waiting interval — are blockers.
+        let blockers: Vec<SubtaskRef> = sched
+            .placements()
+            .iter()
+            .filter(|p| {
+                p.st != st
+                    && p.start < scheduled_at
+                    && p.completion() > ready_at
+                    && order.precedes(sys, st, p.st)
+            })
+            .map(|p| p.st)
+            .collect();
+        if blockers.is_empty() {
+            continue; // waited on equal/higher-priority contention: not an inversion
+        }
+        let kind = if ready_at == eligible {
+            BlockingKind::Eligibility
+        } else {
+            BlockingKind::Predecessor
+        };
+        events.push(BlockingEvent {
+            victim: st,
+            ready_at,
+            scheduled_at,
+            kind,
+            blockers,
+        });
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfair_core::Pd2;
+    use pfair_sim::{simulate_dvq, simulate_sfq, FixedCosts, FullQuantum};
+    use pfair_taskmodel::{release, SubtaskId, TaskId, TaskSystem};
+
+    fn fig2_system() -> TaskSystem {
+        release::periodic_named(
+            &[
+                ("A", 1, 6),
+                ("B", 1, 6),
+                ("C", 1, 6),
+                ("D", 1, 2),
+                ("E", 1, 2),
+                ("F", 1, 2),
+            ],
+            6,
+        )
+    }
+
+    fn find(sys: &TaskSystem, task: u32, index: u64) -> SubtaskRef {
+        sys.find(SubtaskId {
+            task: TaskId(task),
+            index,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn sfq_pd2_has_no_inversions() {
+        let sys = fig2_system();
+        let sched = simulate_sfq(&sys, 2, &Pd2, &mut FullQuantum);
+        assert!(detect_blocking(&sys, &sched, &Pd2).is_empty());
+    }
+
+    #[test]
+    fn fig2b_eligibility_blocking_detected() {
+        // D_2 and E_2 (eligible at 2) are blocked by B_1 and C_1, which
+        // grabbed the processors at 2 − δ.
+        let sys = fig2_system();
+        let delta = Rat::new(1, 4);
+        let mut costs = FixedCosts::new(Rat::ONE)
+            .with(TaskId(0), 1, Rat::ONE - delta)
+            .with(TaskId(5), 1, Rat::ONE - delta);
+        let sched = simulate_dvq(&sys, 2, &Pd2, &mut costs);
+        let events = detect_blocking(&sys, &sched, &Pd2);
+        let d2 = find(&sys, 3, 2);
+        let ev = events
+            .iter()
+            .find(|e| e.victim == d2)
+            .expect("D_2 must be reported blocked");
+        assert_eq!(ev.kind, BlockingKind::Eligibility);
+        assert_eq!(ev.ready_at, Rat::int(2));
+        assert_eq!(ev.scheduled_at, Rat::int(3) - delta);
+        assert_eq!(ev.duration(), Rat::ONE - delta);
+        let b1 = find(&sys, 1, 1);
+        let c1 = find(&sys, 2, 1);
+        assert!(ev.blockers.contains(&b1) && ev.blockers.contains(&c1));
+        // E_2 likewise; F_2's wait behind D_2/E_2 is priority-consistent
+        // contention (D_2, E_2 have equal class but are ahead by the
+        // deterministic tie) — but B_1/C_1 also overlap its waiting
+        // interval, so it is reported blocked as well, with only B_1/C_1
+        // (strictly lower priority) as blockers.
+        let f2 = find(&sys, 5, 2);
+        if let Some(evf) = events.iter().find(|e| e.victim == f2) {
+            for b in &evf.blockers {
+                assert!(Pd2.precedes(&sys, f2, *b));
+            }
+        }
+    }
+
+    #[test]
+    fn blockers_are_strictly_lower_priority() {
+        let sys = fig2_system();
+        let delta = Rat::new(1, 10);
+        let mut costs = FixedCosts::new(Rat::ONE)
+            .with(TaskId(0), 1, Rat::ONE - delta)
+            .with(TaskId(5), 1, Rat::ONE - delta);
+        let sched = simulate_dvq(&sys, 2, &Pd2, &mut costs);
+        for ev in detect_blocking(&sys, &sched, &Pd2) {
+            for b in &ev.blockers {
+                assert!(Pd2.precedes(&sys, ev.victim, *b));
+            }
+            assert!(ev.duration().is_positive());
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! The `Aligned` / `Olapped` / `Free` partition of §3.2 (Fig. 4) and the
+//! `S_B` postponement construction.
+//!
+//! To bound PD²-DVQ's tardiness, the paper classifies the subtasks of a
+//! DVQ schedule `S_DQ` by how their quanta sit relative to slot boundaries:
+//!
+//! * **Aligned** — commence on a slot boundary (`S(T_i)` integral);
+//! * **Olapped** — neither commence nor complete on a boundary but are in
+//!   the middle of execution at one (a boundary lies strictly inside
+//!   `(S, S + c)`);
+//! * **Free** — everything else: subtasks that commence mid-slot and
+//!   complete at or before the next boundary.
+//!
+//! `Charged = Aligned ∪ Olapped`. The schedule `S_B` for the Charged
+//! subtasks keeps Aligned commencement times and postpones each Olapped
+//! commencement to the next boundary `⌈S(T_i)⌉`; Lemma 3 observes that
+//! commencement and completion times can only grow, and Lemma 5 shows the
+//! result is a valid PD^B schedule.
+
+use pfair_numeric::{Rat, Time};
+use pfair_sim::Schedule;
+use pfair_taskmodel::SubtaskRef;
+use serde::{Deserialize, Serialize};
+
+/// The §3.2 class of one subtask in a DVQ schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SubtaskClass {
+    /// Commences on a slot boundary.
+    Aligned,
+    /// Straddles a slot boundary without touching one at either end.
+    Olapped,
+    /// Commences mid-slot and completes by the next boundary.
+    Free,
+}
+
+impl SubtaskClass {
+    /// `Charged = Aligned ∪ Olapped`.
+    #[must_use]
+    pub fn is_charged(self) -> bool {
+        matches!(self, SubtaskClass::Aligned | SubtaskClass::Olapped)
+    }
+}
+
+/// Classifies one placement.
+#[must_use]
+pub fn classify_placement(start: Time, cost: Rat) -> SubtaskClass {
+    if start.is_integer() {
+        return SubtaskClass::Aligned;
+    }
+    let next_boundary = Rat::int(start.floor() + 1);
+    if start + cost > next_boundary {
+        SubtaskClass::Olapped
+    } else {
+        SubtaskClass::Free
+    }
+}
+
+/// Classifies every subtask of a schedule; indexable by `SubtaskRef`.
+#[must_use]
+pub fn classify_subtasks(sched: &Schedule) -> Vec<(SubtaskRef, SubtaskClass)> {
+    sched
+        .placements()
+        .iter()
+        .map(|p| (p.st, classify_placement(p.start, p.cost)))
+        .collect()
+}
+
+/// The `S_B` construction: for every **Charged** subtask, its commencement
+/// time in `S_B` — Aligned keep `S(T_i)`, Olapped are postponed to
+/// `⌈S(T_i)⌉`. Free subtasks are absent (they are not part of `τ'`).
+///
+/// Returned pairs are `(subtask, postponed start)`, in original
+/// commencement order.
+#[must_use]
+pub fn postpone_charged(sched: &Schedule) -> Vec<(SubtaskRef, Time)> {
+    sched
+        .placements()
+        .iter()
+        .filter_map(|p| match classify_placement(p.start, p.cost) {
+            SubtaskClass::Aligned => Some((p.st, p.start)),
+            SubtaskClass::Olapped => Some((p.st, Rat::int(p.start.floor() + 1))),
+            SubtaskClass::Free => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfair_core::Pd2;
+    use pfair_sim::{simulate_dvq, FixedCosts, FullQuantum};
+    use pfair_taskmodel::{release, TaskId, TaskSystem};
+
+    #[test]
+    fn classification_cases() {
+        let one = Rat::ONE;
+        // Aligned regardless of cost.
+        assert_eq!(classify_placement(Rat::int(3), one), SubtaskClass::Aligned);
+        assert_eq!(
+            classify_placement(Rat::int(3), Rat::new(1, 2)),
+            SubtaskClass::Aligned
+        );
+        // Starts at 2.5, cost 1 ⇒ straddles 3.
+        assert_eq!(
+            classify_placement(Rat::new(5, 2), one),
+            SubtaskClass::Olapped
+        );
+        // Starts at 2.5, cost 0.5 ⇒ completes exactly at 3: Free.
+        assert_eq!(
+            classify_placement(Rat::new(5, 2), Rat::new(1, 2)),
+            SubtaskClass::Free
+        );
+        // Starts at 2.25, cost 0.5 ⇒ completes at 2.75: Free.
+        assert_eq!(
+            classify_placement(Rat::new(9, 4), Rat::new(1, 2)),
+            SubtaskClass::Free
+        );
+    }
+
+    fn fig2_system() -> TaskSystem {
+        release::periodic_named(
+            &[
+                ("A", 1, 6),
+                ("B", 1, 6),
+                ("C", 1, 6),
+                ("D", 1, 2),
+                ("E", 1, 2),
+                ("F", 1, 2),
+            ],
+            6,
+        )
+    }
+
+    #[test]
+    fn fig2b_classification() {
+        let sys = fig2_system();
+        let delta = Rat::new(1, 4);
+        let mut costs = FixedCosts::new(Rat::ONE)
+            .with(TaskId(0), 1, Rat::ONE - delta)
+            .with(TaskId(5), 1, Rat::ONE - delta);
+        let sched = simulate_dvq(&sys, 2, &Pd2, &mut costs);
+        let classes: std::collections::HashMap<_, _> =
+            classify_subtasks(&sched).into_iter().collect();
+        // B_1, C_1 start at 2 − δ with full cost ⇒ Olapped.
+        let b1 = sys.find(pfair_taskmodel::SubtaskId { task: TaskId(1), index: 1 }).unwrap();
+        assert_eq!(classes[&b1], SubtaskClass::Olapped);
+        // D_1 starts at 0 ⇒ Aligned.
+        let d1 = sys.find(pfair_taskmodel::SubtaskId { task: TaskId(3), index: 1 }).unwrap();
+        assert_eq!(classes[&d1], SubtaskClass::Aligned);
+    }
+
+    #[test]
+    fn postponement_never_decreases_times() {
+        // Lemma 3: commencement (hence completion) in S_B ≥ in S_DQ.
+        let sys = fig2_system();
+        let delta = Rat::new(1, 4);
+        let mut costs = FixedCosts::new(Rat::ONE)
+            .with(TaskId(0), 1, Rat::ONE - delta)
+            .with(TaskId(5), 1, Rat::ONE - delta);
+        let sched = simulate_dvq(&sys, 2, &Pd2, &mut costs);
+        for (st, postponed) in postpone_charged(&sched) {
+            assert!(postponed >= sched.start(st));
+            assert!(postponed - sched.start(st) < Rat::ONE);
+            assert!(postponed.is_integer());
+        }
+    }
+
+    #[test]
+    fn full_costs_make_everything_aligned() {
+        let sys = fig2_system();
+        let sched = simulate_dvq(&sys, 2, &Pd2, &mut FullQuantum);
+        for (_, class) in classify_subtasks(&sched) {
+            assert_eq!(class, SubtaskClass::Aligned);
+        }
+        assert_eq!(postpone_charged(&sched).len(), sys.num_subtasks());
+    }
+}

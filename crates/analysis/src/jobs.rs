@@ -1,0 +1,173 @@
+//! The job-level view of a task system and its schedules.
+//!
+//! The paper works at subtask granularity, but applications think in
+//! *jobs*: "each task T releases a job every T.p time units" (§1), and
+//! job `j` of a weight-`e/p` task consists of subtask indices
+//! `(j−1)·e + 1 ..= j·e` with its deadline at the final subtask's
+//! pseudo-deadline. This module exposes that mapping so callers can
+//! report per-job completions and lateness without re-deriving the index
+//! arithmetic.
+
+use pfair_numeric::{Rat, Time};
+use pfair_sim::Schedule;
+use pfair_taskmodel::{window, SubtaskRef, TaskId, TaskSystem};
+
+/// One job of a task: the (released) subtasks it comprises.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Job {
+    /// The owning task.
+    pub task: TaskId,
+    /// 1-based job number.
+    pub number: u64,
+    /// Refs of the job's *released* subtasks (GIS drops can thin a job;
+    /// fully-dropped jobs are omitted by [`jobs_of`]).
+    pub subtasks: Vec<SubtaskRef>,
+    /// The job's deadline: the pseudo-deadline of its final subtask index,
+    /// θ-adjusted via the job's last released subtask.
+    pub deadline: i64,
+}
+
+impl Job {
+    /// Completion time of the job in a schedule (when its last released
+    /// subtask completes).
+    #[must_use]
+    pub fn completion(&self, sched: &Schedule) -> Time {
+        self.subtasks
+            .iter()
+            .map(|&st| sched.completion(st))
+            .max()
+            .expect("jobs_of never yields empty jobs")
+    }
+
+    /// Job tardiness in a schedule.
+    #[must_use]
+    pub fn tardiness(&self, sched: &Schedule) -> Rat {
+        (self.completion(sched) - Rat::int(self.deadline)).max(Rat::ZERO)
+    }
+}
+
+/// The jobs of one task, in order. Jobs whose every subtask was dropped
+/// (GIS) are omitted.
+#[must_use]
+pub fn jobs_of(sys: &TaskSystem, task: TaskId) -> Vec<Job> {
+    let w = sys.task(task).weight;
+    let e = w.e() as u64;
+    let mut jobs: Vec<Job> = Vec::new();
+    for st in sys.task_subtask_refs(task) {
+        let s = sys.subtask(st);
+        let number = (s.id.index - 1) / e + 1;
+        if jobs.last().map(|j| j.number) != Some(number) {
+            jobs.push(Job {
+                task,
+                number,
+                subtasks: Vec::new(),
+                deadline: 0, // refreshed below
+            });
+        }
+        let job = jobs.last_mut().expect("just pushed or matched");
+        job.subtasks.push(st);
+        // The job deadline follows the offset of its most recent subtask
+        // (IS delays within the job shift it right).
+        job.deadline = s.theta + window::deadline(w, number * e);
+    }
+    jobs
+}
+
+/// All jobs of all tasks.
+#[must_use]
+pub fn all_jobs(sys: &TaskSystem) -> Vec<Job> {
+    sys.tasks()
+        .iter()
+        .flat_map(|t| jobs_of(sys, t.id))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfair_core::Pd2;
+    use pfair_sim::{simulate_sfq, FullQuantum};
+    use pfair_taskmodel::release;
+
+    #[test]
+    fn periodic_jobs_partition_subtasks() {
+        let sys = release::periodic(&[(3, 4)], 12); // 3 jobs × 3 subtasks
+        let jobs = jobs_of(&sys, TaskId(0));
+        assert_eq!(jobs.len(), 3);
+        for (k, job) in jobs.iter().enumerate() {
+            assert_eq!(job.number, k as u64 + 1);
+            assert_eq!(job.subtasks.len(), 3);
+            assert_eq!(job.deadline, (k as i64 + 1) * 4);
+        }
+    }
+
+    #[test]
+    fn job_completion_and_tardiness() {
+        let sys = release::periodic(&[(3, 4), (1, 4)], 8);
+        let sched = simulate_sfq(&sys, 1, &Pd2, &mut FullQuantum);
+        for job in all_jobs(&sys) {
+            assert_eq!(job.tardiness(&sched), Rat::ZERO);
+            assert!(job.completion(&sched) <= Rat::int(job.deadline));
+        }
+    }
+
+    #[test]
+    fn gis_thinned_jobs() {
+        use pfair_taskmodel::release::{structured, ReleaseSpec};
+        let spec = ReleaseSpec {
+            name: "T",
+            e: 3,
+            p: 4,
+            delays: &[],
+            drops: &[2],
+            early: 0,
+        };
+        let sys = structured(&[spec], 8).unwrap();
+        let jobs = jobs_of(&sys, TaskId(0));
+        assert_eq!(jobs[0].subtasks.len(), 2); // T_1 and T_3
+        assert_eq!(jobs[0].deadline, 4);
+        assert_eq!(jobs[1].subtasks.len(), 3);
+    }
+
+    #[test]
+    fn is_delays_shift_job_deadlines() {
+        use pfair_taskmodel::release::{structured, ReleaseSpec};
+        let spec = ReleaseSpec {
+            name: "T",
+            e: 3,
+            p: 4,
+            delays: &[(3, 1)],
+            drops: &[],
+            early: 0,
+        };
+        let sys = structured(&[spec], 8).unwrap();
+        let jobs = jobs_of(&sys, TaskId(0));
+        // T_3 carries θ = 1 ⇒ job 1's deadline shifts to 5.
+        assert_eq!(jobs[0].deadline, 5);
+    }
+
+    #[test]
+    fn job_tardiness_never_exceeds_subtask_tardiness() {
+        use pfair_sim::{simulate_dvq, FixedCosts};
+        let sys = release::periodic_named(
+            &[
+                ("A", 1, 6),
+                ("B", 1, 6),
+                ("C", 1, 6),
+                ("D", 1, 2),
+                ("E", 1, 2),
+                ("F", 1, 2),
+            ],
+            6,
+        );
+        let delta = Rat::new(1, 4);
+        let mut costs = FixedCosts::new(Rat::ONE)
+            .with(TaskId(0), 1, Rat::ONE - delta)
+            .with(TaskId(5), 1, Rat::ONE - delta);
+        let sched = simulate_dvq(&sys, 2, &Pd2, &mut costs);
+        let max_sub = crate::tardiness::tardiness_stats(&sys, &sched).max;
+        for job in all_jobs(&sys) {
+            assert!(job.tardiness(&sched) <= max_sub);
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Executable forms of the paper's structural lemmas.
+//!
+//! Lemma 1 (and its Property PB summary) is the load-bearing fact about
+//! PD²-DVQ: *if a lower-priority subtask `T_i` is executing at an integral
+//! time `t` while higher-priority subtasks `U` (eligible by `t − 1`, ready
+//! by `t`) remain unscheduled past `t`, then*
+//!
+//! (a) *every `U_j ∈ U` has a predecessor that completes exactly at `t`
+//!     (so `U_j` only became ready at `t`), and*
+//!
+//! (b) *at least `|U|` subtasks `V` with `e(V_k) = t` are scheduled at
+//!     exactly `t`, each with priority at least that of every `U_j`.*
+//!
+//! [`check_lemma1`] scans a simulated DVQ schedule for every instance of
+//! the lemma's premises and verifies both conclusions, returning any
+//! violations. A correct DVQ simulator paired with a correct priority
+//! implementation produces none — making this module a powerful internal
+//! consistency check (exercised over adversarial random workloads in
+//! `tests/lemmas.rs`).
+
+use pfair_core::priority::PriorityOrder;
+use pfair_numeric::{Rat, Time};
+use pfair_sim::Schedule;
+use pfair_taskmodel::{SubtaskRef, TaskSystem};
+
+/// A violation of Lemma 1 found in a schedule (should never occur).
+#[derive(Clone, Debug)]
+pub enum Lemma1Violation {
+    /// Premises held but some blocked `U_j`'s predecessor did not complete
+    /// exactly at `t` (conclusion (a) failed).
+    PredecessorNotAtBoundary {
+        /// The boundary.
+        t: i64,
+        /// The executing lower-priority subtask.
+        executing: SubtaskRef,
+        /// The blocked higher-priority subtask.
+        blocked: SubtaskRef,
+    },
+    /// Premises held but fewer than `|U|` newly-eligible, scheduled-at-`t`,
+    /// at-least-as-high-priority subtasks exist (conclusion (b) failed).
+    MissingWitnessSet {
+        /// The boundary.
+        t: i64,
+        /// The executing lower-priority subtask.
+        executing: SubtaskRef,
+        /// Size of the blocked set `U`.
+        blocked: usize,
+        /// Size of the witness set `V` actually found.
+        witnesses: usize,
+    },
+}
+
+/// Ready time of a subtask in a schedule: `max(e(T_i), pred completion)`.
+fn ready_at(sys: &TaskSystem, sched: &Schedule, st: SubtaskRef) -> Time {
+    let s = sys.subtask(st);
+    let e = Rat::int(s.eligible);
+    match s.pred {
+        Some(p) => sched.completion(p).max(e),
+        None => e,
+    }
+}
+
+/// Scans integral boundaries `1..=horizon` of a DVQ schedule for the
+/// premises of Lemma 1 and checks both conclusions. Returns all
+/// violations (empty = the lemma holds on this schedule).
+#[must_use]
+pub fn check_lemma1(
+    sys: &TaskSystem,
+    sched: &Schedule,
+    order: &dyn PriorityOrder,
+    horizon: i64,
+) -> Vec<Lemma1Violation> {
+    let mut violations = Vec::new();
+    for t in 1..=horizon {
+        let t_rat = Rat::int(t);
+        let t_prev = Rat::int(t - 1);
+        // Executing at t: scheduled in (t−1, t].
+        let executing: Vec<SubtaskRef> = sched
+            .placements()
+            .iter()
+            .filter(|p| p.start > t_prev && p.start <= t_rat)
+            .map(|p| p.st)
+            .collect();
+        for &ti in &executing {
+            // U: eligible ≤ t−1, ready at or before t, higher priority
+            // than T_i, scheduled strictly after t.
+            let u: Vec<SubtaskRef> = sys
+                .iter_refs()
+                .filter(|&(uj, s)| {
+                    // Eq. (12)/(13): e(U_j) ≤ t − 1.
+                    s.eligible < t
+                        && ready_at(sys, sched, uj) <= t_rat
+                        && order.precedes(sys, uj, ti)
+                        && sched.start(uj) > t_rat
+                })
+                .map(|(uj, _)| uj)
+                .collect();
+            if u.is_empty() {
+                continue;
+            }
+            // Conclusion (a).
+            for &uj in &u {
+                let pred_ok = sys
+                    .subtask(uj)
+                    .pred
+                    .is_some_and(|p| sched.completion(p) == t_rat);
+                if !pred_ok {
+                    violations.push(Lemma1Violation::PredecessorNotAtBoundary {
+                        t,
+                        executing: ti,
+                        blocked: uj,
+                    });
+                }
+            }
+            // Conclusion (b): V = subtasks with e = t, scheduled at t,
+            // each ⪯ every U_j.
+            let v_count = sys
+                .iter_refs()
+                .filter(|&(vk, s)| {
+                    s.eligible == t
+                        && sched.start(vk) == t_rat
+                        && u.iter().all(|&uj| order.precedes_eq(sys, vk, uj))
+                })
+                .count();
+            if v_count < u.len() {
+                violations.push(Lemma1Violation::MissingWitnessSet {
+                    t,
+                    executing: ti,
+                    blocked: u.len(),
+                    witnesses: v_count,
+                });
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfair_core::Pd2;
+    use pfair_sim::{simulate_dvq, FixedCosts, FullQuantum};
+    use pfair_taskmodel::{release, TaskId};
+
+    #[test]
+    fn lemma1_holds_on_fig2b() {
+        let sys = release::periodic_named(
+            &[
+                ("A", 1, 6),
+                ("B", 1, 6),
+                ("C", 1, 6),
+                ("D", 1, 2),
+                ("E", 1, 2),
+                ("F", 1, 2),
+            ],
+            6,
+        );
+        let delta = Rat::new(1, 4);
+        let mut costs = FixedCosts::new(Rat::ONE)
+            .with(TaskId(0), 1, Rat::ONE - delta)
+            .with(TaskId(5), 1, Rat::ONE - delta);
+        let sched = simulate_dvq(&sys, 2, &Pd2, &mut costs);
+        let violations = check_lemma1(&sys, &sched, &Pd2, 8);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn lemma1_holds_with_full_costs() {
+        let sys = release::periodic(&[(3, 4), (1, 2), (2, 3), (5, 12)], 24);
+        let sched = simulate_dvq(&sys, 3, &Pd2, &mut FullQuantum);
+        assert!(check_lemma1(&sys, &sched, &Pd2, 26).is_empty());
+    }
+}

@@ -1,0 +1,72 @@
+//! Schedule analysis: everything the paper's theorems quantify.
+//!
+//! * [`tardiness`] — per-subtask and aggregate tardiness (Eq. (7)); the
+//!   measurements behind Theorems 2 and 3.
+//! * [`validity`] — structural soundness of a schedule (processor
+//!   exclusivity, intra-task sequencing, eligibility) and SFQ window
+//!   containment (the classical Pfair validity criterion of §2).
+//! * [`classify`] — the `Aligned` / `Olapped` / `Free` partition of DVQ
+//!   subtasks (§3.2, Fig. 4) and the `S_B` postponement construction used
+//!   to reduce DVQ schedules to the SFQ model.
+//! * [`blocking`] — detection of the two DVQ priority inversions
+//!   (eligibility blocking, predecessor blocking) in a simulated schedule.
+//! * [`compliance`] — the k-compliance construction of §3.3 (ranks,
+//!   right-shifted systems with selectively restored eligibilities),
+//!   letting tests walk Lemma 6's induction empirically.
+//! * [`demand`] — demand-bound analysis (interval demand vs `M·len`
+//!   supply), a cheap necessary condition companion to the exact oracle.
+//! * [`displacement`](mod@displacement) — drift between two schedules of one system (the
+//!   quantity the paper's proofs manipulate).
+//! * [`lag`] — fluid (processor-sharing) allocation and `LAG`, the
+//!   classical Pfair progress measure.
+//! * [`jobs`] — the job-level view (§1's "each task releases a job every
+//!   T.p time units"), with per-job completions and tardiness.
+//! * [`lemmas`] — executable checks of the paper's Lemma 1 / Property PB
+//!   on simulated DVQ schedules.
+//! * [`allocation`] — the slot-allocation matrix `S(T, t)` of Eq. (1) and
+//!   its DVQ generalization (fractional slot occupancy).
+//! * [`overhead`] — migration counts and simultaneous-quantum-start
+//!   contention profiles (the staggered model's motivation, measured).
+//! * [`report`] — one-call bundle of every analysis, with `Display`.
+//! * [`response`] — response-time statistics (latency from eligibility).
+//! * [`schedulability`] — an independent max-flow schedulability oracle
+//!   (the executable form of §2's feasibility argument), cross-checking
+//!   the simulators.
+//! * [`waste`] — busy/idle/wasted-quantum accounting: the §1 motivation
+//!   for the DVQ model, measured.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allocation;
+pub mod blocking;
+pub mod classify;
+pub mod compliance;
+pub mod demand;
+pub mod displacement;
+pub mod jobs;
+pub mod lag;
+pub mod lemmas;
+pub mod overhead;
+pub mod report;
+pub mod response;
+pub mod schedulability;
+pub mod tardiness;
+pub mod validity;
+pub mod waste;
+
+pub use blocking::{detect_blocking, BlockingEvent, BlockingKind};
+pub use classify::{classify_subtasks, postpone_charged, SubtaskClass};
+pub use allocation::{allocation_matrix, slot_occupancy};
+pub use compliance::{k_compliant_system, ranks};
+pub use demand::{dbf, find_overload, OverloadWitness};
+pub use displacement::{displacement, displacement_stats, DisplacementStats};
+pub use jobs::{all_jobs, jobs_of, Job};
+pub use lemmas::{check_lemma1, Lemma1Violation};
+pub use overhead::{contention_profile, migration_stats, peak_simultaneous_starts, MigrationStats};
+pub use report::{schedule_report, ScheduleReport};
+pub use response::{response_stats, subtask_response, ResponseStats};
+pub use schedulability::{flow_schedulable, FlowSchedule, WindowMode};
+pub use tardiness::{subtask_tardiness, tardiness_stats, TardinessStats};
+pub use validity::{check_structural, check_window_containment, ValidityError};
+pub use waste::{waste_stats, WasteStats};

@@ -1,0 +1,265 @@
+//! Schedule validity checks.
+//!
+//! Two notions, deliberately separated:
+//!
+//! * [`check_structural`] — invariants every model must respect, tardy or
+//!   not: a processor runs one subtask at a time; a subtask never starts
+//!   before its eligibility time or before its predecessor completes (no
+//!   intra-task parallelism, §2); under SFQ, at most `M` subtasks per slot
+//!   and integral commencement times.
+//! * [`check_window_containment`] — the classical Pfair validity criterion
+//!   ("each subtask must be scheduled within its window", §2): every
+//!   subtask completes by its pseudo-deadline. PD² under SFQ satisfies it
+//!   for every feasible system; DVQ schedules may violate it by design —
+//!   that violation, bounded by one quantum, is the paper's subject.
+
+use core::fmt;
+
+use pfair_numeric::{Rat, Time};
+use pfair_taskmodel::{SubtaskRef, TaskSystem};
+use pfair_sim::{QuantumModel, Schedule};
+
+/// A violated schedule invariant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValidityError {
+    /// Two quanta overlap on one processor.
+    ProcessorOverlap {
+        /// The processor.
+        proc: u32,
+        /// Earlier subtask.
+        first: SubtaskRef,
+        /// Overlapping later subtask.
+        second: SubtaskRef,
+    },
+    /// A subtask commenced before its eligibility time.
+    BeforeEligibility {
+        /// The subtask.
+        st: SubtaskRef,
+        /// Its commencement time.
+        start: Time,
+        /// Its eligibility time.
+        eligible: i64,
+    },
+    /// A subtask commenced before its predecessor completed.
+    BeforePredecessor {
+        /// The subtask.
+        st: SubtaskRef,
+        /// Its commencement time.
+        start: Time,
+        /// Predecessor completion time.
+        pred_completion: Time,
+    },
+    /// An SFQ/staggered schedule placed more than `M` subtasks in one slot.
+    TooManyInSlot {
+        /// The slot.
+        slot: i64,
+        /// How many were found.
+        count: usize,
+    },
+    /// An SFQ schedule contains a non-integral commencement time.
+    NonIntegralStart {
+        /// The subtask.
+        st: SubtaskRef,
+        /// Its commencement time.
+        start: Time,
+    },
+    /// A subtask completed after its pseudo-deadline (window containment).
+    DeadlineMiss {
+        /// The subtask.
+        st: SubtaskRef,
+        /// Its completion time.
+        completion: Time,
+        /// Its pseudo-deadline.
+        deadline: i64,
+    },
+}
+
+impl fmt::Display for ValidityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidityError::ProcessorOverlap { proc, first, second } => {
+                write!(f, "processor {proc}: {first:?} and {second:?} overlap")
+            }
+            ValidityError::BeforeEligibility { st, start, eligible } => {
+                write!(f, "{st:?} starts at {start} before eligibility {eligible}")
+            }
+            ValidityError::BeforePredecessor {
+                st,
+                start,
+                pred_completion,
+            } => write!(
+                f,
+                "{st:?} starts at {start} before predecessor completes at {pred_completion}"
+            ),
+            ValidityError::TooManyInSlot { slot, count } => {
+                write!(f, "slot {slot}: {count} subtasks exceed processor count")
+            }
+            ValidityError::NonIntegralStart { st, start } => {
+                write!(f, "{st:?} starts at non-integral {start} in an SFQ schedule")
+            }
+            ValidityError::DeadlineMiss {
+                st,
+                completion,
+                deadline,
+            } => write!(f, "{st:?} completes at {completion} after deadline {deadline}"),
+        }
+    }
+}
+
+impl std::error::Error for ValidityError {}
+
+/// Checks the structural invariants; returns every violation found.
+#[must_use]
+pub fn check_structural(sys: &TaskSystem, sched: &Schedule) -> Vec<ValidityError> {
+    let mut errors = Vec::new();
+
+    // Per-processor exclusivity: placements are start-sorted already.
+    for proc in 0..sched.m() {
+        let mut prev: Option<&pfair_sim::Placement> = None;
+        for p in sched.on_processor(proc) {
+            if let Some(q) = prev {
+                if p.start < q.holds_until.max(q.completion()) {
+                    errors.push(ValidityError::ProcessorOverlap {
+                        proc,
+                        first: q.st,
+                        second: p.st,
+                    });
+                }
+            }
+            prev = Some(p);
+        }
+    }
+
+    for (st, s) in sys.iter_refs() {
+        let start = sched.start(st);
+        if start < Rat::int(s.eligible) {
+            errors.push(ValidityError::BeforeEligibility {
+                st,
+                start,
+                eligible: s.eligible,
+            });
+        }
+        if let Some(pred) = s.pred {
+            let pc = sched.completion(pred);
+            if start < pc {
+                errors.push(ValidityError::BeforePredecessor {
+                    st,
+                    start,
+                    pred_completion: pc,
+                });
+            }
+        }
+    }
+
+    if sched.model() == QuantumModel::Sfq {
+        for p in sched.placements() {
+            if !p.start.is_integer() {
+                errors.push(ValidityError::NonIntegralStart {
+                    st: p.st,
+                    start: p.start,
+                });
+            }
+        }
+        // ≤ M per slot (placements have unit holds, so count by start slot).
+        let mut counts: std::collections::HashMap<i64, usize> = std::collections::HashMap::new();
+        for p in sched.placements() {
+            *counts.entry(p.start.floor()).or_default() += 1;
+        }
+        for (slot, count) in counts {
+            if count > sched.m() as usize {
+                errors.push(ValidityError::TooManyInSlot { slot, count });
+            }
+        }
+    }
+
+    errors
+}
+
+/// Checks the classical Pfair validity criterion: every subtask completes
+/// by its pseudo-deadline. Returns the violations (deadline misses).
+#[must_use]
+pub fn check_window_containment(sys: &TaskSystem, sched: &Schedule) -> Vec<ValidityError> {
+    let mut errors = Vec::new();
+    for (st, s) in sys.iter_refs() {
+        let completion = sched.completion(st);
+        if completion > Rat::int(s.deadline) {
+            errors.push(ValidityError::DeadlineMiss {
+                st,
+                completion,
+                deadline: s.deadline,
+            });
+        }
+    }
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfair_core::{Epdf, Pd2};
+    use pfair_sim::{simulate_dvq, simulate_sfq, simulate_staggered, FixedCosts, FullQuantum};
+    use pfair_taskmodel::{release, TaskId};
+
+    fn fig2_system() -> TaskSystem {
+        release::periodic_named(
+            &[
+                ("A", 1, 6),
+                ("B", 1, 6),
+                ("C", 1, 6),
+                ("D", 1, 2),
+                ("E", 1, 2),
+                ("F", 1, 2),
+            ],
+            6,
+        )
+    }
+
+    #[test]
+    fn sfq_pd2_fully_valid() {
+        let sys = fig2_system();
+        let sched = simulate_sfq(&sys, 2, &Pd2, &mut FullQuantum);
+        assert!(check_structural(&sys, &sched).is_empty());
+        assert!(check_window_containment(&sys, &sched).is_empty());
+    }
+
+    #[test]
+    fn dvq_structurally_valid_but_misses() {
+        let sys = fig2_system();
+        let delta = Rat::new(1, 8);
+        let mut costs = FixedCosts::new(Rat::ONE)
+            .with(TaskId(0), 1, Rat::ONE - delta)
+            .with(TaskId(5), 1, Rat::ONE - delta);
+        let sched = simulate_dvq(&sys, 2, &Pd2, &mut costs);
+        assert!(check_structural(&sys, &sched).is_empty());
+        let misses = check_window_containment(&sys, &sched);
+        assert_eq!(misses.len(), 1);
+        assert!(matches!(misses[0], ValidityError::DeadlineMiss { .. }));
+    }
+
+    #[test]
+    fn staggered_structurally_valid() {
+        let sys = fig2_system();
+        let sched = simulate_staggered(&sys, 2, &Pd2, &mut FullQuantum);
+        assert!(check_structural(&sys, &sched).is_empty());
+    }
+
+    #[test]
+    fn epdf_on_two_processors_meets_deadlines_here() {
+        // EPDF is optimal on ≤ 2 processors (Anderson & Srinivasan); this
+        // instance is on 2.
+        let sys = fig2_system();
+        let sched = simulate_sfq(&sys, 2, &Epdf, &mut FullQuantum);
+        assert!(check_window_containment(&sys, &sched).is_empty());
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = ValidityError::DeadlineMiss {
+            st: SubtaskRef(3),
+            completion: Rat::new(9, 2),
+            deadline: 4,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("st#3") && msg.contains("9/2") && msg.contains('4'));
+    }
+}

@@ -1,0 +1,128 @@
+//! Ablation bench: which PD² tie-breaks are load-bearing, and what do
+//! they cost?
+//!
+//! Regenerates the ablation findings of EXPERIMENTS.md — EPDF and the
+//! no-group-deadline variant miss deadlines on the pinned instances while
+//! PD² does not — and measures the per-decision cost of each variant on a
+//! common workload.
+//!
+//! Run with `cargo bench -p pfair-bench --bench ablation`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pfair::core::{Pd2NoBBit, Pd2NoGroupDeadline};
+use pfair::prelude::*;
+use pfair::workload::{random_weights, releasegen};
+
+fn pinned_epdf_instance() -> TaskSystem {
+    release::periodic(
+        &[
+            (2, 3),
+            (5, 6),
+            (1, 1),
+            (3, 5),
+            (2, 3),
+            (1, 1),
+            (3, 5),
+            (19, 30),
+        ],
+        30,
+    )
+}
+
+fn pinned_no_gd_instance() -> TaskSystem {
+    release::periodic(
+        &[
+            (5, 6),
+            (4, 5),
+            (5, 6),
+            (4, 5),
+            (11, 12),
+            (1, 2),
+            (1, 2),
+            (49, 60),
+        ],
+        60,
+    )
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    // Regenerate the findings.
+    {
+        let sys = pinned_epdf_instance();
+        let epdf = tardiness_stats(&sys, &simulate_sfq(&sys, 6, &Epdf, &mut FullQuantum)).max;
+        let pd2 = tardiness_stats(&sys, &simulate_sfq(&sys, 6, &Pd2, &mut FullQuantum)).max;
+        println!("ablation: EPDF instance — EPDF max {epdf}, PD2 max {pd2}");
+        assert!(epdf.is_positive() && pd2.is_zero());
+    }
+    {
+        let sys = pinned_no_gd_instance();
+        let nogd = tardiness_stats(
+            &sys,
+            &simulate_sfq(&sys, 6, &Pd2NoGroupDeadline, &mut FullQuantum),
+        )
+        .max;
+        let pd2 = tardiness_stats(&sys, &simulate_sfq(&sys, 6, &Pd2, &mut FullQuantum)).max;
+        println!("ablation: cascade instance — noGD max {nogd}, PD2 max {pd2}");
+        assert!(nogd.is_positive() && pd2.is_zero());
+    }
+
+    // Divergence frequency over random heavy systems: how often does each
+    // variant produce a *different schedule* than PD² (even when nothing
+    // misses)?
+    {
+        let mut diverge_nogd = 0;
+        let mut diverge_nob = 0;
+        let mut diverge_epdf = 0;
+        let trials = 40u64;
+        for seed in 0..trials {
+            let ws = random_weights(
+                &TaskGenConfig {
+                    target_util: Rat::int(4),
+                    max_period: 12,
+                    dist: WeightDist::Heavy,
+                    fill_exact: true,
+                },
+                500 + seed,
+            );
+            let sys = releasegen::generate(&ws, &ReleaseConfig::periodic(24), seed);
+            let base = simulate_sfq(&sys, 4, &Pd2, &mut FullQuantum);
+            let same = |other: &Schedule| {
+                sys.iter_refs().all(|(st, _)| base.start(st) == other.start(st))
+            };
+            if !same(&simulate_sfq(&sys, 4, &Pd2NoGroupDeadline, &mut FullQuantum)) {
+                diverge_nogd += 1;
+            }
+            if !same(&simulate_sfq(&sys, 4, &Pd2NoBBit, &mut FullQuantum)) {
+                diverge_nob += 1;
+            }
+            if !same(&simulate_sfq(&sys, 4, &Epdf, &mut FullQuantum)) {
+                diverge_epdf += 1;
+            }
+        }
+        println!(
+            "ablation divergence over {trials} heavy systems: noGD {diverge_nogd}, noB {diverge_nob}, EPDF {diverge_epdf}"
+        );
+    }
+
+    // Cost of each variant on a common workload.
+    let ws = random_weights(&TaskGenConfig::full(8, 16), 42);
+    let sys = releasegen::generate(&ws, &ReleaseConfig::periodic(48), 42);
+    let n = sys.num_subtasks() as u64;
+    let mut g = c.benchmark_group("ablation_cost");
+    g.throughput(Throughput::Elements(n));
+    let variants: [(&str, &dyn PriorityOrder); 4] = [
+        ("EPDF", &Epdf),
+        ("PD2-noGD", &Pd2NoGroupDeadline),
+        ("PD2-noB", &Pd2NoBBit),
+        ("PD2", &Pd2),
+    ];
+    for (name, order) in variants {
+        g.bench_with_input(BenchmarkId::new("sfq", name), &sys, |b, sys| {
+            b.iter(|| simulate_sfq(std::hint::black_box(sys), 8, order, &mut FullQuantum))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Microbenchmarks of the hot substrate: exact rational arithmetic, the
+//! Pfair window formulas, priority comparisons, and the event queue of
+//! the DVQ simulator.
+//!
+//! These quantify where the DVQ engine's extra cost (vs slot-driven SFQ)
+//! comes from: rational reductions at every event and the per-decision
+//! ready-set scan.
+//!
+//! Run with `cargo bench -p pfair-bench --bench micro`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pfair::prelude::*;
+use pfair::taskmodel::window;
+
+fn bench_rational(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rational");
+    let a = Rat::new(355, 113);
+    let b = Rat::new(1_000_003, 720_720);
+    g.bench_function("add", |bch| bch.iter(|| std::hint::black_box(a) + std::hint::black_box(b)));
+    g.bench_function("mul", |bch| bch.iter(|| std::hint::black_box(a) * std::hint::black_box(b)));
+    g.bench_function("cmp", |bch| {
+        bch.iter(|| std::hint::black_box(a).cmp(&std::hint::black_box(b)))
+    });
+    g.bench_function("floor", |bch| bch.iter(|| std::hint::black_box(a).floor()));
+    g.finish();
+}
+
+fn bench_windows(c: &mut Criterion) {
+    let mut g = c.benchmark_group("windows");
+    let w = Weight::new(7, 12);
+    g.bench_function("release_deadline", |bch| {
+        bch.iter(|| {
+            let i = std::hint::black_box(12_345u64);
+            (window::release(w, i), window::deadline(w, i))
+        })
+    });
+    g.bench_function("group_deadline_closed_form", |bch| {
+        bch.iter(|| window::group_deadline(std::hint::black_box(Weight::new(11, 12)), std::hint::black_box(12_345)))
+    });
+    g.bench_function("group_deadline_cascade_oracle", |bch| {
+        bch.iter(|| {
+            window::group_deadline_by_cascade(
+                std::hint::black_box(Weight::new(11, 12)),
+                std::hint::black_box(12_345),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_priority(c: &mut Criterion) {
+    let mut g = c.benchmark_group("priority_cmp");
+    let sys = release::periodic(&[(7, 8), (3, 4), (1, 2), (2, 3), (1, 6), (5, 6)], 24);
+    let refs: Vec<SubtaskRef> = sys.iter_refs().map(|(r, _)| r).collect();
+    for alg in pfair::core::Algorithm::all() {
+        let ord = alg.order();
+        g.bench_function(alg.to_string(), |bch| {
+            bch.iter(|| {
+                let mut acc = 0usize;
+                for &a in &refs {
+                    for &b in &refs {
+                        if ord.cmp(&sys, a, b) == std::cmp::Ordering::Less {
+                            acc += 1;
+                        }
+                    }
+                }
+                acc
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_sort_ready_set(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ready_set");
+    let sys = release::periodic(
+        &[(7, 8), (3, 4), (1, 2), (2, 3), (1, 6), (5, 6), (1, 3), (5, 12)],
+        48,
+    );
+    let refs: Vec<SubtaskRef> = sys.iter_refs().map(|(r, _)| r).collect();
+    g.bench_function("sort_by_pd2", |bch| {
+        bch.iter(|| {
+            let mut v = refs.clone();
+            pfair::core::priority::sort_by_priority(&Pd2, &sys, &mut v);
+            v
+        })
+    });
+    g.bench_function("min_by_pd2", |bch| {
+        bch.iter(|| {
+            refs.iter()
+                .copied()
+                .min_by(|&a, &b| Pd2.cmp(&sys, a, b))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rational,
+    bench_windows,
+    bench_priority,
+    bench_sort_ready_set
+);
+criterion_main!(benches);

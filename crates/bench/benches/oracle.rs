@@ -1,0 +1,40 @@
+//! Bench O1: the max-flow schedulability oracle vs the PD² simulator —
+//! agreement regenerated, cost of each compared.
+//!
+//! Run with `cargo bench -p pfair-bench --bench oracle`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pfair::analysis::schedulability::{flow_schedulable, WindowMode};
+use pfair::prelude::*;
+use pfair::workload::{random_weights, releasegen};
+
+fn bench_oracle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("oracle_vs_simulator");
+    g.sample_size(12);
+    for (m, horizon) in [(2u32, 16i64), (4, 24), (8, 32)] {
+        let ws = random_weights(&TaskGenConfig::full(m, 10), 7_700 + u64::from(m));
+        let sys = releasegen::generate(&ws, &ReleaseConfig::periodic(horizon), 7);
+        let n = sys.num_subtasks() as u64;
+        // Regenerate the agreement before timing.
+        let fs = flow_schedulable(&sys, m, WindowMode::PfWindow);
+        let sched = simulate_sfq(&sys, m, &Pd2, &mut FullQuantum);
+        let misses = check_window_containment(&sys, &sched).len();
+        println!(
+            "O1 m={m}: oracle schedulable={} simulator misses={misses} -> {}",
+            fs.schedulable,
+            if fs.schedulable && misses == 0 { "agree" } else { "DISAGREE" }
+        );
+        assert!(fs.schedulable && misses == 0);
+        g.throughput(Throughput::Elements(n));
+        g.bench_with_input(BenchmarkId::new("flow_oracle", n), &sys, |b, sys| {
+            b.iter(|| flow_schedulable(std::hint::black_box(sys), m, WindowMode::PfWindow))
+        });
+        g.bench_with_input(BenchmarkId::new("pd2_simulator", n), &sys, |b, sys| {
+            b.iter(|| simulate_sfq(std::hint::black_box(sys), m, &Pd2, &mut FullQuantum))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_oracle);
+criterion_main!(benches);

@@ -1,0 +1,143 @@
+//! Bench E1/E2/E4/E6: the tardiness experiments. Each cell prints the
+//! measured shape (max tardiness vs the theorem's bound) and then times
+//! one sweep.
+//!
+//! Run with `cargo bench -p pfair-bench --bench tardiness`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pfair::core::Algorithm;
+use pfair::prelude::*;
+use pfair::workload::experiment::CostKind;
+
+fn cell(m: u32, model: ModelKind, algorithm: Algorithm, cost: CostKind, seed: u64) -> ExperimentConfig {
+    ExperimentConfig {
+        m,
+        algorithm,
+        model,
+        taskgen: TaskGenConfig::full(m, 12),
+        release: ReleaseConfig::periodic(24),
+        cost,
+        trials: 20,
+        base_seed: seed,
+    }
+}
+
+fn bench_tardiness(c: &mut Criterion) {
+    let adversarial = CostKind::Adversarial {
+        delta: Rat::new(1, 128),
+        yield_percent: 70,
+    };
+
+    let mut g = c.benchmark_group("tardiness");
+    g.sample_size(10);
+
+    // E1 (Theorem 3): PD² under DVQ, tardiness ≤ 1, across M.
+    for m in [2u32, 4, 8] {
+        let cfg = cell(m, ModelKind::Dvq, Algorithm::Pd2, adversarial, 100 + u64::from(m));
+        let sweep = run_sweep(&cfg, 4);
+        println!(
+            "E1 m={m}: subtasks={} misses={} max_tardiness={} (bound 1) -> {}",
+            sweep.total_subtasks(),
+            sweep.total_misses(),
+            sweep.max_tardiness(),
+            if sweep.max_tardiness() <= Rat::ONE { "ok" } else { "VIOLATION" }
+        );
+        assert!(sweep.max_tardiness() <= Rat::ONE);
+        g.bench_with_input(BenchmarkId::new("E1_dvq_pd2", m), &cfg, |b, cfg| {
+            b.iter(|| run_sweep(std::hint::black_box(cfg), 4))
+        });
+    }
+
+    // E2 (Theorem 2): PD^B under SFQ, tardiness ≤ 1.
+    for m in [2u32, 4, 8] {
+        let cfg = cell(m, ModelKind::SfqPdb, Algorithm::Pd2, CostKind::Full, 200 + u64::from(m));
+        let sweep = run_sweep(&cfg, 4);
+        println!(
+            "E2 m={m}: subtasks={} misses={} max_tardiness={} (bound 1) -> {}",
+            sweep.total_subtasks(),
+            sweep.total_misses(),
+            sweep.max_tardiness(),
+            if sweep.max_tardiness() <= Rat::ONE { "ok" } else { "VIOLATION" }
+        );
+        assert!(sweep.max_tardiness() <= Rat::ONE);
+        g.bench_with_input(BenchmarkId::new("E2_sfq_pdb", m), &cfg, |b, cfg| {
+            b.iter(|| run_sweep(std::hint::black_box(cfg), 4))
+        });
+    }
+
+    // E3 baseline: PD² under SFQ, tardiness = 0.
+    {
+        let cfg = cell(8, ModelKind::Sfq, Algorithm::Pd2, CostKind::Full, 300);
+        let sweep = run_sweep(&cfg, 4);
+        println!(
+            "E3 m=8: subtasks={} max_tardiness={} (optimal) -> {}",
+            sweep.total_subtasks(),
+            sweep.max_tardiness(),
+            if sweep.max_tardiness() == Rat::ZERO { "ok" } else { "VIOLATION" }
+        );
+        assert_eq!(sweep.max_tardiness(), Rat::ZERO);
+        g.bench_function("E3_sfq_pd2_m8", |b| {
+            b.iter(|| run_sweep(std::hint::black_box(&cfg), 4))
+        });
+    }
+
+    // E4: EPDF worsens by ≤ 1 quantum from SFQ to DVQ.
+    {
+        let sfq_cfg = cell(8, ModelKind::Sfq, Algorithm::Epdf, CostKind::Full, 400);
+        let dvq_cfg = cell(8, ModelKind::Dvq, Algorithm::Epdf, adversarial, 400);
+        let sfq = run_sweep(&sfq_cfg, 4);
+        let dvq = run_sweep(&dvq_cfg, 4);
+        println!(
+            "E4 m=8 EPDF: SFQ max={} DVQ max={} (claim: DVQ ≤ SFQ + 1) -> {}",
+            sfq.max_tardiness(),
+            dvq.max_tardiness(),
+            if dvq.max_tardiness() <= sfq.max_tardiness() + Rat::ONE { "ok" } else { "VIOLATION" }
+        );
+        assert!(dvq.max_tardiness() <= sfq.max_tardiness() + Rat::ONE);
+        g.bench_function("E4_epdf_dvq_m8", |b| {
+            b.iter(|| run_sweep(std::hint::black_box(&dvq_cfg), 4))
+        });
+    }
+
+    // E6 tightness: Fig. 2 family, tardiness = 1 − δ for shrinking δ.
+    {
+        let sys = release::periodic_named(
+            &[
+                ("A", 1, 6),
+                ("B", 1, 6),
+                ("C", 1, 6),
+                ("D", 1, 2),
+                ("E", 1, 2),
+                ("F", 1, 2),
+            ],
+            6,
+        );
+        for den in [16i64, 1024, 1_048_576] {
+            let delta = Rat::new(1, den);
+            let mut costs = FixedCosts::new(Rat::ONE)
+                .with(TaskId(0), 1, Rat::ONE - delta)
+                .with(TaskId(5), 1, Rat::ONE - delta);
+            let sched = simulate_dvq(&sys, 2, &Pd2, &mut costs);
+            let max = tardiness_stats(&sys, &sched).max;
+            println!("E6 δ=1/{den}: max tardiness = {max} (expect 1-δ) -> {}",
+                if max == Rat::ONE - delta { "ok" } else { "VIOLATION" });
+            assert_eq!(max, Rat::ONE - delta);
+        }
+        g.bench_function("E6_tightness_delta_sweep", |b| {
+            b.iter(|| {
+                for den in [16i64, 1024, 1_048_576] {
+                    let delta = Rat::new(1, den);
+                    let mut costs = FixedCosts::new(Rat::ONE)
+                        .with(TaskId(0), 1, Rat::ONE - delta)
+                        .with(TaskId(5), 1, Rat::ONE - delta);
+                    std::hint::black_box(simulate_dvq(&sys, 2, &Pd2, &mut costs));
+                }
+            })
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_tardiness);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Bench E5: wasted-capacity comparison across quantum models as the mean
+//! actual cost falls (the §1 motivation for DVQ). Prints the regenerated
+//! table, then times each model's sweep.
+//!
+//! Run with `cargo bench -p pfair-bench --bench waste`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pfair::core::Algorithm;
+use pfair::prelude::*;
+use pfair::workload::experiment::CostKind;
+
+fn cfg(model: ModelKind, cost: CostKind) -> ExperimentConfig {
+    ExperimentConfig {
+        m: 4,
+        algorithm: Algorithm::Pd2,
+        model,
+        taskgen: TaskGenConfig::full(4, 12),
+        release: ReleaseConfig::periodic(24),
+        cost,
+        trials: 15,
+        base_seed: 550,
+    }
+}
+
+fn bench_waste(c: &mut Criterion) {
+    let mut g = c.benchmark_group("waste");
+    g.sample_size(10);
+
+    println!("E5: mean wasted fraction by model (M=4, full utilization)");
+    println!("{:>6} {:>10} {:>12} {:>10}", "c̄", "SFQ", "staggered", "DVQ");
+    for (label, mean_cost) in [
+        ("1", Rat::ONE),
+        ("7/8", Rat::new(7, 8)),
+        ("3/4", Rat::new(3, 4)),
+        ("1/2", Rat::new(1, 2)),
+    ] {
+        let cost = if mean_cost == Rat::ONE {
+            CostKind::Full
+        } else {
+            CostKind::Scaled(mean_cost)
+        };
+        let sfq = run_sweep(&cfg(ModelKind::Sfq, cost), 4);
+        let stag = run_sweep(&cfg(ModelKind::Staggered, cost), 4);
+        let dvq = run_sweep(&cfg(ModelKind::Dvq, cost), 4);
+        println!(
+            "{label:>6} {:>10.4} {:>12.4} {:>10.4}",
+            sfq.mean_wasted_fraction(),
+            stag.mean_wasted_fraction(),
+            dvq.mean_wasted_fraction()
+        );
+        // Shape: DVQ reclaims everything; fixed-quantum models waste
+        // (1 − c̄) of every quantum.
+        assert_eq!(dvq.mean_wasted_fraction(), 0.0);
+        if mean_cost < Rat::ONE {
+            assert!(sfq.mean_wasted_fraction() > 0.0);
+            assert!(stag.mean_wasted_fraction() > 0.0);
+        }
+    }
+
+    let half = CostKind::Scaled(Rat::new(1, 2));
+    for (name, model) in [
+        ("sfq", ModelKind::Sfq),
+        ("staggered", ModelKind::Staggered),
+        ("dvq", ModelKind::Dvq),
+    ] {
+        let c_model = cfg(model, half);
+        g.bench_with_input(BenchmarkId::new("E5_sweep", name), &c_model, |b, c_model| {
+            b.iter(|| run_sweep(std::hint::black_box(c_model), 4))
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_waste);
+criterion_main!(benches);

@@ -1,0 +1,3 @@
+//! Shared helpers for the bench harness live directly in the bench
+//! files; this crate exists to host the `benches/` targets.
+#![forbid(unsafe_code)]

@@ -1,0 +1,97 @@
+//! Ablated variants of PD² — for studying *why* its tie-breaks matter.
+//!
+//! PD² layers two tie-breaks over the EPDF core: the b-bit and, for heavy
+//! tasks, the group deadline. The paper notes EPDF (no tie-breaks) is
+//! suboptimal; the natural ablation questions are:
+//!
+//! * does the b-bit alone suffice? ([`Pd2NoGroupDeadline`])
+//! * does the group deadline alone suffice? ([`Pd2NoBBit`] — note the
+//!   group-deadline rule is gated on both b-bits being 1 in real PD², so
+//!   this variant applies it unconditionally)
+//!
+//! Neither does: `tests/ablation.rs` pins concrete feasible task systems
+//! on which each ablated order misses deadlines under SFQ while full PD²
+//! misses none, and the ablation bench measures how often random systems
+//! separate the variants.
+
+use core::cmp::Ordering;
+
+use pfair_taskmodel::{SubtaskRef, TaskSystem};
+
+use crate::priority::PriorityOrder;
+
+/// PD² without the group-deadline rule: deadline, then b-bit only.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Pd2NoGroupDeadline;
+
+impl PriorityOrder for Pd2NoGroupDeadline {
+    fn name(&self) -> &'static str {
+        "PD2-noGD"
+    }
+
+    fn cmp_strict(&self, sys: &TaskSystem, a: SubtaskRef, b: SubtaskRef) -> Ordering {
+        let (x, y) = (sys.subtask(a), sys.subtask(b));
+        x.deadline
+            .cmp(&y.deadline)
+            .then_with(|| y.bbit.cmp(&x.bbit))
+    }
+}
+
+/// PD² without the b-bit rule: deadline, then group deadline
+/// (unconditionally — light tasks carry `D = 0`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Pd2NoBBit;
+
+impl PriorityOrder for Pd2NoBBit {
+    fn name(&self) -> &'static str {
+        "PD2-noB"
+    }
+
+    fn cmp_strict(&self, sys: &TaskSystem, a: SubtaskRef, b: SubtaskRef) -> Ordering {
+        let (x, y) = (sys.subtask(a), sys.subtask(b));
+        x.deadline
+            .cmp(&y.deadline)
+            .then_with(|| y.group_deadline.cmp(&x.group_deadline))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfair_taskmodel::release;
+
+    #[test]
+    fn ablations_agree_with_pd2_on_deadline_decided_pairs() {
+        use crate::pd2::Pd2;
+        let sys = release::periodic(&[(7, 8), (3, 4), (1, 2), (1, 6)], 24);
+        for (a, _) in sys.iter_refs() {
+            for (b, _) in sys.iter_refs() {
+                let (x, y) = (sys.subtask(a), sys.subtask(b));
+                if x.deadline != y.deadline {
+                    let expected = Pd2.cmp_strict(&sys, a, b);
+                    assert_eq!(Pd2NoGroupDeadline.cmp_strict(&sys, a, b), expected);
+                    assert_eq!(Pd2NoBBit.cmp_strict(&sys, a, b), expected);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_gd_drops_exactly_the_group_deadline_distinction() {
+        use crate::priority::PriorityOrder;
+        // wt 7/8 vs 3/4 at equal deadline, both b = 1: PD² separates by
+        // D; the ablation ties.
+        let sys = release::periodic(&[(7, 8), (3, 4)], 4);
+        let a = sys.iter_refs().next().unwrap().0;
+        let b = sys
+            .iter_refs()
+            .find(|(_, s)| s.id.task.0 == 1 && s.id.index == 1)
+            .unwrap()
+            .0;
+        assert!(crate::pd2::Pd2.precedes(&sys, a, b));
+        assert_eq!(
+            Pd2NoGroupDeadline.cmp_strict(&sys, a, b),
+            core::cmp::Ordering::Equal
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! EPDF: earliest-pseudo-deadline-first (no tie-breaks).
+//!
+//! The suboptimal algorithm of Anderson & Srinivasan the paper lists
+//! alongside the optimal trio: subtasks are prioritized by pseudo-deadline
+//! only, ties "broken arbitrarily" (here: deterministically by id via
+//! [`crate::PriorityOrder::cmp`]). EPDF can miss deadlines on more than two
+//! processors, but is cheaper than the tie-breaking algorithms and is the
+//! natural baseline for the paper's claim that tardiness bounds of
+//! suboptimal Pfair algorithms degrade by at most one quantum under DVQ.
+
+use core::cmp::Ordering;
+
+use pfair_taskmodel::{SubtaskRef, TaskSystem};
+
+use crate::priority::PriorityOrder;
+
+/// The EPDF priority order.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Epdf;
+
+impl PriorityOrder for Epdf {
+    fn name(&self) -> &'static str {
+        "EPDF"
+    }
+
+    fn cmp_strict(&self, sys: &TaskSystem, a: SubtaskRef, b: SubtaskRef) -> Ordering {
+        sys.subtask(a).deadline.cmp(&sys.subtask(b).deadline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfair_taskmodel::release;
+
+    #[test]
+    fn orders_by_deadline_only() {
+        let sys = release::periodic(&[(3, 4), (1, 2)], 4);
+        // T0_1 d=2, T0_2 d=3, T0_3 d=4; T1_1 d=2, T1_2 d=4.
+        let refs: Vec<_> = sys.iter_refs().map(|(r, _)| r).collect();
+        let (t0_1, t0_2, t1_1) = (refs[0], refs[1], refs[3]);
+        assert!(Epdf.precedes(&sys, t0_1, t0_2));
+        // Equal deadlines are Equal under cmp_strict...
+        assert_eq!(
+            Epdf.cmp_strict(&sys, t0_1, t1_1),
+            core::cmp::Ordering::Equal
+        );
+        // ...but totally ordered under cmp.
+        assert_eq!(Epdf.cmp(&sys, t0_1, t1_1), core::cmp::Ordering::Less);
+    }
+}

@@ -1,0 +1,88 @@
+//! PD: the constant-time optimal algorithm of Baruah, Gehrke & Plaxton
+//! (IPPS 1995).
+//!
+//! The paper uses PD only as context, noting that the three optimal
+//! algorithms "differ only in their tie-breaking rules" and that **PD²'s
+//! tie-breaking rules form a subset of those of the other two**. That
+//! subset property is the only fact the analysis relies on, so — as
+//! recorded in DESIGN.md §3.3 — we implement PD as a *refinement* of PD²:
+//! PD²'s three rules (deadline, b-bit, group deadline), then two further
+//! deterministic refinements in the spirit of PD's original four-parameter
+//! comparison (whether the subtask is heavy, then the task weight, heavier
+//! first). Any such refinement schedules identically to PD² wherever PD²
+//! decides strictly, and remains optimal because extra tie-breaking below
+//! PD²'s rules cannot invalidate PD²'s optimality proof (which permits
+//! arbitrary resolution of residual ties).
+
+use core::cmp::Ordering;
+
+use pfair_taskmodel::{SubtaskRef, TaskSystem};
+
+use crate::pd2::Pd2;
+use crate::priority::PriorityOrder;
+
+/// The PD priority order (a deterministic refinement of PD²).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Pd;
+
+impl PriorityOrder for Pd {
+    fn name(&self) -> &'static str {
+        "PD"
+    }
+
+    fn cmp_strict(&self, sys: &TaskSystem, a: SubtaskRef, b: SubtaskRef) -> Ordering {
+        Pd2.cmp_strict(sys, a, b).then_with(|| {
+            let (wx, wy) = (
+                sys.task(sys.subtask(a).id.task).weight,
+                sys.task(sys.subtask(b).id.task).weight,
+            );
+            // Heavy before light, then heavier weight first.
+            wy.is_heavy()
+                .cmp(&wx.is_heavy())
+                .then_with(|| wy.cmp(&wx))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfair_taskmodel::{release, SubtaskId, TaskId};
+
+    fn find(sys: &TaskSystem, task: u32, index: u64) -> SubtaskRef {
+        sys.find(SubtaskId {
+            task: TaskId(task),
+            index,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn refines_pd2() {
+        let sys = release::periodic(&[(7, 8), (3, 4), (1, 2), (1, 6), (2, 3)], 24);
+        for (a, _) in sys.iter_refs() {
+            for (b, _) in sys.iter_refs() {
+                let pd2 = Pd2.cmp_strict(&sys, a, b);
+                if pd2 != Ordering::Equal {
+                    assert_eq!(Pd.cmp_strict(&sys, a, b), pd2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extra_tiebreak_orders_by_weight() {
+        // Equal d, equal b = 0, light tasks: PD2 ties; PD prefers heavier.
+        let sys = release::periodic(&[(1, 6), (2, 12), (1, 3)], 6);
+        let a = find(&sys, 0, 1); // wt 1/6, d = 6
+        let c = find(&sys, 2, 1); // wt 1/3, d = 3
+        assert!(Pd.precedes(&sys, c, a)); // deadline already decides
+        let b = find(&sys, 1, 1); // wt 2/12 = 1/6 — identical to task 0
+        assert_eq!(Pd.cmp_strict(&sys, a, b), Ordering::Equal);
+        // wt 5/12 vs 1/6 at a shared deadline:
+        let sys2 = release::periodic(&[(1, 6), (5, 12)], 4);
+        let light = find(&sys2, 0, 1); // d = 6
+        let midw = find(&sys2, 1, 2); // d = ⌈2·12/5⌉ = 5
+        assert!(Pd.precedes(&sys2, midw, light));
+    }
+}

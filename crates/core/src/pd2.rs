@@ -1,0 +1,129 @@
+//! PD²: the most efficient optimal Pfair algorithm (Anderson & Srinivasan).
+//!
+//! Priority of subtask `T_i` over `U_j` is decided by, in order:
+//!
+//! 1. **Deadline**: smaller `d` wins.
+//! 2. **b-bit**: on a deadline tie, `b = 1` wins over `b = 0`. Intuition: a
+//!    subtask whose window overlaps its successor's window passes
+//!    displacement pressure forward, so deferring it is costlier.
+//! 3. **Group deadline**: if both b-bits are 1, the *larger* `D` wins.
+//!    Intuition: a longer cascade of unit-slack windows behind the subtask
+//!    means postponing it forces more future allocations.
+//!
+//! Remaining ties may be broken arbitrarily without losing optimality; the
+//! total order adds a deterministic id tie-break (see [`crate::priority`]).
+//!
+//! The paper's analysis of the DVQ model is carried out for PD²; PD^B
+//! ([`crate::pdb`]) reuses this order via [`crate::PriorityOrder`].
+
+use core::cmp::Ordering;
+
+use pfair_taskmodel::{SubtaskRef, TaskSystem};
+
+use crate::priority::PriorityOrder;
+
+/// The PD² priority order.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Pd2;
+
+impl PriorityOrder for Pd2 {
+    fn name(&self) -> &'static str {
+        "PD2"
+    }
+
+    fn cmp_strict(&self, sys: &TaskSystem, a: SubtaskRef, b: SubtaskRef) -> Ordering {
+        let (x, y) = (sys.subtask(a), sys.subtask(b));
+        x.deadline
+            .cmp(&y.deadline)
+            // b = 1 first: reverse the bool order (false < true).
+            .then_with(|| y.bbit.cmp(&x.bbit))
+            // The group-deadline rule applies only when both b-bits are 1.
+            .then_with(|| {
+                if x.bbit && y.bbit {
+                    // Larger group deadline first.
+                    y.group_deadline.cmp(&x.group_deadline)
+                } else {
+                    Ordering::Equal
+                }
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfair_taskmodel::{release, SubtaskId, TaskId};
+
+    fn find(sys: &TaskSystem, task: u32, index: u64) -> SubtaskRef {
+        sys.find(SubtaskId {
+            task: TaskId(task),
+            index,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn deadline_dominates() {
+        let sys = release::periodic(&[(1, 2), (1, 6)], 6);
+        let d1 = find(&sys, 0, 1); // d = 2
+        let light = find(&sys, 1, 1); // d = 6
+        assert!(Pd2.precedes(&sys, d1, light));
+        assert!(!Pd2.precedes(&sys, light, d1));
+    }
+
+    #[test]
+    fn bbit_breaks_deadline_ties() {
+        // wt 3/4: T_1 has d = 2, b = 1. wt 1/2: T_1 has d = 2, b = 0.
+        let sys = release::periodic(&[(3, 4), (1, 2)], 4);
+        let heavy_b1 = find(&sys, 0, 1);
+        let half_b0 = find(&sys, 1, 1);
+        assert_eq!(sys.subtask(heavy_b1).deadline, sys.subtask(half_b0).deadline);
+        assert!(Pd2.precedes(&sys, heavy_b1, half_b0));
+    }
+
+    #[test]
+    fn group_deadline_breaks_bbit_ties() {
+        // wt 7/8: T_1 d = 2, b = 1, D = 8 (long cascade).
+        // wt 3/4: T_1 d = 2, b = 1, D = 4 (short cascade).
+        let sys = release::periodic(&[(7, 8), (3, 4)], 4);
+        let long = find(&sys, 0, 1);
+        let short = find(&sys, 1, 1);
+        let (l, s) = (sys.subtask(long), sys.subtask(short));
+        assert_eq!((l.deadline, l.bbit), (2, true));
+        assert_eq!((s.deadline, s.bbit), (2, true));
+        assert_eq!(l.group_deadline, 8);
+        assert_eq!(s.group_deadline, 4);
+        assert!(Pd2.precedes(&sys, long, short));
+    }
+
+    #[test]
+    fn equal_parameters_tie_strictly() {
+        // Two identical 3/4 tasks: first subtasks are Equal under
+        // cmp_strict (the paper's "arbitrary" tie).
+        let sys = release::periodic(&[(3, 4), (3, 4)], 4);
+        let a = find(&sys, 0, 1);
+        let b = find(&sys, 1, 1);
+        assert_eq!(Pd2.cmp_strict(&sys, a, b), Ordering::Equal);
+        assert!(Pd2.precedes_eq(&sys, a, b));
+        assert!(Pd2.precedes_eq(&sys, b, a));
+        assert_ne!(Pd2.cmp(&sys, a, b), Ordering::Equal);
+    }
+
+    #[test]
+    fn bbit_one_beats_bbit_zero_at_equal_deadline() {
+        let sys = release::periodic(&[(2, 3), (2, 4)], 4);
+        let a = find(&sys, 0, 1); // wt 2/3: d = 2, b = 1
+        let b = find(&sys, 1, 1); // wt 1/2: d = 2, b = 0
+        assert_eq!(sys.subtask(a).deadline, sys.subtask(b).deadline);
+        assert!(Pd2.precedes(&sys, a, b));
+        assert!(!Pd2.precedes(&sys, b, a));
+    }
+
+    #[test]
+    fn weight_one_task_always_wins_its_slot() {
+        let sys = release::periodic(&[(1, 1), (1, 2)], 4);
+        let full_1 = find(&sys, 0, 1); // d = 1
+        let half_1 = find(&sys, 1, 1); // d = 2
+        assert!(Pd2.precedes(&sys, full_1, half_1));
+    }
+}

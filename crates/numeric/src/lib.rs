@@ -1,0 +1,37 @@
+//! Exact numeric foundations for Pfair scheduling simulation.
+//!
+//! Under the **DVQ model** (desynchronized, variable-sized quanta) of
+//! Devi & Anderson (IPPS 2005), scheduling decisions occur at *non-integral*
+//! times: a subtask that yields `δ` before the end of its quantum frees its
+//! processor at a time like `2 − δ`, and the chain of subsequent decisions
+//! produces arbitrary rational event times. Reproducing the paper's
+//! boundary-sensitive scenarios (e.g. a processor freeing "just before" an
+//! eligibility boundary) with floating point would be fragile: the whole
+//! analysis turns on exact comparisons such as `t < 2` vs `t = 2`.
+//!
+//! This crate therefore provides:
+//!
+//! * [`Rat`] — an exact, always-reduced rational number backed by `i64`
+//!   numerator/denominator with `i128` intermediates (panics on overflow,
+//!   which for quantum-scale simulations never triggers);
+//! * [`Time`] — a transparent alias of [`Rat`] used for points on the real
+//!   time line, with slot helpers ([`slot_of`], [`is_slot_boundary`]);
+//! * integer helpers ([`gcd`], [`lcm`], [`floor_div`], [`ceil_div`]) used by
+//!   the Pfair window formulas `r(T_i) = ⌊(i−1)p/e⌋`, `d(T_i) = ⌈ip/e⌉`.
+//!
+//! The quantum size is normalized to `1` throughout the workspace, matching
+//! the paper's convention ("we henceforth assume that the quantum size is
+//! one time unit").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod int;
+pub mod quantum;
+pub mod rational;
+pub mod time;
+
+pub use int::{ceil_div, floor_div, gcd, lcm};
+pub use quantum::QuantumScale;
+pub use rational::Rat;
+pub use time::{is_slot_boundary, slot_of, Time};

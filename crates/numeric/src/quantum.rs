@@ -1,0 +1,112 @@
+//! Conversion between wall-clock units and quantum units.
+//!
+//! The whole workspace works in quanta (quantum = 1, per the paper's
+//! normalization). A deployment must pick a concrete quantum length —
+//! LITMUS^RT-style systems use milliseconds-scale ticks — and convert
+//! task WCETs/periods into quantum counts. [`QuantumScale`] does those
+//! conversions exactly (microsecond granularity), rounding the
+//! *execution cost up* and the *period down*, the conservative directions
+//! for admission.
+
+use crate::rational::Rat;
+
+/// A concrete quantum length, in integer microseconds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QuantumScale {
+    /// Quantum length in microseconds.
+    pub quantum_us: u64,
+}
+
+impl QuantumScale {
+    /// A scale with the given quantum length.
+    ///
+    /// # Panics
+    /// Panics if `quantum_us == 0`.
+    #[must_use]
+    pub fn new(quantum_us: u64) -> QuantumScale {
+        assert!(quantum_us > 0, "quantum must be positive");
+        QuantumScale { quantum_us }
+    }
+
+    /// Converts a WCET in microseconds to a whole number of quanta,
+    /// rounding **up** (an execution budget must cover the work).
+    #[must_use]
+    pub fn cost_to_quanta(&self, wcet_us: u64) -> i64 {
+        let q = self.quantum_us;
+        i64::try_from(wcet_us.div_ceil(q)).expect("cost overflows i64 quanta")
+    }
+
+    /// Converts a period in microseconds to a whole number of quanta,
+    /// rounding **down** (a shorter nominal period only tightens
+    /// deadlines).
+    #[must_use]
+    pub fn period_to_quanta(&self, period_us: u64) -> i64 {
+        i64::try_from(period_us / self.quantum_us).expect("period overflows i64 quanta")
+    }
+
+    /// A point in quantum time back to microseconds (exact when the
+    /// rational divides the microsecond grid; floor otherwise).
+    #[must_use]
+    pub fn time_to_us(&self, t: Rat) -> i64 {
+        (t * Rat::int(i64::try_from(self.quantum_us).expect("quantum fits i64"))).floor()
+    }
+
+    /// The weight `(e, p)` in quanta of a task with the given WCET and
+    /// period in microseconds; `None` when the task cannot be expressed
+    /// at this quantum size (cost rounds to more than the period — the §1
+    /// granularity trade-off made visible).
+    #[must_use]
+    pub fn weight_quanta(&self, wcet_us: u64, period_us: u64) -> Option<(i64, i64)> {
+        let e = self.cost_to_quanta(wcet_us);
+        let p = self.period_to_quanta(period_us);
+        (e >= 1 && p >= e).then_some((e, p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_conservatively() {
+        let s = QuantumScale::new(1_000); // 1 ms quantum
+        assert_eq!(s.cost_to_quanta(1), 1); // any work needs one quantum
+        assert_eq!(s.cost_to_quanta(1_000), 1);
+        assert_eq!(s.cost_to_quanta(1_001), 2);
+        assert_eq!(s.period_to_quanta(9_999), 9);
+        assert_eq!(s.period_to_quanta(10_000), 10);
+    }
+
+    #[test]
+    fn weight_extraction() {
+        let s = QuantumScale::new(1_000);
+        // 3.2 ms of work every 10 ms → 4 quanta / 10 quanta.
+        assert_eq!(s.weight_quanta(3_200, 10_000), Some((4, 10)));
+        // Work that saturates its period still fits (weight 1).
+        assert_eq!(s.weight_quanta(9_500, 10_000), Some((10, 10)));
+        // A 0.5 ms-period task cannot be expressed at a 1 ms quantum.
+        assert_eq!(s.weight_quanta(100, 500), None);
+    }
+
+    #[test]
+    fn quantum_size_tradeoff() {
+        // Shrinking the quantum reduces rounding inflation: the paper's §1
+        // granularity discussion, quantified.
+        let coarse = QuantumScale::new(1_000);
+        let fine = QuantumScale::new(100);
+        let (e1, p1) = coarse.weight_quanta(1_100, 10_000).unwrap();
+        let (e2, p2) = fine.weight_quanta(1_100, 10_000).unwrap();
+        let w_coarse = Rat::new(e1, p1);
+        let w_fine = Rat::new(e2, p2);
+        assert!(w_fine < w_coarse); // less utilization wasted to rounding
+        assert_eq!(w_coarse, Rat::new(2, 10));
+        assert_eq!(w_fine, Rat::new(11, 100));
+    }
+
+    #[test]
+    fn time_round_trip() {
+        let s = QuantumScale::new(250);
+        assert_eq!(s.time_to_us(Rat::new(7, 2)), 875);
+        assert_eq!(s.time_to_us(Rat::int(4)), 1_000);
+    }
+}

@@ -1,0 +1,37 @@
+//! An **online** PD² scheduler for the DVQ model.
+//!
+//! The simulators in `pfair-sim` consume a fully pre-generated
+//! [`pfair_taskmodel::TaskSystem`] — the right shape for reproducing the
+//! paper's figures and sweeps. A deployment, however, sees its workload
+//! *online*: sporadic jobs arrive at runtime, the scheduler must decide
+//! "what runs now" in sub-linear time, and nothing about the future is
+//! known. This crate provides that embedding:
+//!
+//! * [`key::Pd2Key`] — PD² priority as a *static, totally ordered key*
+//!   (deadline, b-bit, conditional group deadline, weight, identity),
+//!   proven equivalent to the comparator in `pfair-core` by test, so the
+//!   ready queue can be a binary heap with `O(log n)` dispatch instead of
+//!   an `O(n)` scan;
+//! * [`tick::OnlineSfq`] — the SFQ counterpart as a kernel would host
+//!   it: a `tick()` per slot boundary returns the ≤ M subtasks to run;
+//! * [`scheduler::OnlineDvq`] — the event loop of the DVQ model
+//!   ("a new quantum begins immediately" when a subtask yields), driven by
+//!   sporadic job submissions and a caller-supplied cost source, emitting
+//!   the resulting quantum assignments.
+//!
+//! The headline guarantee carries over unchanged: as long as the submitted
+//! workload is feasible (`Σ wt ≤ M`, job separations ≥ periods), every
+//! subtask completes within one quantum of its Pfair pseudo-deadline
+//! (Theorem 3) — asserted in this crate's tests and cross-checked against
+//! the offline simulator on identical workloads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod key;
+pub mod scheduler;
+pub mod tick;
+
+pub use key::Pd2Key;
+pub use scheduler::{OnlineAssignment, OnlineDvq, OnlineError};
+pub use tick::{OnlineSfq, TickAssignment};

@@ -1,0 +1,481 @@
+//! The online DVQ event loop.
+//!
+//! [`OnlineDvq`] accepts **sporadic job arrivals** at runtime and plays
+//! the DVQ model forward: at every instant a processor frees (a quantum
+//! completes — possibly early) or a subtask becomes eligible, the
+//! highest-PD²-priority ready subtask is dispatched, chosen in
+//! `O(log n)` from a binary heap of [`Pd2Key`]s. Semantics are exactly
+//! those of `pfair_sim::simulate_dvq` — the cross-check tests drive both
+//! on identical workloads and require identical schedules.
+//!
+//! # Usage
+//!
+//! ```
+//! use pfair_numeric::Rat;
+//! use pfair_online::OnlineDvq;
+//! use pfair_taskmodel::Weight;
+//!
+//! let mut sched = OnlineDvq::new(2);
+//! let video = sched.add_task(Weight::new(1, 2));
+//! let audio = sched.add_task(Weight::new(1, 6));
+//! sched.submit_job(video, 0).unwrap();
+//! sched.submit_job(audio, 0).unwrap();
+//! sched.submit_job(video, 2).unwrap(); // sporadic: ≥ previous + period
+//! let log = sched.run_until_idle(&mut |_task, _index| Rat::ONE);
+//! assert_eq!(log.len(), 3); // three quantum-length subtasks dispatched
+//! assert!(log.iter().all(|a| a.start + a.cost <= Rat::int(a.deadline)));
+//! ```
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use pfair_numeric::{Rat, Time};
+use pfair_taskmodel::{SubtaskId, TaskId, Weight};
+use pfair_taskmodel::window;
+
+use crate::key::Pd2Key;
+
+/// A dispatched quantum, as reported by the scheduler.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OnlineAssignment {
+    /// The task.
+    pub task: TaskId,
+    /// The subtask index within the task.
+    pub index: u64,
+    /// Processor the quantum runs on.
+    pub proc: u32,
+    /// Commencement time.
+    pub start: Time,
+    /// Actual cost (from the caller's cost source).
+    pub cost: Rat,
+    /// The subtask's pseudo-deadline (for the caller's tardiness
+    /// accounting).
+    pub deadline: i64,
+}
+
+/// Errors from job submission.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OnlineError {
+    /// Job release precedes the previous job's release plus the period
+    /// (sporadic separation violated).
+    TooEarly {
+        /// Earliest admissible release.
+        earliest: i64,
+        /// Requested release.
+        requested: i64,
+    },
+    /// Job release lies in the scheduler's past.
+    InThePast {
+        /// Current scheduler time.
+        now: Time,
+        /// Requested release.
+        requested: i64,
+    },
+    /// Unknown task id.
+    UnknownTask,
+}
+
+impl core::fmt::Display for OnlineError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            OnlineError::TooEarly { earliest, requested } => write!(
+                f,
+                "sporadic separation violated: job released at {requested}, earliest {earliest}"
+            ),
+            OnlineError::InThePast { now, requested } => {
+                write!(f, "job released at {requested} but scheduler time is {now}")
+            }
+            OnlineError::UnknownTask => f.write_str("unknown task id"),
+        }
+    }
+}
+
+impl std::error::Error for OnlineError {}
+
+/// One not-yet-dispatched subtask of a task's chain.
+#[derive(Clone, Debug)]
+struct SubSpec {
+    index: u64,
+    eligible: i64,
+    deadline: i64,
+    key: Pd2Key,
+}
+
+#[derive(Clone, Debug)]
+struct TaskState {
+    weight: Weight,
+    /// Jobs submitted so far.
+    jobs: u64,
+    /// Release time of the most recent job.
+    last_release: Option<i64>,
+    /// Subtasks awaiting dispatch, in chain order.
+    queue: VecDeque<SubSpec>,
+    /// Completion time of the task's most recently completed subtask.
+    pred_completion: Time,
+    /// `true` while a subtask of this task is ready or running (the chain
+    /// head must not be armed twice).
+    chain_busy: bool,
+    /// `true` while the chain head's activation event is pending.
+    head_armed: bool,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum Ev {
+    /// A processor completed its quantum (task whose subtask finished).
+    ProcFree(u32, TaskId),
+    /// A task's chain head becomes ready.
+    Activate(TaskId),
+}
+
+/// An online, heap-based PD² scheduler for the DVQ model.
+#[derive(Debug)]
+pub struct OnlineDvq {
+    m: u32,
+    now: Time,
+    tasks: Vec<TaskState>,
+    /// Ready subtasks, min-keyed by PD² priority.
+    ready: BinaryHeap<Reverse<(Pd2Key, u32)>>, // (key, task id)
+    /// Pending ready specs per task (the spec the key refers to).
+    ready_spec: Vec<Option<SubSpec>>,
+    events: BinaryHeap<Reverse<(Time, Ev)>>,
+    free: Vec<u32>,
+    log: Vec<OnlineAssignment>,
+}
+
+impl OnlineDvq {
+    /// A scheduler over `m ≥ 1` processors, starting at time 0.
+    ///
+    /// # Panics
+    /// Panics if `m == 0`.
+    #[must_use]
+    pub fn new(m: u32) -> OnlineDvq {
+        assert!(m >= 1, "need at least one processor");
+        OnlineDvq {
+            m,
+            now: Rat::ZERO,
+            tasks: Vec::new(),
+            ready: BinaryHeap::new(),
+            ready_spec: Vec::new(),
+            events: BinaryHeap::new(),
+            free: (0..m).collect(),
+            log: Vec::new(),
+        }
+    }
+
+    /// Registers a task; returns its id. Tasks may be added at any time.
+    pub fn add_task(&mut self, weight: Weight) -> TaskId {
+        let id = TaskId(self.tasks.len() as u32);
+        self.tasks.push(TaskState {
+            weight,
+            jobs: 0,
+            last_release: None,
+            queue: VecDeque::new(),
+            pred_completion: Rat::ZERO,
+            chain_busy: false,
+            head_armed: false,
+        });
+        self.ready_spec.push(None);
+        id
+    }
+
+    /// Current scheduler time.
+    #[must_use]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Processor count.
+    #[must_use]
+    pub fn num_processors(&self) -> u32 {
+        self.m
+    }
+
+    /// Submits the next job of `task`, released at integral time `at`.
+    ///
+    /// Sporadic semantics: `at` must be at least the previous job's
+    /// release plus the task's period, and must not lie in the past.
+    ///
+    /// # Errors
+    /// [`OnlineError`] on separation/past/unknown-task violations.
+    pub fn submit_job(&mut self, task: TaskId, at: i64) -> Result<(), OnlineError> {
+        let state = self
+            .tasks
+            .get_mut(task.idx())
+            .ok_or(OnlineError::UnknownTask)?;
+        if let Some(prev) = state.last_release {
+            let earliest = prev + state.weight.p();
+            if at < earliest {
+                return Err(OnlineError::TooEarly {
+                    earliest,
+                    requested: at,
+                });
+            }
+        }
+        if Rat::int(at) < self.now {
+            return Err(OnlineError::InThePast {
+                now: self.now,
+                requested: at,
+            });
+        }
+        let w = state.weight;
+        let j = state.jobs; // 0-based job counter
+        let theta = at - i64::try_from(j).expect("job count") * w.p();
+        let first = j * w.e() as u64 + 1;
+        for index in first..first + w.e() as u64 {
+            let r = theta + window::release(w, index);
+            let spec = SubSpec {
+                index,
+                eligible: r,
+                deadline: theta + window::deadline(w, index),
+                key: Pd2Key::of(w, SubtaskId { task, index }, index, theta),
+            };
+            state.queue.push_back(spec);
+        }
+        state.jobs += 1;
+        state.last_release = Some(at);
+        self.arm_head(task);
+        Ok(())
+    }
+
+    /// Arms the chain head's activation event if the task has pending work
+    /// and nothing of it is ready/running.
+    fn arm_head(&mut self, task: TaskId) {
+        let state = &mut self.tasks[task.idx()];
+        if state.chain_busy || state.head_armed {
+            return;
+        }
+        let Some(head) = state.queue.front() else {
+            return;
+        };
+        let act = Rat::int(head.eligible).max(state.pred_completion);
+        state.head_armed = true;
+        self.events.push(Reverse((act, Ev::Activate(task))));
+    }
+
+    /// Processes events up to (and including) `horizon`, dispatching with
+    /// costs from `cost` (each must lie in `(0, 1]`). Returns the
+    /// assignments made during this call, in dispatch order.
+    pub fn run_until(
+        &mut self,
+        horizon: Time,
+        cost: &mut dyn FnMut(TaskId, u64) -> Rat,
+    ) -> Vec<OnlineAssignment> {
+        let log_start = self.log.len();
+        while let Some(&Reverse((t, _))) = self.events.peek() {
+            if t > horizon {
+                break;
+            }
+            self.now = t;
+            // Drain the batch at time t.
+            while let Some(&Reverse((t2, ev))) = self.events.peek() {
+                if t2 != t {
+                    break;
+                }
+                self.events.pop();
+                match ev {
+                    Ev::ProcFree(proc, task) => {
+                        self.free.push(proc);
+                        let state = &mut self.tasks[task.idx()];
+                        state.chain_busy = false;
+                        self.arm_head(task);
+                    }
+                    Ev::Activate(task) => {
+                        let state = &mut self.tasks[task.idx()];
+                        state.head_armed = false;
+                        if state.chain_busy {
+                            continue; // stale arm (job submitted while running)
+                        }
+                        if let Some(spec) = state.queue.pop_front() {
+                            state.chain_busy = true;
+                            self.ready.push(Reverse((spec.key, task.0)));
+                            self.ready_spec[task.idx()] = Some(spec);
+                        }
+                    }
+                }
+            }
+            self.free.sort_unstable();
+            // Assign free processors to ready subtasks in priority order.
+            while !self.free.is_empty() && !self.ready.is_empty() {
+                let Reverse((_, task_raw)) = self.ready.pop().expect("nonempty");
+                let task = TaskId(task_raw);
+                let spec = self.ready_spec[task.idx()]
+                    .take()
+                    .expect("ready entry has a spec");
+                let proc = self.free.remove(0);
+                let c = cost(task, spec.index);
+                assert!(
+                    c.is_positive() && c <= Rat::ONE,
+                    "cost source produced {c} for T{}_{}; must be in (0, 1]",
+                    task.0,
+                    spec.index
+                );
+                let completion = self.now + c;
+                self.log.push(OnlineAssignment {
+                    task,
+                    index: spec.index,
+                    proc,
+                    start: self.now,
+                    cost: c,
+                    deadline: spec.deadline,
+                });
+                self.tasks[task.idx()].pred_completion = completion;
+                self.events.push(Reverse((completion, Ev::ProcFree(proc, task))));
+            }
+        }
+        if self.now < horizon {
+            self.now = horizon;
+        }
+        self.log[log_start..].to_vec()
+    }
+
+    /// Runs until every submitted job has completed; returns the
+    /// assignments made during this call.
+    pub fn run_until_idle(&mut self, cost: &mut dyn FnMut(TaskId, u64) -> Rat) -> Vec<OnlineAssignment> {
+        // Events only exist while work is pending, so an unbounded horizon
+        // terminates exactly when the system drains.
+        let far = Rat::int(i64::MAX / 2);
+        self.run_until(far, cost)
+    }
+
+    /// Every assignment made since construction.
+    #[must_use]
+    pub fn full_log(&self) -> &[OnlineAssignment] {
+        &self.log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_cost() -> impl FnMut(TaskId, u64) -> Rat {
+        |_, _| Rat::ONE
+    }
+
+    #[test]
+    fn dispatches_in_pd2_order() {
+        let mut s = OnlineDvq::new(1);
+        let light = s.add_task(Weight::new(1, 6));
+        let heavy = s.add_task(Weight::new(1, 2));
+        s.submit_job(light, 0).unwrap();
+        s.submit_job(heavy, 0).unwrap();
+        let log = s.run_until_idle(&mut unit_cost());
+        // Heavy (d = 2) dispatches before light (d = 6).
+        assert_eq!(log[0].task, heavy);
+        assert_eq!(log[1].task, light);
+    }
+
+    #[test]
+    fn sporadic_separation_enforced() {
+        let mut s = OnlineDvq::new(1);
+        let t = s.add_task(Weight::new(1, 2));
+        s.submit_job(t, 0).unwrap();
+        assert!(matches!(
+            s.submit_job(t, 1),
+            Err(OnlineError::TooEarly { earliest: 2, .. })
+        ));
+        s.submit_job(t, 5).unwrap(); // late is fine (sporadic)
+    }
+
+    #[test]
+    fn rejects_past_submissions_and_unknown_tasks() {
+        let mut s = OnlineDvq::new(1);
+        let t = s.add_task(Weight::new(1, 2));
+        s.submit_job(t, 0).unwrap();
+        let _ = s.run_until(Rat::int(4), &mut unit_cost());
+        assert!(matches!(
+            s.submit_job(t, 3),
+            Err(OnlineError::InThePast { .. })
+        ));
+        assert!(matches!(
+            s.submit_job(TaskId(9), 10),
+            Err(OnlineError::UnknownTask)
+        ));
+    }
+
+    #[test]
+    fn early_yield_starts_next_quantum_immediately() {
+        let mut s = OnlineDvq::new(1);
+        let a = s.add_task(Weight::new(1, 2));
+        let b = s.add_task(Weight::new(1, 6));
+        s.submit_job(a, 0).unwrap();
+        s.submit_job(b, 0).unwrap();
+        let half = Rat::new(1, 2);
+        let log = s.run_until_idle(&mut |_, _| half);
+        assert_eq!(log[0].start, Rat::ZERO);
+        // Work conservation: B starts the moment A's quantum completes.
+        assert_eq!(log[1].start, half);
+    }
+
+    #[test]
+    fn incremental_run_until() {
+        let mut s = OnlineDvq::new(1);
+        let t = s.add_task(Weight::new(1, 2));
+        s.submit_job(t, 0).unwrap();
+        let first = s.run_until(Rat::int(1), &mut unit_cost());
+        assert_eq!(first.len(), 1);
+        // Submit the next job mid-flight and continue.
+        s.submit_job(t, 2).unwrap();
+        let second = s.run_until_idle(&mut unit_cost());
+        assert_eq!(second.len(), 1);
+        assert_eq!(second[0].start, Rat::int(2));
+        assert_eq!(s.full_log().len(), 2);
+    }
+
+    #[test]
+    fn run_until_does_not_cross_the_horizon() {
+        let mut s = OnlineDvq::new(1);
+        let t = s.add_task(Weight::new(1, 2));
+        s.submit_job(t, 0).unwrap();
+        s.submit_job(t, 2).unwrap();
+        s.submit_job(t, 4).unwrap();
+        // Horizon 3: only the jobs released at 0 and 2 dispatch.
+        let log = s.run_until(Rat::int(3), &mut unit_cost());
+        assert_eq!(log.len(), 2);
+        assert!(log.iter().all(|a| a.start <= Rat::int(3)));
+        assert_eq!(s.now(), Rat::int(3));
+        // The rest dispatches later.
+        let rest = s.run_until_idle(&mut unit_cost());
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].start, Rat::int(4));
+    }
+
+    #[test]
+    fn cost_source_validated() {
+        let mut s = OnlineDvq::new(1);
+        let t = s.add_task(Weight::new(1, 2));
+        s.submit_job(t, 0).unwrap();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            s.run_until_idle(&mut |_, _| Rat::int(2))
+        }));
+        assert!(result.is_err(), "cost 2 must be rejected");
+    }
+
+    #[test]
+    fn num_processors_accessor() {
+        assert_eq!(OnlineDvq::new(5).num_processors(), 5);
+    }
+
+    #[test]
+    fn deadlines_met_on_feasible_periodic_load() {
+        // Full utilization on 2 processors, strictly periodic arrivals.
+        let mut s = OnlineDvq::new(2);
+        let tasks: Vec<(TaskId, Weight)> = [(1i64, 2i64), (1, 2), (1, 2), (1, 2)]
+            .iter()
+            .map(|&(e, p)| {
+                let w = Weight::new(e, p);
+                (s.add_task(w), w)
+            })
+            .collect();
+        for j in 0..8 {
+            for &(t, w) in &tasks {
+                s.submit_job(t, j * w.p()).unwrap();
+            }
+        }
+        let log = s.run_until_idle(&mut unit_cost());
+        assert_eq!(log.len(), 4 * 8);
+        for a in &log {
+            assert!(a.start + a.cost <= Rat::int(a.deadline), "{a:?}");
+        }
+    }
+}

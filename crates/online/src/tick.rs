@@ -1,0 +1,295 @@
+//! A tick-driven online scheduler — the SFQ model as an OS kernel would
+//! host it.
+//!
+//! Where [`crate::OnlineDvq`] is event-driven (the DVQ model),
+//! [`OnlineSfq`] matches the classical integration: a periodic timer
+//! interrupt fires at every slot boundary, the kernel calls
+//! [`OnlineSfq::tick`], and the scheduler answers with the ≤ M subtasks to
+//! run for the next quantum. Early completions within the slot are simply
+//! not reported — the SFQ model holds each processor to the boundary, so
+//! the scheduler needs no mid-slot upcalls at all (that simplicity is
+//! exactly what the paper's §1 trades against the wasted yield tails).
+//!
+//! Dispatch order within a tick is PD² via the same [`Pd2Key`] heap as the
+//! DVQ scheduler; equivalence with the offline SFQ simulator is asserted
+//! in this module's tests.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use pfair_taskmodel::window;
+use pfair_taskmodel::{SubtaskId, TaskId, Weight};
+
+use crate::key::Pd2Key;
+use crate::scheduler::OnlineError;
+
+/// A subtask handed out by [`OnlineSfq::tick`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TickAssignment {
+    /// The task.
+    pub task: TaskId,
+    /// The subtask index.
+    pub index: u64,
+    /// Processor (decision order, `0..M`).
+    pub proc: u32,
+    /// The subtask's pseudo-deadline.
+    pub deadline: i64,
+}
+
+#[derive(Clone, Debug)]
+struct SubSpec {
+    index: u64,
+    eligible: i64,
+    deadline: i64,
+    key: Pd2Key,
+}
+
+#[derive(Clone, Debug)]
+struct TaskState {
+    weight: Weight,
+    jobs: u64,
+    last_release: Option<i64>,
+    queue: VecDeque<SubSpec>,
+    /// Slot in which the task's most recent subtask ran (`None` if idle);
+    /// the successor is ready from the *next* slot on.
+    running_slot: Option<i64>,
+}
+
+/// Tick-driven online SFQ scheduler (PD² priorities).
+#[derive(Debug)]
+pub struct OnlineSfq {
+    m: u32,
+    /// The next slot boundary [`Self::tick`] expects.
+    next_slot: i64,
+    tasks: Vec<TaskState>,
+}
+
+impl OnlineSfq {
+    /// A scheduler over `m ≥ 1` processors; the first tick is slot 0.
+    ///
+    /// # Panics
+    /// Panics if `m == 0`.
+    #[must_use]
+    pub fn new(m: u32) -> OnlineSfq {
+        assert!(m >= 1, "need at least one processor");
+        OnlineSfq {
+            m,
+            next_slot: 0,
+            tasks: Vec::new(),
+        }
+    }
+
+    /// Registers a task.
+    pub fn add_task(&mut self, weight: Weight) -> TaskId {
+        let id = TaskId(self.tasks.len() as u32);
+        self.tasks.push(TaskState {
+            weight,
+            jobs: 0,
+            last_release: None,
+            queue: VecDeque::new(),
+            running_slot: None,
+        });
+        id
+    }
+
+    /// The next slot boundary `tick` will serve.
+    #[must_use]
+    pub fn next_slot(&self) -> i64 {
+        self.next_slot
+    }
+
+    /// Submits the next job of `task`, released at slot `at` (sporadic
+    /// separation enforced; must not precede the next tick).
+    ///
+    /// # Errors
+    /// [`OnlineError`] on separation/past/unknown-task violations.
+    pub fn submit_job(&mut self, task: TaskId, at: i64) -> Result<(), OnlineError> {
+        let state = self
+            .tasks
+            .get_mut(task.idx())
+            .ok_or(OnlineError::UnknownTask)?;
+        if let Some(prev) = state.last_release {
+            let earliest = prev + state.weight.p();
+            if at < earliest {
+                return Err(OnlineError::TooEarly {
+                    earliest,
+                    requested: at,
+                });
+            }
+        }
+        if at < self.next_slot {
+            return Err(OnlineError::InThePast {
+                now: pfair_numeric::Rat::int(self.next_slot),
+                requested: at,
+            });
+        }
+        let w = state.weight;
+        let theta = at - i64::try_from(state.jobs).expect("job count") * w.p();
+        let first = state.jobs * w.e() as u64 + 1;
+        for index in first..first + w.e() as u64 {
+            state.queue.push_back(SubSpec {
+                index,
+                eligible: theta + window::release(w, index),
+                deadline: theta + window::deadline(w, index),
+                key: Pd2Key::of(w, SubtaskId { task, index }, index, theta),
+            });
+        }
+        state.jobs += 1;
+        state.last_release = Some(at);
+        Ok(())
+    }
+
+    /// The timer interrupt: decides slot `self.next_slot()` and returns
+    /// the ≤ M subtasks to run, in decision (processor) order.
+    pub fn tick(&mut self) -> Vec<TickAssignment> {
+        let t = self.next_slot;
+        self.next_slot += 1;
+        // Gather the (≤ 1 per task) ready heads.
+        let mut heap: BinaryHeap<Reverse<(Pd2Key, u32)>> = BinaryHeap::new();
+        for (k, state) in self.tasks.iter().enumerate() {
+            let Some(head) = state.queue.front() else {
+                continue;
+            };
+            let pred_done = state.running_slot.is_none_or(|s| s < t);
+            if head.eligible <= t && pred_done {
+                heap.push(Reverse((head.key, k as u32)));
+            }
+        }
+        let mut out = Vec::new();
+        for proc in 0..self.m {
+            let Some(Reverse((_, task_raw))) = heap.pop() else {
+                break;
+            };
+            let state = &mut self.tasks[task_raw as usize];
+            let spec = state.queue.pop_front().expect("head present");
+            state.running_slot = Some(t);
+            out.push(TickAssignment {
+                task: TaskId(task_raw),
+                index: spec.index,
+                proc,
+                deadline: spec.deadline,
+            });
+        }
+        out
+    }
+
+    /// `true` iff no submitted work remains.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.tasks.iter().all(|t| t.queue.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfair_core::Pd2;
+    use pfair_numeric::Rat;
+    use pfair_sim::{simulate_sfq, FullQuantum};
+    use pfair_taskmodel::TaskSystemBuilder;
+
+    /// Drive both the tick scheduler and the offline SFQ simulator on the
+    /// same periodic workload; their decisions must match slot for slot.
+    #[test]
+    fn tick_matches_offline_sfq() {
+        let weights = [
+            Weight::new(1, 6),
+            Weight::new(1, 6),
+            Weight::new(1, 6),
+            Weight::new(1, 2),
+            Weight::new(1, 2),
+            Weight::new(1, 2),
+        ];
+        let jobs = 2u64;
+
+        let mut s = OnlineSfq::new(2);
+        let ids: Vec<TaskId> = weights.iter().map(|&w| s.add_task(w)).collect();
+        for (&t, &w) in ids.iter().zip(&weights) {
+            for j in 0..jobs {
+                s.submit_job(t, j as i64 * w.p()).unwrap();
+            }
+        }
+
+        let mut b = TaskSystemBuilder::new();
+        for &w in &weights {
+            let t = b.add_task(w);
+            for i in 1..=jobs * w.e() as u64 {
+                b.push(t, i, 0, None).unwrap();
+            }
+        }
+        let sys = b.build();
+        let offline = simulate_sfq(&sys, 2, &Pd2, &mut FullQuantum);
+
+        let mut ticked = 0usize;
+        while !s.is_idle() {
+            let slot = s.next_slot();
+            for a in s.tick() {
+                let st = sys
+                    .find(SubtaskId {
+                        task: a.task,
+                        index: a.index,
+                    })
+                    .unwrap();
+                assert_eq!(offline.start(st), Rat::int(slot), "T{}_{}", a.task.0, a.index);
+                assert_eq!(offline.placement(st).proc, a.proc);
+                ticked += 1;
+            }
+        }
+        assert_eq!(ticked, sys.num_subtasks());
+    }
+
+    #[test]
+    fn deadlines_met_at_full_utilization() {
+        let mut s = OnlineSfq::new(2);
+        let ids: Vec<(TaskId, Weight)> = [(1i64, 2i64); 4]
+            .iter()
+            .map(|&(e, p)| {
+                let w = Weight::new(e, p);
+                (s.add_task(w), w)
+            })
+            .collect();
+        for j in 0..10i64 {
+            for &(t, w) in &ids {
+                s.submit_job(t, j * w.p()).unwrap();
+            }
+        }
+        while !s.is_idle() {
+            let slot = s.next_slot();
+            for a in s.tick() {
+                // Running in slot t completes at t + 1 ≤ deadline.
+                assert!(slot < a.deadline, "{a:?} late at slot {slot}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_ticks_are_fine() {
+        let mut s = OnlineSfq::new(2);
+        let t = s.add_task(Weight::new(1, 2));
+        s.submit_job(t, 3).unwrap();
+        assert!(s.tick().is_empty()); // slot 0
+        assert!(s.tick().is_empty()); // slot 1
+        assert!(s.tick().is_empty()); // slot 2
+        let a = s.tick(); // slot 3
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].index, 1);
+    }
+
+    #[test]
+    fn submission_rules_enforced() {
+        let mut s = OnlineSfq::new(1);
+        let t = s.add_task(Weight::new(1, 2));
+        s.submit_job(t, 0).unwrap();
+        assert!(matches!(
+            s.submit_job(t, 1),
+            Err(OnlineError::TooEarly { .. })
+        ));
+        let _ = s.tick();
+        let _ = s.tick();
+        let _ = s.tick(); // next slot is now 3
+        assert!(matches!(
+            s.submit_job(t, 2), // separation OK (≥ 0 + 2), but in the past
+            Err(OnlineError::InThePast { .. })
+        ));
+    }
+}

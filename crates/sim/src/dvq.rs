@@ -1,0 +1,262 @@
+//! The DVQ model: desynchronized, variable-sized quanta (§3).
+//!
+//! The DVQ model is the work-conserving relaxation of SFQ: "if a task
+//! yields before executing for a full quantum, then a new quantum begins on
+//! the associated processor immediately". Scheduling decisions therefore
+//! happen at arbitrary rational times, independently per processor, and the
+//! paper's two priority inversions arise naturally:
+//!
+//! * a processor freeing at `t − δ` is handed to a lower-priority subtask
+//!   because the higher-priority one only becomes eligible at `t`
+//!   (*eligibility blocking*);
+//! * a subtask whose predecessor runs up to `t` watches an early-freed
+//!   processor go to lower-priority work, and at `t` loses its
+//!   predecessor's processor to a newly-eligible subtask
+//!   (*predecessor blocking*).
+//!
+//! # Mechanics
+//!
+//! Event-driven simulation over exact rational times:
+//!
+//! * `Activate(st)` events fire when a subtask becomes *ready* — at
+//!   `max(e(T_i), completion of predecessor)`;
+//! * `ProcFree(k)` events fire when a quantum completes.
+//!
+//! All events at the same instant are drained before any assignment; then
+//! free processors (ascending index) are matched with ready subtasks in
+//! priority order. A subtask scheduled at time `τ` with actual cost `c`
+//! completes at `τ + c` and its processor is immediately reusable — no
+//! holds, no waste.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use pfair_core::priority::PriorityOrder;
+use pfair_numeric::Time;
+use pfair_taskmodel::{SubtaskRef, TaskSystem};
+
+use crate::cost::{checked_cost, CostModel};
+use crate::schedule::{Placement, QuantumModel, Schedule};
+
+/// Event payloads, ordered so simultaneous batches drain deterministically.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum Event {
+    /// A processor completed its quantum.
+    ProcFree(u32),
+    /// A subtask became ready.
+    Activate(SubtaskRef),
+}
+
+/// Simulates `sys` on `m` processors under the DVQ model with priority
+/// order `order` (the paper analyzes PD²-DVQ; any order is accepted so the
+/// EPDF comparison of experiment E4 reuses this driver).
+///
+/// Runs until every released subtask has been scheduled and completed.
+#[must_use]
+pub fn simulate_dvq(
+    sys: &TaskSystem,
+    m: u32,
+    order: &dyn PriorityOrder,
+    cost: &mut dyn CostModel,
+) -> Schedule {
+    assert!(m >= 1, "need at least one processor");
+    let total = sys.num_subtasks();
+    let mut placements = Vec::with_capacity(total);
+
+    // Min-heap of (time, event).
+    let mut events: BinaryHeap<Reverse<(Time, Event)>> = BinaryHeap::new();
+    // Seed: every chain head activates at its eligibility time; every
+    // processor is free at time 0.
+    for task in sys.tasks() {
+        if let Some(head) = sys.task_subtask_refs(task.id).next() {
+            let e = sys.subtask(head).eligible;
+            events.push(Reverse((Time::int(e), Event::Activate(head))));
+        }
+    }
+    for k in 0..m {
+        events.push(Reverse((Time::ZERO, Event::ProcFree(k))));
+    }
+
+    let mut free: Vec<u32> = Vec::with_capacity(m as usize);
+    let mut ready: Vec<SubtaskRef> = Vec::with_capacity(sys.num_tasks());
+    let mut placed = 0usize;
+
+    while placed < total {
+        let Some(&Reverse((now, _))) = events.peek() else {
+            unreachable!("event queue drained with {placed}/{total} subtasks placed");
+        };
+        // Drain the batch at `now`.
+        while let Some(&Reverse((t, ev))) = events.peek() {
+            if t != now {
+                break;
+            }
+            events.pop();
+            match ev {
+                Event::ProcFree(k) => free.push(k),
+                Event::Activate(st) => ready.push(st),
+            }
+        }
+        free.sort_unstable();
+
+        // Assign free processors to ready subtasks in priority order.
+        while !free.is_empty() && !ready.is_empty() {
+            let (best_pos, _) = ready
+                .iter()
+                .enumerate()
+                .min_by(|(_, &a), (_, &b)| order.cmp(sys, a, b))
+                .expect("ready nonempty");
+            let st = ready.swap_remove(best_pos);
+            let proc = free.remove(0);
+            let c = checked_cost(cost.cost(sys, st), st);
+            let completion = now + c;
+            placements.push(Placement {
+                st,
+                proc,
+                start: now,
+                cost: c,
+                holds_until: completion,
+            });
+            placed += 1;
+            events.push(Reverse((completion, Event::ProcFree(proc))));
+            // The successor becomes ready once both eligible and its
+            // predecessor (this subtask) has completed.
+            if let Some(succ) = sys.subtask(st).succ {
+                let act = Time::int(sys.subtask(succ).eligible).max(completion);
+                events.push(Reverse((act, Event::Activate(succ))));
+            }
+        }
+    }
+
+    Schedule::new(sys, QuantumModel::Dvq, m, placements)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfair_core::Pd2;
+    use pfair_numeric::Rat;
+    use pfair_taskmodel::{release, SubtaskId, TaskId};
+
+    use crate::cost::{FixedCosts, FullQuantum};
+
+    fn fig2_system() -> TaskSystem {
+        release::periodic_named(
+            &[
+                ("A", 1, 6),
+                ("B", 1, 6),
+                ("C", 1, 6),
+                ("D", 1, 2),
+                ("E", 1, 2),
+                ("F", 1, 2),
+            ],
+            6,
+        )
+    }
+
+    fn find(sys: &TaskSystem, task: u32, index: u64) -> SubtaskRef {
+        sys.find(SubtaskId {
+            task: TaskId(task),
+            index,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn full_costs_reduce_to_sfq() {
+        // With c = 1 everywhere, all completions are integral and DVQ
+        // makes exactly the slot-boundary decisions of SFQ.
+        let sys = fig2_system();
+        let dvq = simulate_dvq(&sys, 2, &Pd2, &mut FullQuantum);
+        let sfq = crate::sfq::simulate_sfq(&sys, 2, &Pd2, &mut FullQuantum);
+        for (st, _) in sys.iter_refs() {
+            assert_eq!(dvq.start(st), sfq.start(st), "{st:?}");
+        }
+    }
+
+    #[test]
+    fn fig2b_dvq_schedule_with_delta_yields() {
+        // Fig. 2(b): A_1 and F_1 (scheduled at t = 1) execute for 1 − δ
+        // only; both processors immediately start new quanta at 2 − δ and
+        // are assigned to B_1 and C_1, blocking D_2 and E_2 at time 2.
+        let sys = fig2_system();
+        let delta = Rat::new(1, 4);
+        let mut costs = FixedCosts::new(Rat::ONE)
+            .with(TaskId(0), 1, Rat::ONE - delta) // A_1
+            .with(TaskId(5), 1, Rat::ONE - delta); // F_1
+        let sched = simulate_dvq(&sys, 2, &Pd2, &mut costs);
+
+        let two_minus = Rat::int(2) - delta;
+        assert_eq!(sched.start(find(&sys, 1, 1)), two_minus); // B_1
+        assert_eq!(sched.start(find(&sys, 2, 1)), two_minus); // C_1
+        // D_2, E_2 blocked until 3 − δ; they still meet d = 4.
+        let three_minus = Rat::int(3) - delta;
+        assert_eq!(sched.start(find(&sys, 3, 2)), three_minus);
+        assert_eq!(sched.start(find(&sys, 4, 2)), three_minus);
+        assert!(sched.completion(find(&sys, 3, 2)) <= Rat::int(4));
+        // F_2 runs at 4 − δ and completes at 5 − δ: it misses its deadline
+        // (4) by 1 − δ — tardiness strictly below one quantum (Theorem 3).
+        let f2 = find(&sys, 5, 2);
+        assert_eq!(sched.start(f2), Rat::int(4) - delta);
+        assert_eq!(sched.completion(f2), Rat::int(5) - delta);
+        assert_eq!(sys.subtask(f2).deadline, 4);
+        let tardiness = sched.completion(f2) - Rat::int(4);
+        assert!(tardiness.is_positive() && tardiness < Rat::ONE);
+    }
+
+    #[test]
+    fn tardiness_approaches_one_as_delta_shrinks() {
+        // Tightness (E6): as δ → 0 the F_2 miss approaches a full quantum.
+        let sys = fig2_system();
+        for den in [10i64, 100, 10_000, 1_000_000] {
+            let delta = Rat::new(1, den);
+            let mut costs = FixedCosts::new(Rat::ONE)
+                .with(TaskId(0), 1, Rat::ONE - delta)
+                .with(TaskId(5), 1, Rat::ONE - delta);
+            let sched = simulate_dvq(&sys, 2, &Pd2, &mut costs);
+            let f2 = find(&sys, 5, 2);
+            let tardiness = sched.completion(f2) - Rat::int(4);
+            assert_eq!(tardiness, Rat::ONE - delta);
+        }
+    }
+
+    #[test]
+    fn work_conserving_no_holds() {
+        let sys = fig2_system();
+        let mut costs = FixedCosts::new(Rat::new(9, 10));
+        let sched = simulate_dvq(&sys, 2, &Pd2, &mut costs);
+        for p in sched.placements() {
+            assert_eq!(p.waste(), Rat::ZERO);
+            assert_eq!(p.holds_until, p.completion());
+        }
+    }
+
+    #[test]
+    fn intra_task_sequential() {
+        // A subtask never starts before its predecessor completes.
+        let sys = release::periodic(&[(3, 4), (1, 2)], 12);
+        let mut costs = FixedCosts::new(Rat::new(1, 2));
+        let sched = simulate_dvq(&sys, 1, &Pd2, &mut costs);
+        for (st, s) in sys.iter_refs() {
+            if let Some(pred) = s.pred {
+                assert!(sched.start(st) >= sched.completion(pred));
+            }
+            // And never before its eligibility time.
+            assert!(sched.start(st) >= Rat::int(s.eligible));
+        }
+    }
+
+    #[test]
+    fn single_processor_serializes() {
+        let sys = release::periodic(&[(1, 2), (1, 2)], 4);
+        let sched = simulate_dvq(&sys, 1, &Pd2, &mut FullQuantum);
+        let mut busy: Vec<(Time, Time)> = sched
+            .placements()
+            .iter()
+            .map(|p| (p.start, p.completion()))
+            .collect();
+        busy.sort();
+        for w in busy.windows(2) {
+            assert!(w[0].1 <= w[1].0, "overlap on one processor");
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Multiprocessor schedule simulators for the three quantum models the
+//! paper discusses.
+//!
+//! * [`sfq`] — the **SFQ model** (synchronized, fixed-size quanta): all
+//!   processors make scheduling decisions at integral slot boundaries; a
+//!   subtask that yields early leaves the rest of its quantum unused
+//!   (non-work-conserving). Drives any [`pfair_core::PriorityOrder`] or the
+//!   paper's PD^B procedure.
+//! * [`dvq`] — the **DVQ model** (desynchronized, variable-size quanta):
+//!   event-driven; a processor whose subtask completes at any rational time
+//!   immediately begins a new quantum with the highest-priority *ready*
+//!   subtask (work-conserving). This is where the paper's priority
+//!   inversions arise.
+//! * [`staggered`] — the staggered model of Holman & Anderson: fixed-size
+//!   quanta whose boundaries on processor `k` are offset by `k/M`;
+//!   synchronized but not aligned, still non-work-conserving.
+//!
+//! All simulators consume a [`pfair_taskmodel::TaskSystem`] plus a
+//! [`cost::CostModel`] assigning each subtask its *actual*
+//! execution cost `c(T_i) ∈ (0, 1]`, and produce a [`Schedule`] — the
+//! record of every placement, from which `pfair-analysis` computes
+//! tardiness, validity, blocking events, and waste.
+//!
+//! # Determinism
+//!
+//! Every simulator is deterministic given its inputs: ties inside priority
+//! orders are pinned by `(task, index)`, processors are assigned in
+//! ascending index order, and simultaneous events are drained in one batch
+//! before any assignment. Reproducing the paper's figures depends on this.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod dvq;
+pub mod schedule;
+pub mod sfq;
+pub mod staggered;
+
+pub use cost::{CostModel, FixedCosts, FullQuantum, ScaledCost};
+pub use dvq::simulate_dvq;
+pub use schedule::{Placement, QuantumModel, Schedule};
+pub use sfq::{
+    simulate_sfq, simulate_sfq_affine, simulate_sfq_pdb, simulate_sfq_pdb_instrumented,
+    simulate_sfq_pdb_with,
+    AffinityMode, PdbSlotStats, SfqPolicy,
+};
+pub use staggered::simulate_staggered;

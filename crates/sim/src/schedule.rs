@@ -1,0 +1,239 @@
+//! The recorded output of a simulation run.
+
+use pfair_numeric::{Rat, Time};
+use pfair_taskmodel::{SubtaskRef, TaskSystem};
+use serde::{Deserialize, Serialize};
+
+/// Which quantum model produced a schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QuantumModel {
+    /// Synchronized fixed-size quanta (integral decision times).
+    Sfq,
+    /// Desynchronized variable-size quanta (rational decision times).
+    Dvq,
+    /// Staggered fixed-size quanta (per-processor offsets `k/M`).
+    Staggered,
+}
+
+impl core::fmt::Display for QuantumModel {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            QuantumModel::Sfq => "SFQ",
+            QuantumModel::Dvq => "DVQ",
+            QuantumModel::Staggered => "staggered",
+        })
+    }
+}
+
+/// One quantum: a subtask executing on a processor.
+///
+/// The paper's overloaded schedule function `S(T_i)` (the commencement
+/// time of a subtask, §3) is `start`; the actual execution cost `c(T_i)`
+/// is `cost`; completion is `start + cost`. `holds_until` records how long
+/// the *processor* is unavailable: under SFQ/staggered the quantum runs to
+/// its fixed boundary even if the subtask yields early (the non-reclaimed
+/// waste the DVQ model eliminates); under DVQ it equals the completion.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    /// The subtask.
+    pub st: SubtaskRef,
+    /// Processor index in `0..m`.
+    pub proc: u32,
+    /// Commencement time `S(T_i)`.
+    pub start: Time,
+    /// Actual execution cost `c(T_i) ∈ (0, 1]`.
+    pub cost: Rat,
+    /// Time at which the processor becomes available again (`≥ start+cost`).
+    pub holds_until: Time,
+}
+
+impl Placement {
+    /// Completion time `S(T_i) + c(T_i)`.
+    #[must_use]
+    pub fn completion(&self) -> Time {
+        self.start + self.cost
+    }
+
+    /// Unused processor time inside this quantum (`holds_until −
+    /// completion`); zero under the work-conserving DVQ model.
+    #[must_use]
+    pub fn waste(&self) -> Rat {
+        self.holds_until - self.completion()
+    }
+}
+
+/// A complete schedule: the placement of every released subtask.
+///
+/// Built incrementally by the simulators; immutable to consumers.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Schedule {
+    model: QuantumModel,
+    m: u32,
+    /// Placements in commencement order (ties in time: ascending proc).
+    placements: Vec<Placement>,
+    /// SubtaskRef → index into `placements` (every released subtask is
+    /// eventually placed; simulators run to completion).
+    by_subtask: Vec<u32>,
+}
+
+impl Schedule {
+    /// Assembles a schedule from raw placements (used by the simulators).
+    ///
+    /// # Panics
+    /// Panics unless every subtask of `sys` is placed exactly once.
+    #[must_use]
+    pub fn new(sys: &TaskSystem, model: QuantumModel, m: u32, mut placements: Vec<Placement>) -> Schedule {
+        placements.sort_by(|a, b| a.start.cmp(&b.start).then(a.proc.cmp(&b.proc)));
+        let mut by_subtask = vec![u32::MAX; sys.num_subtasks()];
+        for (i, pl) in placements.iter().enumerate() {
+            assert!(
+                by_subtask[pl.st.idx()] == u32::MAX,
+                "subtask {:?} placed twice",
+                pl.st
+            );
+            by_subtask[pl.st.idx()] = i as u32;
+        }
+        assert!(
+            by_subtask.iter().all(|&i| i != u32::MAX),
+            "not every subtask was placed"
+        );
+        Schedule {
+            model,
+            m,
+            placements,
+            by_subtask,
+        }
+    }
+
+    /// The quantum model that produced this schedule.
+    #[must_use]
+    pub fn model(&self) -> QuantumModel {
+        self.model
+    }
+
+    /// Number of processors.
+    #[must_use]
+    pub fn m(&self) -> u32 {
+        self.m
+    }
+
+    /// All placements, in commencement order.
+    #[must_use]
+    pub fn placements(&self) -> &[Placement] {
+        &self.placements
+    }
+
+    /// The placement of a subtask.
+    #[must_use]
+    pub fn placement(&self, st: SubtaskRef) -> &Placement {
+        &self.placements[self.by_subtask[st.idx()] as usize]
+    }
+
+    /// Commencement time `S(T_i)`.
+    #[must_use]
+    pub fn start(&self, st: SubtaskRef) -> Time {
+        self.placement(st).start
+    }
+
+    /// Completion time of a subtask.
+    #[must_use]
+    pub fn completion(&self, st: SubtaskRef) -> Time {
+        self.placement(st).completion()
+    }
+
+    /// Latest completion over the whole schedule (`0` if empty).
+    #[must_use]
+    pub fn makespan(&self) -> Time {
+        self.placements
+            .iter()
+            .map(Placement::completion)
+            .max()
+            .unwrap_or(Rat::ZERO)
+    }
+
+    /// Placements on one processor, in time order.
+    pub fn on_processor(&self, proc: u32) -> impl Iterator<Item = &Placement> {
+        self.placements.iter().filter(move |p| p.proc == proc)
+    }
+
+    /// The subtasks whose execution overlaps slot `t` (`[t, t+1)`),
+    /// i.e. `start < t+1 ∧ completion > t`.
+    pub fn executing_in_slot(&self, t: i64) -> impl Iterator<Item = &Placement> {
+        let lo = Rat::int(t);
+        let hi = Rat::int(t + 1);
+        self.placements
+            .iter()
+            .filter(move |p| p.start < hi && p.completion() > lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfair_taskmodel::release;
+
+    fn unit_placement(st: u32, proc: u32, start: i64) -> Placement {
+        Placement {
+            st: SubtaskRef(st),
+            proc,
+            start: Rat::int(start),
+            cost: Rat::ONE,
+            holds_until: Rat::int(start + 1),
+        }
+    }
+
+    #[test]
+    fn assemble_and_query() {
+        let sys = release::periodic(&[(1, 2)], 4); // two subtasks
+        let sched = Schedule::new(
+            &sys,
+            QuantumModel::Sfq,
+            1,
+            vec![unit_placement(1, 0, 2), unit_placement(0, 0, 0)],
+        );
+        assert_eq!(sched.start(SubtaskRef(0)), Rat::int(0));
+        assert_eq!(sched.completion(SubtaskRef(1)), Rat::int(3));
+        assert_eq!(sched.makespan(), Rat::int(3));
+        // Sorted by start.
+        assert_eq!(sched.placements()[0].st, SubtaskRef(0));
+        assert_eq!(sched.on_processor(0).count(), 2);
+        assert_eq!(sched.executing_in_slot(2).count(), 1);
+        assert_eq!(sched.executing_in_slot(1).count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "placed twice")]
+    fn rejects_duplicate_placement() {
+        let sys = release::periodic(&[(1, 2)], 4);
+        let _ = Schedule::new(
+            &sys,
+            QuantumModel::Sfq,
+            1,
+            vec![
+                unit_placement(0, 0, 0),
+                unit_placement(0, 0, 1),
+                unit_placement(1, 0, 2),
+            ],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not every subtask")]
+    fn rejects_missing_placement() {
+        let sys = release::periodic(&[(1, 2)], 4);
+        let _ = Schedule::new(&sys, QuantumModel::Sfq, 1, vec![unit_placement(0, 0, 0)]);
+    }
+
+    #[test]
+    fn waste_accounting() {
+        let p = Placement {
+            st: SubtaskRef(0),
+            proc: 0,
+            start: Rat::int(1),
+            cost: Rat::new(3, 4),
+            holds_until: Rat::int(2),
+        };
+        assert_eq!(p.completion(), Rat::new(7, 4));
+        assert_eq!(p.waste(), Rat::new(1, 4));
+    }
+}

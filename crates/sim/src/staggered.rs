@@ -1,0 +1,177 @@
+//! The staggered model of Holman & Anderson (RTAS 2004).
+//!
+//! A "slight variant of the SFQ model" designed to reduce bus contention on
+//! symmetric multiprocessors: processor `k`'s quantum boundaries are offset
+//! by a *fixed* `k/M`, so quantum starting points are "distributed on
+//! different processors uniformly over the interval of each quantum". All
+//! quanta are still uniform in size (one unit) and the system is still
+//! non-work-conserving: a subtask that yields early leaves the rest of its
+//! quantum unused, exactly as under SFQ.
+//!
+//! The model sits between SFQ and DVQ: decisions are desynchronized across
+//! processors (like DVQ) but at *fixed* per-processor times with
+//! *fixed-size* quanta (like SFQ). The waste/reclamation experiment (E5)
+//! runs all three side by side.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use pfair_core::priority::PriorityOrder;
+use pfair_numeric::{Rat, Time};
+use pfair_taskmodel::{SubtaskRef, TaskSystem};
+
+use crate::cost::{checked_cost, CostModel};
+use crate::schedule::{Placement, QuantumModel, Schedule};
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum Event {
+    /// Processor `k` reached one of its quantum boundaries.
+    Boundary(u32),
+    /// A subtask became ready.
+    Activate(SubtaskRef),
+}
+
+/// Simulates `sys` on `m` processors under the staggered-quantum model.
+///
+/// Processor `k` makes scheduling decisions at times `k/m, k/m + 1, …` and
+/// holds whatever it schedules until its next boundary.
+#[must_use]
+pub fn simulate_staggered(
+    sys: &TaskSystem,
+    m: u32,
+    order: &dyn PriorityOrder,
+    cost: &mut dyn CostModel,
+) -> Schedule {
+    assert!(m >= 1, "need at least one processor");
+    let total = sys.num_subtasks();
+    let mut placements = Vec::with_capacity(total);
+
+    let mut events: BinaryHeap<Reverse<(Time, Event)>> = BinaryHeap::new();
+    for task in sys.tasks() {
+        if let Some(head) = sys.task_subtask_refs(task.id).next() {
+            let e = sys.subtask(head).eligible;
+            events.push(Reverse((Time::int(e), Event::Activate(head))));
+        }
+    }
+    for k in 0..m {
+        events.push(Reverse((Rat::new(i64::from(k), i64::from(m)), Event::Boundary(k))));
+    }
+
+    let mut ready: Vec<SubtaskRef> = Vec::with_capacity(sys.num_tasks());
+    let mut placed = 0usize;
+
+    while placed < total {
+        let Some(&Reverse((now, _))) = events.peek() else {
+            unreachable!("event queue drained with {placed}/{total} subtasks placed");
+        };
+        let mut boundaries: Vec<u32> = Vec::new();
+        while let Some(&Reverse((t, ev))) = events.peek() {
+            if t != now {
+                break;
+            }
+            events.pop();
+            match ev {
+                Event::Boundary(k) => boundaries.push(k),
+                Event::Activate(st) => ready.push(st),
+            }
+        }
+        boundaries.sort_unstable();
+
+        for proc in boundaries {
+            if let Some((pos, _)) = ready
+                .iter()
+                .enumerate()
+                .min_by(|(_, &a), (_, &b)| order.cmp(sys, a, b))
+            {
+                let st = ready.swap_remove(pos);
+                let c = checked_cost(cost.cost(sys, st), st);
+                let next_boundary = now + Rat::ONE;
+                placements.push(Placement {
+                    st,
+                    proc,
+                    start: now,
+                    cost: c,
+                    holds_until: next_boundary,
+                });
+                placed += 1;
+                if let Some(succ) = sys.subtask(st).succ {
+                    let act = Time::int(sys.subtask(succ).eligible).max(now + c);
+                    events.push(Reverse((act, Event::Activate(succ))));
+                }
+            }
+            // The processor re-examines the world at its next boundary
+            // whether or not it scheduled anything.
+            if placed < total {
+                events.push(Reverse((now + Rat::ONE, Event::Boundary(proc))));
+            }
+        }
+    }
+
+    Schedule::new(sys, QuantumModel::Staggered, m, placements)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfair_core::Pd2;
+    use pfair_taskmodel::release;
+
+    use crate::cost::{FullQuantum, ScaledCost};
+
+    #[test]
+    fn boundaries_are_staggered() {
+        let sys = release::periodic(&[(1, 2), (1, 2), (1, 2), (1, 2)], 8);
+        let sched = simulate_staggered(&sys, 4, &Pd2, &mut FullQuantum);
+        for p in sched.placements() {
+            // Every start time on processor k is ≡ k/4 (mod 1).
+            assert_eq!(
+                p.start.fract(),
+                Rat::new(i64::from(p.proc), 4),
+                "proc {} start {}",
+                p.proc,
+                p.start
+            );
+        }
+    }
+
+    #[test]
+    fn non_work_conserving_waste() {
+        let sys = release::periodic(&[(1, 1), (1, 1)], 4);
+        let mut half = ScaledCost(Rat::new(1, 2));
+        let sched = simulate_staggered(&sys, 2, &Pd2, &mut half);
+        for p in sched.placements() {
+            assert_eq!(p.waste(), Rat::new(1, 2));
+        }
+    }
+
+    #[test]
+    fn single_processor_matches_sfq_timing() {
+        // With m = 1 the stagger offset is 0 and boundaries are integral:
+        // identical decisions to SFQ.
+        let sys = release::periodic(&[(3, 4), (1, 2)], 8);
+        let stag = simulate_staggered(&sys, 1, &Pd2, &mut FullQuantum);
+        let sfq = crate::sfq::simulate_sfq(&sys, 1, &Pd2, &mut FullQuantum);
+        for (st, _) in sys.iter_refs() {
+            assert_eq!(stag.start(st), sfq.start(st));
+        }
+    }
+
+    #[test]
+    fn respects_eligibility_at_fractional_boundaries() {
+        // Processor 1 (boundary at 1/2) must not run a subtask eligible at
+        // time 1 before time 1; its first chance is 3/2.
+        let sys = release::periodic(&[(1, 2)], 4);
+        // Subtask 2 of wt 1/2 has r = e = 2.
+        let sched = simulate_staggered(&sys, 2, &Pd2, &mut FullQuantum);
+        for (st, s) in sys.iter_refs() {
+            assert!(sched.start(st) >= Rat::int(s.eligible));
+        }
+    }
+
+    #[test]
+    fn all_subtasks_eventually_run() {
+        let sys = release::periodic(&[(1, 3), (2, 5), (1, 2)], 30);
+        let sched = simulate_staggered(&sys, 2, &Pd2, &mut FullQuantum);
+        assert_eq!(sched.placements().len(), sys.num_subtasks());
+    }
+}

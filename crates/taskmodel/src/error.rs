@@ -1,0 +1,121 @@
+//! Validation errors for task-system construction.
+
+use core::fmt;
+
+use crate::subtask::SubtaskId;
+use crate::system::TaskId;
+
+/// An error raised while constructing or validating a task system.
+///
+/// Every constraint of the paper's task model (§2) maps to a variant, so a
+/// rejected construction names exactly which rule it violated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A weight outside `(0, 1]` (execution cost must satisfy `0 < e ≤ p`).
+    InvalidWeight {
+        /// Offending execution cost.
+        e: i64,
+        /// Offending period.
+        p: i64,
+    },
+    /// Subtask indices of a task must be strictly increasing (GIS allows
+    /// skips, never repeats or reordering).
+    NonIncreasingIndex {
+        /// Task being extended.
+        task: TaskId,
+        /// Index of the most recently released subtask.
+        prev: u64,
+        /// Offending next index.
+        next: u64,
+    },
+    /// Subtask indices start at 1.
+    ZeroIndex {
+        /// Task being extended.
+        task: TaskId,
+    },
+    /// Violation of Eq. (5): `k > i ⇒ θ(T_k) ≥ θ(T_i)` (which also encodes
+    /// the GIS release-separation rule of §2).
+    DecreasingOffset {
+        /// Offending subtask.
+        subtask: SubtaskId,
+        /// Offset of the predecessor.
+        prev_theta: i64,
+        /// Offending (smaller) offset.
+        theta: i64,
+    },
+    /// Violation of Eq. (6): `e(T_i) ≤ r(T_i)`.
+    EligibilityAfterRelease {
+        /// Offending subtask.
+        subtask: SubtaskId,
+        /// Its eligibility time.
+        eligible: i64,
+        /// Its release time.
+        release: i64,
+    },
+    /// Violation of Eq. (6): `e(T_i) ≤ e(T_{i+1})` over released subtasks.
+    DecreasingEligibility {
+        /// Offending subtask.
+        subtask: SubtaskId,
+        /// Eligibility of the predecessor.
+        prev_eligible: i64,
+        /// Offending (smaller) eligibility.
+        eligible: i64,
+    },
+    /// A negative offset or eligibility would place a window before time 0.
+    NegativeTime {
+        /// Offending subtask.
+        subtask: SubtaskId,
+    },
+    /// An operation referenced a task id not present in the system.
+    UnknownTask {
+        /// The missing id.
+        task: TaskId,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidWeight { e, p } => {
+                write!(f, "invalid weight {e}/{p}: need 0 < e <= p")
+            }
+            ModelError::NonIncreasingIndex { task, prev, next } => write!(
+                f,
+                "task {task:?}: subtask index {next} must exceed previously released index {prev}"
+            ),
+            ModelError::ZeroIndex { task } => {
+                write!(f, "task {task:?}: subtask indices start at 1")
+            }
+            ModelError::DecreasingOffset {
+                subtask,
+                prev_theta,
+                theta,
+            } => write!(
+                f,
+                "{subtask:?}: IS offset {theta} decreases below predecessor offset {prev_theta} (Eq. 5)"
+            ),
+            ModelError::EligibilityAfterRelease {
+                subtask,
+                eligible,
+                release,
+            } => write!(
+                f,
+                "{subtask:?}: eligibility {eligible} exceeds release {release} (Eq. 6)"
+            ),
+            ModelError::DecreasingEligibility {
+                subtask,
+                prev_eligible,
+                eligible,
+            } => write!(
+                f,
+                "{subtask:?}: eligibility {eligible} decreases below predecessor eligibility {prev_eligible} (Eq. 6)"
+            ),
+            ModelError::NegativeTime { subtask } => {
+                write!(f, "{subtask:?}: windows must not start before time 0")
+            }
+            ModelError::UnknownTask { task } => write!(f, "unknown task {task:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}

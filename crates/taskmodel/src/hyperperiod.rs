@@ -1,0 +1,107 @@
+//! Hyperperiod arithmetic for periodic task systems.
+//!
+//! The hyperperiod `H = lcm{T.p}` is the natural analysis horizon for
+//! synchronous periodic systems: windows repeat with period `H`
+//! (`r(T_{i+e·H/p}) = r(T_i) + H`, and likewise for deadlines and group
+//! deadlines), and a PD² SFQ schedule of a full-utilization system repeats
+//! with period `H` as well — which the simulator tests verify.
+
+use pfair_numeric::{lcm, Rat};
+
+use crate::system::TaskSystem;
+use crate::weight::Weight;
+use crate::window;
+
+/// The hyperperiod `lcm` of the (reduced) periods of `weights`
+/// (`1` for an empty set).
+#[must_use]
+pub fn hyperperiod_of_weights(weights: &[Weight]) -> i64 {
+    weights.iter().fold(1, |h, w| lcm(h, w.p()))
+}
+
+/// The hyperperiod of a task system's tasks.
+#[must_use]
+pub fn hyperperiod(sys: &TaskSystem) -> i64 {
+    sys.tasks()
+        .iter()
+        .fold(1, |h, t| lcm(h, t.weight.p()))
+}
+
+/// Number of subtasks a weight-`e/p` task releases per hyperperiod `h`
+/// (requires `p | h`).
+///
+/// # Panics
+/// Panics unless `p` divides `h`.
+#[must_use]
+pub fn subtasks_per_hyperperiod(w: Weight, h: i64) -> i64 {
+    assert_eq!(h % w.p(), 0, "hyperperiod must be a multiple of the period");
+    h / w.p() * w.e()
+}
+
+/// Checks the window-repetition law for the first `jobs` jobs:
+/// `r(T_{i+k}) = r(T_i) + h` where `k = e·h/p` subtasks per hyperperiod.
+#[must_use]
+pub fn windows_repeat(w: Weight, h: i64, jobs: u64) -> bool {
+    let k = subtasks_per_hyperperiod(w, h) as u64;
+    (1..=jobs * w.e() as u64).all(|i| {
+        window::release(w, i + k) == window::release(w, i) + h
+            && window::deadline(w, i + k) == window::deadline(w, i) + h
+            && window::bbit(w, i + k) == window::bbit(w, i)
+            && (w.is_light() || window::group_deadline(w, i + k) == window::group_deadline(w, i) + h)
+    })
+}
+
+/// Exact utilization check at the hyperperiod: the total demand of one
+/// hyperperiod equals `H · Σ wt` quanta.
+#[must_use]
+pub fn demand_per_hyperperiod(sys: &TaskSystem) -> Rat {
+    let h = hyperperiod(sys);
+    Rat::int(h) * sys.utilization()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::release;
+
+    #[test]
+    fn hyperperiod_lcm() {
+        assert_eq!(
+            hyperperiod_of_weights(&[Weight::new(1, 2), Weight::new(1, 3), Weight::new(3, 4)]),
+            12
+        );
+        assert_eq!(hyperperiod_of_weights(&[]), 1);
+        // Reduction matters: 2/4 has period 2.
+        assert_eq!(hyperperiod_of_weights(&[Weight::new(2, 4)]), 2);
+    }
+
+    #[test]
+    fn subtask_counts() {
+        assert_eq!(subtasks_per_hyperperiod(Weight::new(3, 4), 12), 9);
+        assert_eq!(subtasks_per_hyperperiod(Weight::new(1, 6), 12), 2);
+        assert_eq!(subtasks_per_hyperperiod(Weight::new(1, 1), 12), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the period")]
+    fn subtask_counts_reject_bad_h() {
+        let _ = subtasks_per_hyperperiod(Weight::new(1, 5), 12);
+    }
+
+    #[test]
+    fn window_repetition_law() {
+        for &(e, p) in &[(3i64, 4i64), (1, 2), (2, 3), (5, 6), (1, 6), (7, 8), (1, 1)] {
+            let w = Weight::new(e, p);
+            let h = lcm(p, 12);
+            assert!(windows_repeat(w, h, 3), "wt {e}/{p}");
+        }
+    }
+
+    #[test]
+    fn demand_matches_generated_subtasks() {
+        let sys = release::periodic(&[(1, 2), (1, 3), (1, 6)], 6);
+        // util = 1; H = 6 ⇒ demand 6 quanta = generated subtask count.
+        assert_eq!(demand_per_hyperperiod(&sys), Rat::int(6));
+        assert_eq!(sys.num_subtasks(), 6);
+    }
+}

@@ -1,0 +1,120 @@
+//! Overhead accounting by weight inflation.
+//!
+//! §3 of the paper: *"We henceforth assume that preemption and migration
+//! costs are zero. (Such costs can be easily accounted for by inflating
+//! task execution costs appropriately.)"* This module makes the remark
+//! executable: given a per-quantum overhead budget `ε` (cache refill after
+//! a preemption/migration, in quantum units), each task's execution cost
+//! is inflated so that the *useful* work per reserved quantum is still one
+//! nominal quantum's worth:
+//!
+//! ```text
+//! e' = ⌈ e · (1 + ε) ⌉     (per job, in quanta; period unchanged)
+//! ```
+//!
+//! Inflation can push a task's weight above 1 or the system's utilization
+//! above `M`, in which case the inflated system is reported infeasible —
+//! exactly the design trade-off an implementer faces when sizing quanta.
+
+use pfair_numeric::Rat;
+
+use crate::error::ModelError;
+use crate::weight::Weight;
+
+/// The result of inflating a weight set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InflatedSet {
+    /// The inflated weights, positionally matching the input.
+    pub weights: Vec<Weight>,
+    /// Total inflated utilization.
+    pub utilization: Rat,
+}
+
+/// Inflates one weight by per-quantum overhead `ε ≥ 0`.
+///
+/// # Errors
+/// [`ModelError::InvalidWeight`] if the inflated cost exceeds the period
+/// (the task no longer fits its own period even alone).
+pub fn inflate_weight(w: Weight, epsilon: Rat) -> Result<Weight, ModelError> {
+    assert!(!epsilon.is_negative(), "overhead must be nonnegative");
+    let e_inflated = (Rat::int(w.e()) * (Rat::ONE + epsilon)).ceil();
+    Weight::checked(e_inflated, w.p())
+}
+
+/// Inflates a whole weight set.
+///
+/// # Errors
+/// Propagates the first weight that no longer fits its period.
+pub fn inflate_set(weights: &[Weight], epsilon: Rat) -> Result<InflatedSet, ModelError> {
+    let inflated: Result<Vec<Weight>, ModelError> =
+        weights.iter().map(|&w| inflate_weight(w, epsilon)).collect();
+    let weights = inflated?;
+    let utilization = weights.iter().map(|w| w.as_rat()).sum();
+    Ok(InflatedSet {
+        weights,
+        utilization,
+    })
+}
+
+/// The largest per-quantum overhead `ε = k/denominator` (searched over
+/// `k = 0, 1, …`) for which the inflated set still fits on `m`
+/// processors. Returns `None` when even `ε = 0` does not fit.
+#[must_use]
+pub fn max_sustainable_overhead(weights: &[Weight], m: u32, denominator: i64) -> Option<Rat> {
+    assert!(denominator > 0);
+    let mut best = None;
+    for k in 0..=denominator {
+        let eps = Rat::new(k, denominator);
+        match inflate_set(weights, eps) {
+            Ok(set) if set.utilization <= Rat::int(i64::from(m)) => best = Some(eps),
+            _ => break,
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_overhead_is_identity() {
+        let w = Weight::new(3, 4);
+        assert_eq!(inflate_weight(w, Rat::ZERO).unwrap(), w);
+    }
+
+    #[test]
+    fn inflation_rounds_up_to_whole_quanta() {
+        // e = 3, ε = 10% ⇒ 3.3 ⇒ 4 quanta.
+        let w = Weight::new(3, 8);
+        assert_eq!(inflate_weight(w, Rat::new(1, 10)).unwrap(), Weight::new(4, 8));
+        // e = 1 inflates to 2 as soon as ε > 0.
+        let w1 = Weight::new(1, 4);
+        assert_eq!(inflate_weight(w1, Rat::new(1, 100)).unwrap(), Weight::new(2, 4));
+    }
+
+    #[test]
+    fn overflowing_inflation_rejected() {
+        // wt = 1 cannot absorb any overhead.
+        assert!(inflate_weight(Weight::new(4, 4), Rat::new(1, 10)).is_err());
+    }
+
+    #[test]
+    fn set_inflation_totals() {
+        let ws = [Weight::new(1, 4), Weight::new(1, 4), Weight::new(2, 8)];
+        let set = inflate_set(&ws, Rat::new(1, 10)).unwrap();
+        // Every e = 1 → 2 (and 2/8 reduces to 1/4 → 2/4).
+        assert_eq!(set.utilization, Rat::new(3, 2));
+    }
+
+    #[test]
+    fn sustainable_overhead_search() {
+        // Half-loaded system tolerates substantial inflation.
+        let ws = [Weight::new(1, 4), Weight::new(1, 4)];
+        let eps = max_sustainable_overhead(&ws, 1, 100).unwrap();
+        assert!(eps >= Rat::new(1, 2), "got {eps}");
+        // A fully-loaded system tolerates none (any ε > 0 bumps some e up).
+        let full = [Weight::new(1, 1)];
+        assert_eq!(max_sustainable_overhead(&full, 1, 100), Some(Rat::ZERO));
+    }
+}

@@ -1,0 +1,65 @@
+//! The Pfair task model of Devi & Anderson (IPPS 2005), §2.
+//!
+//! This crate implements the *task-side* substrate that every Pfair result
+//! stands on: tasks with rational weights, their decomposition into
+//! quantum-length **subtasks**, the per-subtask **windows** (pseudo-release
+//! `r(T_i)`, pseudo-deadline `d(T_i)`), the PD² tie-break parameters
+//! (**b-bit** and **group deadline** `D(T_i)`), and the recurrence models —
+//! periodic, sporadic, **intra-sporadic (IS)** and
+//! **generalized-intra-sporadic (GIS)** — that govern when subtasks are
+//! released and become eligible.
+//!
+//! # The model in brief
+//!
+//! A task `T` has an integer period `T.p`, an integer per-job execution cost
+//! `T.e`, and weight `wt(T) = T.e/T.p ∈ (0, 1]`. It is divided into
+//! quantum-length subtasks `T_1, T_2, …`; subtask `T_i` carries an IS offset
+//! `θ(T_i)` (monotone in `i`, Eq. (5)) and
+//!
+//! ```text
+//! r(T_i) = θ(T_i) + ⌊(i−1)/wt(T)⌋      (Eq. 3)
+//! d(T_i) = θ(T_i) + ⌈ i   /wt(T)⌉      (Eq. 4)
+//! ```
+//!
+//! with the *PF-window* `[r(T_i), d(T_i))`. Each subtask also has an
+//! eligibility time `e(T_i) ≤ r(T_i)` with `e(T_i) ≤ e(T_{i+1})` (Eq. 6);
+//! the *IS-window* is `[e(T_i), d(T_i))`. A GIS task may skip subtask
+//! indices entirely (Fig. 1(c)), subject to the release-separation rule of
+//! §2 — which, in offset form, is exactly the monotonicity of `θ`.
+//!
+//! A task system is **feasible** on `M` processors iff its total utilization
+//! `Σ wt(T)` is at most `M`.
+//!
+//! # Entry points
+//!
+//! * [`Weight`] — a rational weight `e/p` in `(0, 1]`.
+//! * [`window`] — pure window/tie-break formulas (checked against the
+//!   paper's Fig. 1 by unit test).
+//! * [`TaskSystemBuilder`] — constructs an arbitrary (validated) GIS task
+//!   system, one released subtask at a time.
+//! * [`TaskSystem`] — the immutable product: tasks plus their concrete
+//!   released subtasks, with predecessor/successor links.
+//! * [`release`] — convenience constructors (synchronous periodic systems,
+//!   IS delays, GIS drops, early releasing).
+//! * [`hyperperiod`](mod@hyperperiod) — lcm horizons and the window-repetition law.
+//! * [`inflation`] — §3's overhead-by-weight-inflation remark, executable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod hyperperiod;
+pub mod inflation;
+pub mod error;
+pub mod release;
+pub mod subtask;
+pub mod system;
+pub mod weight;
+pub mod window;
+
+pub use builder::TaskSystemBuilder;
+pub use hyperperiod::hyperperiod;
+pub use error::ModelError;
+pub use subtask::{Subtask, SubtaskId, SubtaskRef};
+pub use system::{Task, TaskId, TaskSystem};
+pub use weight::Weight;

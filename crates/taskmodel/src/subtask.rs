@@ -1,0 +1,125 @@
+//! Concrete released subtasks.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::system::TaskId;
+
+/// Identity of a subtask: its task and its (1-based) index `i` in `T_i`.
+///
+/// In a GIS system the indices of *released* subtasks of a task are strictly
+/// increasing but need not be contiguous (absent indices model dropped
+/// subtasks, Fig. 1(c)).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SubtaskId {
+    /// The task this subtask belongs to.
+    pub task: TaskId,
+    /// The subtask index `i ≥ 1`.
+    pub index: u64,
+}
+
+impl fmt::Debug for SubtaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}_{}", self.task.0, self.index)
+    }
+}
+
+/// A dense handle into a [`crate::TaskSystem`]'s subtask table.
+///
+/// Simulators and analyses index subtasks by `SubtaskRef` (a `u32`) instead
+/// of hashing [`SubtaskId`]s; conversion both ways is provided by the
+/// system.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SubtaskRef(pub u32);
+
+impl fmt::Debug for SubtaskRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "st#{}", self.0)
+    }
+}
+
+impl SubtaskRef {
+    /// The index into the system's subtask table.
+    #[must_use]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A released subtask with all its (integral) Pfair parameters resolved.
+///
+/// All times are slot boundaries (integers): the task model is unchanged
+/// under the DVQ model ("the release time, eligibility time, and deadline of
+/// each subtask … remain integral", §3).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Subtask {
+    /// Identity (task, index).
+    pub id: SubtaskId,
+    /// IS offset `θ(T_i)` (Eq. (3)/(4)); monotone within a task (Eq. (5)).
+    pub theta: i64,
+    /// Pseudo-release `r(T_i)`.
+    pub release: i64,
+    /// Pseudo-deadline `d(T_i)` (exclusive window end).
+    pub deadline: i64,
+    /// Eligibility time `e(T_i) ≤ r(T_i)` (Eq. (6)); strictly earlier than
+    /// the release models *early releasing*.
+    pub eligible: i64,
+    /// The b-bit: window of `T_i` overlaps window of `T_{i+1}`.
+    pub bbit: bool,
+    /// Group deadline `D(T_i)` (offset-adjusted); `0` for light tasks.
+    pub group_deadline: i64,
+    /// Predecessor: the subtask of the same task released immediately
+    /// before this one (not necessarily index `i − 1` in a GIS system).
+    pub pred: Option<SubtaskRef>,
+    /// Successor: the subtask of the same task released immediately after.
+    pub succ: Option<SubtaskRef>,
+}
+
+impl Subtask {
+    /// The PF-window `[r(T_i), d(T_i))` as a half-open pair.
+    #[must_use]
+    pub fn pf_window(&self) -> (i64, i64) {
+        (self.release, self.deadline)
+    }
+
+    /// The IS-window `[e(T_i), d(T_i))` as a half-open pair.
+    #[must_use]
+    pub fn is_window(&self) -> (i64, i64) {
+        (self.eligible, self.deadline)
+    }
+
+    /// Window length `d − r`.
+    #[must_use]
+    pub fn window_length(&self) -> i64 {
+        self.deadline - self.release
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_formatting() {
+        let id = SubtaskId {
+            task: TaskId(3),
+            index: 7,
+        };
+        assert_eq!(format!("{id:?}"), "T3_7");
+        assert_eq!(format!("{:?}", SubtaskRef(12)), "st#12");
+    }
+
+    #[test]
+    fn id_ordering_task_major() {
+        let a = SubtaskId {
+            task: TaskId(0),
+            index: 9,
+        };
+        let b = SubtaskId {
+            task: TaskId(1),
+            index: 1,
+        };
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,151 @@
+//! Task weights `wt(T) = T.e / T.p ∈ (0, 1]`.
+
+use core::fmt;
+
+use pfair_numeric::{gcd, Rat};
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelError;
+
+/// A task weight: execution cost `e` over period `p`, with `0 < e ≤ p`.
+///
+/// Stored in lowest terms. All Pfair window quantities depend only on the
+/// reduced fraction (e.g. a task with `e = 2, p = 8` has exactly the windows
+/// of a `1/4` task), so canonicalizing loses nothing and makes equality
+/// behave.
+///
+/// A task is **heavy** if `wt ≥ 1/2` and **light** otherwise; the group
+/// deadline tie-break of PD² only distinguishes heavy tasks.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Weight {
+    e: i64,
+    p: i64,
+}
+
+impl PartialOrd for Weight {
+    fn partial_cmp(&self, other: &Weight) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Weight {
+    /// Orders by the fraction value (not lexicographically by fields).
+    fn cmp(&self, other: &Weight) -> core::cmp::Ordering {
+        (i128::from(self.e) * i128::from(other.p)).cmp(&(i128::from(other.e) * i128::from(self.p)))
+    }
+}
+
+impl Weight {
+    /// Creates the weight `e/p`, reduced.
+    ///
+    /// # Errors
+    /// Rejects anything outside `0 < e ≤ p`.
+    pub fn checked(e: i64, p: i64) -> Result<Weight, ModelError> {
+        if e <= 0 || p <= 0 || e > p {
+            return Err(ModelError::InvalidWeight { e, p });
+        }
+        let g = gcd(e, p);
+        Ok(Weight { e: e / g, p: p / g })
+    }
+
+    /// Creates the weight `e/p`, panicking on invalid input.
+    ///
+    /// # Panics
+    /// Panics unless `0 < e ≤ p`.
+    #[must_use]
+    pub fn new(e: i64, p: i64) -> Weight {
+        Weight::checked(e, p).expect("invalid weight")
+    }
+
+    /// Reduced execution cost (numerator).
+    #[must_use]
+    pub const fn e(self) -> i64 {
+        self.e
+    }
+
+    /// Reduced period (denominator).
+    #[must_use]
+    pub const fn p(self) -> i64 {
+        self.p
+    }
+
+    /// The weight as an exact rational.
+    #[must_use]
+    pub fn as_rat(self) -> Rat {
+        Rat::new(self.e, self.p)
+    }
+
+    /// `true` iff `wt ≥ 1/2`.
+    #[must_use]
+    pub const fn is_heavy(self) -> bool {
+        2 * self.e >= self.p
+    }
+
+    /// `true` iff `wt < 1/2`.
+    #[must_use]
+    pub const fn is_light(self) -> bool {
+        !self.is_heavy()
+    }
+
+    /// `true` iff `wt = 1` (a full-processor task: one subtask per slot).
+    #[must_use]
+    pub const fn is_full(self) -> bool {
+        self.e == self.p
+    }
+}
+
+impl fmt::Display for Weight {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.e, self.p)
+    }
+}
+
+impl fmt::Debug for Weight {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wt({}/{})", self.e, self.p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduction_and_accessors() {
+        let w = Weight::new(2, 8);
+        assert_eq!((w.e(), w.p()), (1, 4));
+        assert_eq!(w.as_rat(), Rat::new(1, 4));
+        assert_eq!(w.to_string(), "1/4");
+    }
+
+    #[test]
+    fn heavy_light_full() {
+        assert!(Weight::new(1, 2).is_heavy());
+        assert!(Weight::new(3, 4).is_heavy());
+        assert!(Weight::new(1, 1).is_heavy());
+        assert!(Weight::new(1, 1).is_full());
+        assert!(Weight::new(1, 3).is_light());
+        assert!(Weight::new(49, 100).is_light());
+        assert!(!Weight::new(1, 2).is_light());
+        assert!(!Weight::new(1, 2).is_full());
+    }
+
+    #[test]
+    fn rejects_invalid() {
+        assert!(Weight::checked(0, 4).is_err());
+        assert!(Weight::checked(5, 4).is_err());
+        assert!(Weight::checked(-1, 4).is_err());
+        assert!(Weight::checked(1, 0).is_err());
+        assert!(Weight::checked(1, -2).is_err());
+        assert!(Weight::checked(1, 1).is_ok());
+    }
+
+    #[test]
+    fn ordering_is_by_fraction() {
+        assert_eq!(Weight::new(2, 4), Weight::new(1, 2));
+        assert_ne!(Weight::new(1, 2), Weight::new(1, 3));
+        assert!(Weight::new(1, 3) < Weight::new(1, 2));
+        assert!(Weight::new(3, 4) > Weight::new(2, 3));
+        assert!(Weight::new(1, 1) > Weight::new(99, 100));
+    }
+}

@@ -1,0 +1,141 @@
+//! CSV export — flat files for spreadsheet/plotting pipelines.
+//!
+//! Two exporters, both hand-rolled (the formats are trivial and
+//! dependency-free):
+//!
+//! * [`schedule_to_csv`] — one row per quantum: subtask identity, window,
+//!   placement, completion, tardiness;
+//! * [`rows_to_csv`] — a generic helper turning labelled rational/number
+//!   columns into CSV, used by the experiment examples.
+//!
+//! Rational values are emitted both exactly (`num/den`) and as decimal
+//! approximations, so downstream tools can pick either.
+
+use core::fmt::Write as _;
+
+use pfair_numeric::Rat;
+use pfair_sim::Schedule;
+use pfair_taskmodel::TaskSystem;
+
+/// Escapes one CSV field (quotes iff needed).
+fn field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// One row per quantum: `task,name,index,release,deadline,eligible,proc,
+/// start,start_f64,cost,completion,completion_f64,tardiness`.
+#[must_use]
+pub fn schedule_to_csv(sys: &TaskSystem, sched: &Schedule) -> String {
+    let mut out = String::from(
+        "task,name,index,release,deadline,eligible,proc,start,start_f64,cost,completion,completion_f64,tardiness\n",
+    );
+    for p in sched.placements() {
+        let s = sys.subtask(p.st);
+        let task = sys.task(s.id.task);
+        let completion = p.completion();
+        let tardiness = (completion - Rat::int(s.deadline)).max(Rat::ZERO);
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{:.6},{},{},{:.6},{}",
+            s.id.task.0,
+            field(&task.name),
+            s.id.index,
+            s.release,
+            s.deadline,
+            s.eligible,
+            p.proc,
+            p.start,
+            p.start.to_f64(),
+            p.cost,
+            completion,
+            completion.to_f64(),
+            tardiness,
+        );
+    }
+    out
+}
+
+/// Generic row export: `header` names the columns; each row's cells are
+/// preformatted strings.
+///
+/// # Panics
+/// Panics if any row's arity differs from the header's.
+#[must_use]
+pub fn rows_to_csv(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(&header.iter().map(|h| field(h)).collect::<Vec<_>>().join(","));
+    out.push('\n');
+    for row in rows {
+        assert_eq!(row.len(), header.len(), "row arity mismatch");
+        out.push_str(&row.iter().map(|c| field(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfair_core::Pd2;
+    use pfair_sim::{simulate_dvq, FixedCosts, FullQuantum, simulate_sfq};
+    use pfair_taskmodel::{release, TaskId};
+
+    #[test]
+    fn schedule_csv_has_row_per_quantum() {
+        let sys = release::periodic(&[(1, 2), (1, 2)], 6);
+        let sched = simulate_sfq(&sys, 2, &Pd2, &mut FullQuantum);
+        let csv = schedule_to_csv(&sys, &sched);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + sys.num_subtasks());
+        assert!(lines[0].starts_with("task,name,index"));
+        // All tardiness cells are 0.
+        for row in &lines[1..] {
+            assert!(row.ends_with(",0"), "{row}");
+        }
+    }
+
+    #[test]
+    fn tardy_subtasks_report_exact_rational() {
+        let sys = release::periodic_named(
+            &[
+                ("A", 1, 6),
+                ("B", 1, 6),
+                ("C", 1, 6),
+                ("D", 1, 2),
+                ("E", 1, 2),
+                ("F", 1, 2),
+            ],
+            6,
+        );
+        let delta = Rat::new(1, 4);
+        let mut costs = FixedCosts::new(Rat::ONE)
+            .with(TaskId(0), 1, Rat::ONE - delta)
+            .with(TaskId(5), 1, Rat::ONE - delta);
+        let sched = simulate_dvq(&sys, 2, &Pd2, &mut costs);
+        let csv = schedule_to_csv(&sys, &sched);
+        assert!(csv.lines().any(|l| l.ends_with(",3/4")));
+    }
+
+    #[test]
+    fn field_escaping() {
+        let csv = rows_to_csv(
+            &["name", "value"],
+            &[
+                vec!["plain".into(), "1".into()],
+                vec!["with,comma".into(), "with\"quote".into()],
+            ],
+        );
+        assert!(csv.contains("\"with,comma\""));
+        assert!(csv.contains("\"with\"\"quote\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_mismatch_panics() {
+        let _ = rows_to_csv(&["a", "b"], &[vec!["1".into()]]);
+    }
+}

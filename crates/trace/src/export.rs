@@ -1,0 +1,113 @@
+//! Machine-readable trace bundles.
+//!
+//! A [`TraceBundle`] packages a task system, its schedule, and headline
+//! statistics into one serde-serializable value; [`TraceBundle::to_json`]
+//! emits it for downstream tooling (plotting, regression archives).
+
+use pfair_numeric::Rat;
+use pfair_sim::{QuantumModel, Schedule};
+use pfair_taskmodel::TaskSystem;
+use serde::{Deserialize, Serialize};
+
+/// A self-contained export of one simulation run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TraceBundle {
+    /// The simulated task system.
+    pub system: TaskSystem,
+    /// The resulting schedule.
+    pub schedule: Schedule,
+    /// Quantum model (duplicated from the schedule for easy filtering).
+    pub model: QuantumModel,
+    /// Maximum subtask tardiness.
+    pub max_tardiness: Rat,
+    /// Number of deadline misses.
+    pub misses: usize,
+}
+
+/// Builds a [`TraceBundle`] from a run.
+#[must_use]
+pub fn trace_bundle(sys: &TaskSystem, sched: &Schedule) -> TraceBundle {
+    let mut max_tardiness = Rat::ZERO;
+    let mut misses = 0usize;
+    for (st, s) in sys.iter_refs() {
+        let t = (sched.completion(st) - Rat::int(s.deadline)).max(Rat::ZERO);
+        if t.is_positive() {
+            misses += 1;
+            max_tardiness = max_tardiness.max(t);
+        }
+    }
+    TraceBundle {
+        system: sys.clone(),
+        schedule: sched.clone(),
+        model: sched.model(),
+        max_tardiness,
+        misses,
+    }
+}
+
+impl TraceBundle {
+    /// Serializes to pretty-printed JSON.
+    ///
+    /// # Panics
+    /// Panics if serialization fails (all field types are
+    /// infallibly serializable).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("TraceBundle serializes infallibly")
+    }
+
+    /// Parses a bundle back from JSON.
+    ///
+    /// # Errors
+    /// Any `serde_json` parse error.
+    pub fn from_json(s: &str) -> Result<TraceBundle, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfair_core::Pd2;
+    use pfair_sim::{simulate_dvq, FixedCosts, FullQuantum, simulate_sfq};
+    use pfair_taskmodel::{release, TaskId};
+
+    #[test]
+    fn round_trip_json() {
+        let sys = release::periodic(&[(1, 2), (3, 4)], 8);
+        let sched = simulate_sfq(&sys, 2, &Pd2, &mut FullQuantum);
+        let bundle = trace_bundle(&sys, &sched);
+        assert_eq!(bundle.max_tardiness, Rat::ZERO);
+        assert_eq!(bundle.misses, 0);
+        let json = bundle.to_json();
+        let back = TraceBundle::from_json(&json).unwrap();
+        assert_eq!(back.system, bundle.system);
+        assert_eq!(back.misses, 0);
+        assert_eq!(back.schedule.placements().len(), sched.placements().len());
+    }
+
+    #[test]
+    fn records_misses() {
+        let sys = release::periodic_named(
+            &[
+                ("A", 1, 6),
+                ("B", 1, 6),
+                ("C", 1, 6),
+                ("D", 1, 2),
+                ("E", 1, 2),
+                ("F", 1, 2),
+            ],
+            6,
+        );
+        let delta = Rat::new(1, 4);
+        let mut costs = FixedCosts::new(Rat::ONE)
+            .with(TaskId(0), 1, Rat::ONE - delta)
+            .with(TaskId(5), 1, Rat::ONE - delta);
+        let sched = simulate_dvq(&sys, 2, &Pd2, &mut costs);
+        let bundle = trace_bundle(&sys, &sched);
+        assert_eq!(bundle.misses, 1);
+        assert_eq!(bundle.max_tardiness, Rat::ONE - delta);
+        assert_eq!(bundle.model, QuantumModel::Dvq);
+        assert!(bundle.to_json().contains("\"misses\": 1"));
+    }
+}

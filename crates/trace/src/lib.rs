@@ -1,0 +1,28 @@
+//! Schedule tracing: ASCII renderings of the paper's figures and
+//! machine-readable export.
+//!
+//! * [`gantt`] — per-processor Gantt charts of a simulated schedule, with
+//!   sub-slot resolution so DVQ's fractional quanta (e.g. a subtask
+//!   starting at `2 − δ`) are visible, as in Figs. 2–4;
+//! * [`windows`] — Pfair window diagrams of a task system (one row per
+//!   subtask, `[≡≡≡)` spans), as in Fig. 1;
+//! * [`export`] — JSON bundles (system + schedule + stats) for downstream
+//!   tooling;
+//! * [`svg`] — standalone SVG renderings of schedules (publication-style
+//!   figure artifacts, no drawing dependencies);
+//! * [`csv`] — flat-file export for spreadsheet/plotting pipelines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod export;
+pub mod gantt;
+pub mod svg;
+pub mod windows;
+
+pub use csv::{rows_to_csv, schedule_to_csv};
+pub use export::{trace_bundle, TraceBundle};
+pub use gantt::{render_gantt, GanttOptions};
+pub use svg::{render_svg, SvgOptions};
+pub use windows::{render_system_windows, render_windows};

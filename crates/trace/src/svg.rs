@@ -1,0 +1,227 @@
+//! SVG rendering of schedules — publication-style counterparts of the
+//! ASCII Gantt charts, written by hand (no drawing dependencies).
+//!
+//! One horizontal band per processor; each quantum is a rectangle from
+//! `S(T_i)` to `S(T_i) + c(T_i)` labelled `X_i`; slot boundaries are
+//! vertical grid lines, so DVQ quanta visibly cross or stop short of
+//! them. Deadline misses are outlined. The output embeds a small legend
+//! with the task weights.
+
+use core::fmt::Write as _;
+
+use pfair_numeric::Rat;
+use pfair_sim::Schedule;
+use pfair_taskmodel::TaskSystem;
+
+/// Options for [`render_svg`].
+#[derive(Clone, Copy, Debug)]
+pub struct SvgOptions {
+    /// Pixels per quantum.
+    pub px_per_slot: u32,
+    /// Pixels per processor band.
+    pub band_height: u32,
+    /// Render slots `[0, horizon)`.
+    pub horizon: i64,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        SvgOptions {
+            px_per_slot: 60,
+            band_height: 34,
+            horizon: 8,
+        }
+    }
+}
+
+/// Escapes XML-special characters in text content.
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// A fixed qualitative palette (cycled by task id).
+const PALETTE: [&str; 10] = [
+    "#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#76b7b2", "#edc948", "#b07aa1", "#ff9da7",
+    "#9c755f", "#bab0ac",
+];
+
+/// Renders the schedule as a standalone SVG document.
+#[must_use]
+pub fn render_svg(sys: &TaskSystem, sched: &Schedule, opts: &SvgOptions) -> String {
+    let left = 48.0;
+    let top = 24.0;
+    let w = opts.horizon as f64 * f64::from(opts.px_per_slot);
+    let h = f64::from(sched.m()) * f64::from(opts.band_height);
+    let legend_h = 18.0;
+    let total_w = left + w + 12.0;
+    let total_h = top + h + 24.0 + legend_h;
+    let x_of = |t: Rat| left + t.to_f64() * f64::from(opts.px_per_slot);
+
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{total_w:.0}" height="{total_h:.0}" font-family="sans-serif" font-size="11">"##
+    );
+    let _ = write!(
+        svg,
+        r##"<rect x="0" y="0" width="{total_w:.0}" height="{total_h:.0}" fill="white"/>"##
+    );
+
+    // Slot grid and ruler.
+    for t in 0..=opts.horizon {
+        let x = x_of(Rat::int(t));
+        let _ = write!(
+            svg,
+            r##"<line x1="{x:.1}" y1="{top}" x2="{x:.1}" y2="{:.1}" stroke="#ccc" stroke-width="1"/>"##,
+            top + h
+        );
+        let _ = write!(
+            svg,
+            r##"<text x="{x:.1}" y="{:.1}" text-anchor="middle" fill="#444">{t}</text>"##,
+            top - 8.0
+        );
+    }
+
+    // Processor bands.
+    for proc in 0..sched.m() {
+        let y = top + f64::from(proc) * f64::from(opts.band_height);
+        let _ = write!(
+            svg,
+            r##"<text x="4" y="{:.1}" fill="#444">CPU{proc}</text>"##,
+            y + f64::from(opts.band_height) * 0.62
+        );
+        let _ = write!(
+            svg,
+            r##"<line x1="{left}" y1="{:.1}" x2="{:.1}" y2="{:.1}" stroke="#eee"/>"##,
+            y + f64::from(opts.band_height),
+            left + w,
+            y + f64::from(opts.band_height)
+        );
+    }
+
+    // Quanta.
+    for p in sched.placements() {
+        if p.start >= Rat::int(opts.horizon) {
+            continue;
+        }
+        let s = sys.subtask(p.st);
+        let task = sys.task(s.id.task);
+        let x = x_of(p.start);
+        let x2 = x_of(p.completion().min(Rat::int(opts.horizon)));
+        let y = top + f64::from(p.proc) * f64::from(opts.band_height) + 3.0;
+        let bh = f64::from(opts.band_height) - 6.0;
+        let color = PALETTE[s.id.task.idx() % PALETTE.len()];
+        let missed = p.completion() > Rat::int(s.deadline);
+        let stroke = if missed { "#c00" } else { "#333" };
+        let sw = if missed { 2.0 } else { 0.5 };
+        let _ = write!(
+            svg,
+            r##"<rect x="{x:.1}" y="{y:.1}" width="{:.1}" height="{bh:.1}" fill="{color}" stroke="{stroke}" stroke-width="{sw}" rx="2"/>"##,
+            (x2 - x).max(1.0)
+        );
+        let _ = write!(
+            svg,
+            r##"<text x="{:.1}" y="{:.1}" text-anchor="middle" fill="white">{}_{}</text>"##,
+            (x + x2) / 2.0,
+            y + bh * 0.68,
+            xml_escape(&task.name),
+            s.id.index
+        );
+    }
+
+    // Legend.
+    let ly = top + h + 18.0;
+    let mut lx = left;
+    for task in sys.tasks() {
+        let color = PALETTE[task.id.idx() % PALETTE.len()];
+        let _ = write!(
+            svg,
+            r##"<rect x="{lx:.1}" y="{:.1}" width="10" height="10" fill="{color}"/>"##,
+            ly - 9.0
+        );
+        let label = xml_escape(&format!("{} ({})", task.name, task.weight));
+        let _ = write!(
+            svg,
+            r##"<text x="{:.1}" y="{ly:.1}" fill="#333">{label}</text>"##,
+            lx + 14.0
+        );
+        lx += 14.0 + 8.0 + 7.0 * label.len() as f64;
+    }
+
+    svg.push_str("</svg>");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfair_core::Pd2;
+    use pfair_sim::{simulate_dvq, simulate_sfq, FixedCosts, FullQuantum};
+    use pfair_taskmodel::{release, TaskId};
+
+    fn fig2_system() -> TaskSystem {
+        release::periodic_named(
+            &[
+                ("A", 1, 6),
+                ("B", 1, 6),
+                ("C", 1, 6),
+                ("D", 1, 2),
+                ("E", 1, 2),
+                ("F", 1, 2),
+            ],
+            6,
+        )
+    }
+
+    #[test]
+    fn produces_wellformed_svg() {
+        let sys = fig2_system();
+        let sched = simulate_sfq(&sys, 2, &Pd2, &mut FullQuantum);
+        let svg = render_svg(
+            &sys,
+            &sched,
+            &SvgOptions {
+                horizon: 6,
+                ..SvgOptions::default()
+            },
+        );
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        // One rect per quantum (12) plus background and legend swatches.
+        assert_eq!(svg.matches("<rect").count(), 1 + 12 + 6);
+        // No unescaped raw text hazards in names used here.
+        assert!(svg.contains(">D_1<"));
+    }
+
+    #[test]
+    fn xml_special_names_are_escaped() {
+        let mut b = pfair_taskmodel::TaskSystemBuilder::new();
+        let t = b.add_named_task(pfair_taskmodel::Weight::new(1, 2), "a<b&c>");
+        b.push(t, 1, 0, None).unwrap();
+        let sys = b.build();
+        let sched = simulate_sfq(&sys, 1, &Pd2, &mut FullQuantum);
+        let svg = render_svg(&sys, &sched, &SvgOptions::default());
+        assert!(svg.contains("a&lt;b&amp;c&gt;"));
+        assert!(!svg.contains("a<b&c>"));
+    }
+
+    #[test]
+    fn misses_are_outlined() {
+        let sys = fig2_system();
+        let delta = Rat::new(1, 4);
+        let mut costs = FixedCosts::new(Rat::ONE)
+            .with(TaskId(0), 1, Rat::ONE - delta)
+            .with(TaskId(5), 1, Rat::ONE - delta);
+        let sched = simulate_dvq(&sys, 2, &Pd2, &mut costs);
+        let svg = render_svg(
+            &sys,
+            &sched,
+            &SvgOptions {
+                horizon: 6,
+                ..SvgOptions::default()
+            },
+        );
+        // Exactly one missed quantum (F_2) outlined in red.
+        assert_eq!(svg.matches("stroke=\"#c00\"").count(), 1);
+    }
+}

@@ -1,0 +1,122 @@
+//! Pfair window diagrams (Fig. 1 style).
+//!
+//! One row per released subtask: the PF-window `[r, d)` is drawn as
+//! `[===)` over a slot grid; if the subtask is eligible before its release
+//! (early releasing / the IS-window), the lead-in is drawn with `<`.
+
+use pfair_taskmodel::{TaskId, TaskSystem};
+
+/// Renders the window diagram of one task over slots `[0, horizon)`.
+#[must_use]
+pub fn render_windows(sys: &TaskSystem, task: TaskId, horizon: i64) -> String {
+    let mut out = String::new();
+    let t = sys.task(task);
+    out.push_str(&format!("{} (wt {})\n", t.name, t.weight));
+    // Slot ruler.
+    out.push_str("        ");
+    for s in 0..horizon {
+        out.push_str(&format!("{:<2}", s % 10));
+    }
+    out.push('\n');
+    for s in sys.task_subtasks(task) {
+        let mut row = vec![' '; (horizon * 2) as usize + 2];
+        let put = |row: &mut Vec<char>, pos: i64, ch: char| {
+            if pos >= 0 && (pos as usize) < row.len() {
+                row[pos as usize] = ch;
+            }
+        };
+        // Eligibility lead-in.
+        let mut x = s.eligible * 2;
+        while x < s.release * 2 {
+            put(&mut row, x, '<');
+            x += 1;
+        }
+        put(&mut row, s.release * 2, '[');
+        let mut x = s.release * 2 + 1;
+        while x < s.deadline * 2 {
+            put(&mut row, x, '=');
+            x += 1;
+        }
+        put(&mut row, s.deadline * 2, ')');
+        let label = format!("  T_{:<4}", s.id.index);
+        out.push_str(&label);
+        out.extend(row);
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the window diagrams of every task in the system, concatenated.
+#[must_use]
+pub fn render_system_windows(sys: &TaskSystem, horizon: i64) -> String {
+    let mut out = String::new();
+    for task in sys.tasks() {
+        out.push_str(&render_windows(sys, task.id, horizon));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfair_taskmodel::release::{structured, ReleaseSpec};
+
+    #[test]
+    fn fig1a_periodic_windows() {
+        // Weight 3/4: windows [0,2), [1,3), [2,4).
+        let sys = structured(&[ReleaseSpec::periodic("T", 3, 4)], 4).unwrap();
+        let s = render_windows(&sys, TaskId(0), 8);
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].contains("wt 3/4"));
+        assert_eq!(lines[2], "  T_1   [===)");
+        assert_eq!(lines[3], "  T_2     [===)");
+        assert_eq!(lines[4], "  T_3       [===)");
+    }
+
+    #[test]
+    fn fig1b_is_window_shift() {
+        // T_3 released one slot late: window [3, 5).
+        let spec = ReleaseSpec {
+            name: "T",
+            e: 3,
+            p: 4,
+            delays: &[(3, 1)],
+            drops: &[],
+            early: 0,
+        };
+        let sys = structured(&[spec], 4).unwrap();
+        let s = render_windows(&sys, TaskId(0), 8);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[4], "  T_3         [===)");
+    }
+
+    #[test]
+    fn system_windows_concatenate() {
+        let sys = pfair_taskmodel::release::periodic(&[(3, 4), (1, 2)], 4);
+        let all = render_system_windows(&sys, 6);
+        assert!(all.contains("wt 3/4"));
+        assert!(all.contains("wt 1/2"));
+        assert!(all.lines().count() > 8);
+    }
+
+    #[test]
+    fn early_release_lead_in() {
+        let spec = ReleaseSpec {
+            name: "T",
+            e: 1,
+            p: 2,
+            delays: &[],
+            drops: &[],
+            early: 1,
+        };
+        let sys = structured(&[spec], 4).unwrap();
+        let s = render_windows(&sys, TaskId(0), 6);
+        // T_2: r = 2, e = 1 ⇒ two '<' cells before '['.
+        let line = s.lines().nth(3).unwrap();
+        assert_eq!(line, "  T_2     <<[===)");
+    }
+}

@@ -1,0 +1,374 @@
+//! The experiment harness: seeded, parallel sweeps over random task
+//! systems, producing the aggregates EXPERIMENTS.md reports.
+//!
+//! One *trial* = generate a weight set (seeded), generate its release
+//! process (seeded), pick the cost model (seeded), simulate under the
+//! configured quantum model and algorithm, and measure. A *sweep* runs
+//! many trials across threads (crossbeam scoped threads; trials are
+//! embarrassingly parallel) and aggregates.
+//!
+//! Trial seeds are derived as `base_seed + trial_index`, so any individual
+//! trial — in particular a bound-violating one, should a bug ever produce
+//! it — can be re-run in isolation.
+
+use pfair_core::Algorithm;
+use pfair_numeric::Rat;
+use pfair_sim::{
+    simulate_dvq, simulate_sfq, simulate_sfq_pdb, simulate_staggered, CostModel, FullQuantum,
+    ScaledCost, Schedule,
+};
+use pfair_taskmodel::TaskSystem;
+use pfair_analysis::{detect_blocking, migration_stats, response_stats, tardiness_stats, waste_stats};
+use serde::{Deserialize, Serialize};
+
+use crate::costgen::{AdversarialYield, BimodalCost, UniformCost};
+use crate::releasegen::{self, ReleaseConfig};
+use crate::taskgen::{random_weights, TaskGenConfig};
+
+/// Which simulator a trial runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// SFQ with the configured priority algorithm.
+    Sfq,
+    /// DVQ with the configured priority algorithm.
+    Dvq,
+    /// Staggered quanta with the configured priority algorithm.
+    Staggered,
+    /// SFQ driven by the PD^B procedure (algorithm field ignored).
+    SfqPdb,
+}
+
+impl core::fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            ModelKind::Sfq => "SFQ",
+            ModelKind::Dvq => "DVQ",
+            ModelKind::Staggered => "staggered",
+            ModelKind::SfqPdb => "SFQ/PD^B",
+        })
+    }
+}
+
+/// Which cost model a trial uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CostKind {
+    /// Every subtask uses its full quantum.
+    Full,
+    /// Every subtask costs the same fixed fraction.
+    Scaled(Rat),
+    /// Uniform on `[min, 1]`.
+    Uniform {
+        /// Lower bound of the uniform draw.
+        min: Rat,
+    },
+    /// `1` with probability `full_percent`%, else `low`.
+    Bimodal {
+        /// Percentage of full-quantum subtasks.
+        full_percent: u8,
+        /// The early-finish cost.
+        low: Rat,
+    },
+    /// `1 − δ` with probability `yield_percent`%, else `1`.
+    Adversarial {
+        /// The near-boundary yield `δ`.
+        delta: Rat,
+        /// Percentage of yielding subtasks.
+        yield_percent: u8,
+    },
+    /// Each job's final subtask costs `frac` (§4 future work: non-integral
+    /// job costs).
+    PartialFinal {
+        /// The fractional cost of job-final subtasks.
+        frac: Rat,
+    },
+}
+
+/// Full description of one experiment cell.
+#[derive(Clone, Copy, Debug)]
+pub struct ExperimentConfig {
+    /// Processor count.
+    pub m: u32,
+    /// Priority algorithm (ignored for [`ModelKind::SfqPdb`]).
+    pub algorithm: Algorithm,
+    /// Quantum model.
+    pub model: ModelKind,
+    /// Weight-set generation.
+    pub taskgen: TaskGenConfig,
+    /// Release-process generation.
+    pub release: ReleaseConfig,
+    /// Cost model.
+    pub cost: CostKind,
+    /// Number of independent trials.
+    pub trials: usize,
+    /// Base seed; trial `k` uses `base_seed + k`.
+    pub base_seed: u64,
+}
+
+/// Measurements from one trial.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// The trial's seed.
+    pub seed: u64,
+    /// Number of tasks generated.
+    pub tasks: usize,
+    /// Number of released subtasks.
+    pub subtasks: usize,
+    /// Maximum subtask tardiness.
+    pub max_tardiness: Rat,
+    /// Deadline misses (tardiness > 0).
+    pub misses: usize,
+    /// Observed priority-inversion events.
+    pub blocking_events: usize,
+    /// Fraction of capacity wasted inside quanta.
+    pub wasted_fraction: Rat,
+    /// Fraction of capacity spent executing.
+    pub busy_fraction: Rat,
+    /// Latest completion time.
+    pub makespan: Rat,
+    /// Inter-processor migrations (adjacent subtasks on different CPUs).
+    pub migrations: usize,
+    /// Mean response time (eligibility → completion).
+    pub mean_response: Rat,
+}
+
+/// Builds the cost model for a trial.
+fn make_cost(kind: CostKind, seed: u64) -> Box<dyn CostModel + Send> {
+    match kind {
+        CostKind::Full => Box::new(FullQuantum),
+        CostKind::Scaled(c) => Box::new(ScaledCost(c)),
+        CostKind::Uniform { min } => Box::new(UniformCost::new(min, seed ^ 0x5eed_c057)),
+        CostKind::Bimodal { full_percent, low } => {
+            Box::new(BimodalCost::new(full_percent, low, seed ^ 0xb1_b0da1))
+        }
+        CostKind::Adversarial {
+            delta,
+            yield_percent,
+        } => Box::new(AdversarialYield::new(delta, yield_percent, seed ^ 0xadae_25a1)),
+        CostKind::PartialFinal { frac } => {
+            Box::new(crate::costgen::PartialFinalSubtask::new(frac))
+        }
+    }
+}
+
+/// Generates the task system for a trial.
+#[must_use]
+pub fn make_system(cfg: &ExperimentConfig, seed: u64) -> TaskSystem {
+    let weights = random_weights(&cfg.taskgen, seed);
+    releasegen::generate(&weights, &cfg.release, seed ^ 0x9e3779b97f4a7c15)
+}
+
+/// Runs the configured simulator.
+#[must_use]
+pub fn simulate(cfg: &ExperimentConfig, sys: &TaskSystem, cost: &mut dyn CostModel) -> Schedule {
+    match cfg.model {
+        ModelKind::Sfq => simulate_sfq(sys, cfg.m, cfg.algorithm.order(), cost),
+        ModelKind::Dvq => simulate_dvq(sys, cfg.m, cfg.algorithm.order(), cost),
+        ModelKind::Staggered => simulate_staggered(sys, cfg.m, cfg.algorithm.order(), cost),
+        ModelKind::SfqPdb => simulate_sfq_pdb(sys, cfg.m, cost),
+    }
+}
+
+/// Runs a single trial.
+#[must_use]
+pub fn run_one(cfg: &ExperimentConfig, seed: u64) -> RunSummary {
+    let sys = make_system(cfg, seed);
+    let mut cost = make_cost(cfg.cost, seed);
+    let sched = simulate(cfg, &sys, cost.as_mut());
+    let t = tardiness_stats(&sys, &sched);
+    let w = waste_stats(&sched);
+    let blocking = match cfg.model {
+        // Inversions are only meaningful relative to the priority order
+        // actually driving the run.
+        ModelKind::SfqPdb => detect_blocking(&sys, &sched, Algorithm::Pd2.order()),
+        _ => detect_blocking(&sys, &sched, cfg.algorithm.order()),
+    };
+    let migrations = migration_stats(&sys, &sched).migrations;
+    let mean_response = response_stats(&sys, &sched).mean();
+    RunSummary {
+        seed,
+        tasks: sys.num_tasks(),
+        subtasks: sys.num_subtasks(),
+        max_tardiness: t.max,
+        misses: t.misses,
+        blocking_events: blocking.len(),
+        wasted_fraction: w.wasted_fraction(),
+        busy_fraction: w.busy_fraction(),
+        makespan: w.makespan,
+        migrations,
+        mean_response,
+    }
+}
+
+/// Aggregates over a sweep's trials.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SweepSummary {
+    /// Per-trial results, in seed order.
+    pub runs: Vec<RunSummary>,
+}
+
+impl SweepSummary {
+    /// Maximum tardiness across every trial.
+    #[must_use]
+    pub fn max_tardiness(&self) -> Rat {
+        self.runs
+            .iter()
+            .map(|r| r.max_tardiness)
+            .max()
+            .unwrap_or(Rat::ZERO)
+    }
+
+    /// Total deadline misses across trials.
+    #[must_use]
+    pub fn total_misses(&self) -> usize {
+        self.runs.iter().map(|r| r.misses).sum()
+    }
+
+    /// Total subtasks simulated.
+    #[must_use]
+    pub fn total_subtasks(&self) -> usize {
+        self.runs.iter().map(|r| r.subtasks).sum()
+    }
+
+    /// Total observed priority inversions.
+    #[must_use]
+    pub fn total_blocking_events(&self) -> usize {
+        self.runs.iter().map(|r| r.blocking_events).sum()
+    }
+
+    /// Mean wasted fraction (as `f64`, for reporting).
+    #[must_use]
+    pub fn mean_wasted_fraction(&self) -> f64 {
+        if self.runs.is_empty() {
+            return 0.0;
+        }
+        self.runs
+            .iter()
+            .map(|r| r.wasted_fraction.to_f64())
+            .sum::<f64>()
+            / self.runs.len() as f64
+    }
+}
+
+/// Runs `cfg.trials` trials across `threads` worker threads.
+///
+/// Results are returned in deterministic (seed) order regardless of thread
+/// interleaving.
+#[must_use]
+pub fn run_sweep(cfg: &ExperimentConfig, threads: usize) -> SweepSummary {
+    let threads = threads.max(1);
+    let mut runs: Vec<Option<RunSummary>> = vec![None; cfg.trials];
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots = parking_lot::Mutex::new(&mut runs);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let k = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if k >= cfg.trials {
+                    break;
+                }
+                let summary = run_one(cfg, cfg.base_seed + k as u64);
+                slots.lock()[k] = Some(summary);
+            });
+        }
+    })
+    .expect("experiment worker panicked");
+
+    SweepSummary {
+        runs: runs.into_iter().map(|r| r.expect("trial completed")).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::taskgen::WeightDist;
+
+    fn small_cfg(model: ModelKind, cost: CostKind) -> ExperimentConfig {
+        ExperimentConfig {
+            m: 2,
+            algorithm: Algorithm::Pd2,
+            model,
+            taskgen: TaskGenConfig {
+                target_util: Rat::int(2),
+                max_period: 8,
+                dist: WeightDist::Uniform,
+                fill_exact: true,
+            },
+            release: ReleaseConfig::periodic(16),
+            cost,
+            trials: 8,
+            base_seed: 1000,
+        }
+    }
+
+    #[test]
+    fn pd2_sfq_never_misses() {
+        let cfg = small_cfg(ModelKind::Sfq, CostKind::Full);
+        let sweep = run_sweep(&cfg, 4);
+        assert_eq!(sweep.runs.len(), 8);
+        assert_eq!(sweep.max_tardiness(), Rat::ZERO);
+        assert_eq!(sweep.total_misses(), 0);
+        assert_eq!(sweep.total_blocking_events(), 0);
+    }
+
+    #[test]
+    fn pd2_dvq_tardiness_at_most_one() {
+        let cfg = small_cfg(
+            ModelKind::Dvq,
+            CostKind::Adversarial {
+                delta: Rat::new(1, 64),
+                yield_percent: 60,
+            },
+        );
+        let sweep = run_sweep(&cfg, 4);
+        assert!(sweep.max_tardiness() <= Rat::ONE);
+    }
+
+    #[test]
+    fn sweep_deterministic_across_thread_counts() {
+        let cfg = small_cfg(
+            ModelKind::Dvq,
+            CostKind::Uniform {
+                min: Rat::new(1, 2),
+            },
+        );
+        let a = run_sweep(&cfg, 1);
+        let b = run_sweep(&cfg, 4);
+        for (x, y) in a.runs.iter().zip(&b.runs) {
+            assert_eq!(x.seed, y.seed);
+            assert_eq!(x.max_tardiness, y.max_tardiness);
+            assert_eq!(x.makespan, y.makespan);
+        }
+    }
+
+    #[test]
+    fn waste_ordering_sfq_vs_dvq() {
+        let scaled = CostKind::Scaled(Rat::new(1, 2));
+        let sfq = run_sweep(&small_cfg(ModelKind::Sfq, scaled), 2);
+        let dvq = run_sweep(&small_cfg(ModelKind::Dvq, scaled), 2);
+        assert!(sfq.mean_wasted_fraction() > 0.0);
+        assert_eq!(dvq.mean_wasted_fraction(), 0.0);
+    }
+
+    #[test]
+    fn partial_final_cost_kind_runs() {
+        let cfg = small_cfg(
+            ModelKind::Dvq,
+            CostKind::PartialFinal {
+                frac: Rat::new(1, 2),
+            },
+        );
+        let sweep = run_sweep(&cfg, 2);
+        assert!(sweep.max_tardiness() <= Rat::ONE);
+        assert_eq!(sweep.mean_wasted_fraction(), 0.0);
+    }
+
+    #[test]
+    fn pdb_model_runs() {
+        let cfg = small_cfg(ModelKind::SfqPdb, CostKind::Full);
+        let sweep = run_sweep(&cfg, 2);
+        // Theorem 2: tardiness ≤ 1 under PD^B.
+        assert!(sweep.max_tardiness() <= Rat::ONE);
+    }
+}

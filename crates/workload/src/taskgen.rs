@@ -1,0 +1,239 @@
+//! Random feasible weight sets.
+//!
+//! Generates task weights `e/p ∈ (0, 1]` under a chosen distribution until
+//! a target utilization is reached, then (optionally) adds one exact filler
+//! so `Σ wt` equals the target *exactly* — full-utilization systems
+//! (`Σ wt = M`) are the regime where Pfair scheduling has zero slack and
+//! the paper's bounds are sharpest.
+
+use pfair_numeric::Rat;
+use pfair_taskmodel::Weight;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Weight distribution families for random task sets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WeightDist {
+    /// `p` uniform in `[2, max_period]`, `e` uniform in `[1, p]`.
+    Uniform,
+    /// Light tasks only (`wt < 1/2`): `e` uniform in `[1, ⌈p/2⌉ − 1]`.
+    Light,
+    /// Heavy tasks only (`wt ≥ 1/2`): `e` uniform in `[⌈p/2⌉, p]`.
+    Heavy,
+    /// Heavy with the given probability (percent, 0–100), else light —
+    /// the mix that exercises PD²'s group-deadline tie-break.
+    Bimodal {
+        /// Probability (in percent) of drawing a heavy task.
+        heavy_percent: u8,
+    },
+}
+
+/// Configuration for [`random_weights`].
+///
+/// Keep `max_period` ≤ ~40: exact utilization accounting sums weights over
+/// a common denominator of `lcm(2..=max_period)`, and beyond ~40 that
+/// exceeds the i64-backed [`Rat`] (arithmetic panics rather than wraps).
+#[derive(Clone, Copy, Debug)]
+pub struct TaskGenConfig {
+    /// Target total utilization (must be ≥ 0; callers pass `≤ M` for
+    /// feasible systems).
+    pub target_util: Rat,
+    /// Largest period to draw.
+    pub max_period: i64,
+    /// Distribution family.
+    pub dist: WeightDist,
+    /// If `true`, append one exact filler weight so the total equals
+    /// `target_util` exactly (the filler's period may exceed
+    /// `max_period`).
+    pub fill_exact: bool,
+}
+
+impl TaskGenConfig {
+    /// A full-utilization uniform config for `m` processors.
+    #[must_use]
+    pub fn full(m: u32, max_period: i64) -> TaskGenConfig {
+        TaskGenConfig {
+            target_util: Rat::int(i64::from(m)),
+            max_period,
+            dist: WeightDist::Uniform,
+            fill_exact: true,
+        }
+    }
+}
+
+/// Draws a weight from `dist`.
+fn draw_weight(rng: &mut StdRng, dist: WeightDist, max_period: i64) -> Weight {
+    // Light weights need p ≥ 3 (no e/2 is strictly below 1/2).
+    let light_e = |rng: &mut StdRng, p: i64| rng.gen_range(1..=(p - 1) / 2);
+    let heavy_e = |rng: &mut StdRng, p: i64| rng.gen_range((p + 1) / 2..=p);
+    match dist {
+        WeightDist::Uniform => {
+            let p = rng.gen_range(2..=max_period.max(2));
+            Weight::new(rng.gen_range(1..=p), p)
+        }
+        WeightDist::Light => {
+            let p = rng.gen_range(3..=max_period.max(3));
+            Weight::new(light_e(rng, p), p)
+        }
+        WeightDist::Heavy => {
+            let p = rng.gen_range(2..=max_period.max(2));
+            Weight::new(heavy_e(rng, p), p)
+        }
+        WeightDist::Bimodal { heavy_percent } => {
+            if rng.gen_range(0u8..100) < heavy_percent {
+                let p = rng.gen_range(2..=max_period.max(2));
+                Weight::new(heavy_e(rng, p), p)
+            } else {
+                let p = rng.gen_range(3..=max_period.max(3));
+                Weight::new(light_e(rng, p), p)
+            }
+        }
+    }
+}
+
+/// Generates a random weight set summing to at most — and with
+/// `fill_exact`, exactly — `cfg.target_util`.
+///
+/// Deterministic in `seed`.
+#[must_use]
+pub fn random_weights(cfg: &TaskGenConfig, seed: u64) -> Vec<Weight> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut weights = Vec::new();
+    let mut total = Rat::ZERO;
+    assert!(
+        !cfg.target_util.is_negative(),
+        "target utilization must be nonnegative"
+    );
+    loop {
+        let w = draw_weight(&mut rng, cfg.dist, cfg.max_period);
+        let remaining = cfg.target_util - total;
+        if w.as_rat() > remaining {
+            // Cannot fit this draw. Fill the exact remainder if asked.
+            if cfg.fill_exact && remaining.is_positive() {
+                weights.push(Weight::new(remaining.num(), remaining.den()));
+                total = cfg.target_util;
+            }
+            break;
+        }
+        total += w.as_rat();
+        weights.push(w);
+        if total == cfg.target_util {
+            break;
+        }
+    }
+    debug_assert!(total <= cfg.target_util);
+    weights
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_fill_hits_target() {
+        for seed in 0..50 {
+            let cfg = TaskGenConfig::full(4, 16);
+            let ws = random_weights(&cfg, seed);
+            let total: Rat = ws.iter().map(|w| w.as_rat()).sum();
+            assert_eq!(total, Rat::int(4), "seed {seed}");
+            assert!(ws.iter().all(|w| w.as_rat() <= Rat::ONE));
+        }
+    }
+
+    #[test]
+    fn without_fill_stays_at_or_below_target() {
+        for seed in 0..50 {
+            let cfg = TaskGenConfig {
+                target_util: Rat::new(7, 2),
+                max_period: 12,
+                dist: WeightDist::Uniform,
+                fill_exact: false,
+            };
+            let total: Rat = random_weights(&cfg, seed).iter().map(|w| w.as_rat()).sum();
+            assert!(total <= Rat::new(7, 2));
+        }
+    }
+
+    #[test]
+    fn light_distribution_is_light() {
+        let cfg = TaskGenConfig {
+            target_util: Rat::int(2),
+            max_period: 20,
+            dist: WeightDist::Light,
+            fill_exact: false,
+        };
+        for seed in 0..20 {
+            for w in random_weights(&cfg, seed) {
+                assert!(w.is_light(), "seed {seed}: {w} not light");
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_distribution_is_heavy() {
+        let cfg = TaskGenConfig {
+            target_util: Rat::int(4),
+            max_period: 20,
+            dist: WeightDist::Heavy,
+            fill_exact: false,
+        };
+        for seed in 0..20 {
+            for w in random_weights(&cfg, seed) {
+                assert!(w.is_heavy(), "seed {seed}: {w} not heavy");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = TaskGenConfig::full(3, 10);
+        assert_eq!(random_weights(&cfg, 42), random_weights(&cfg, 42));
+        // Overwhelmingly likely to differ across seeds.
+        assert_ne!(random_weights(&cfg, 1), random_weights(&cfg, 2));
+    }
+
+    #[test]
+    fn documented_period_limit_panics_loudly_beyond_it() {
+        // Exact utilization sums over periods up to 48 need a common
+        // denominator of lcm(2..=48) > i64::MAX; the library's contract is
+        // a loud panic, not a wrap. (Within the documented ≤ ~40 range the
+        // same sweep works.)
+        let over = TaskGenConfig {
+            target_util: Rat::int(32),
+            max_period: 48,
+            dist: WeightDist::Uniform,
+            fill_exact: false,
+        };
+        let result = std::panic::catch_unwind(|| {
+            for seed in 0..40u64 {
+                let _ = random_weights(&over, seed);
+            }
+        });
+        assert!(result.is_err(), "expected Rat overflow panic at p ≤ 48");
+
+        let within = TaskGenConfig {
+            target_util: Rat::int(32),
+            max_period: 36,
+            dist: WeightDist::Uniform,
+            fill_exact: true,
+        };
+        for seed in 0..40u64 {
+            let ws = random_weights(&within, seed);
+            let total: Rat = ws.iter().map(|w| w.as_rat()).sum();
+            assert_eq!(total, Rat::int(32), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn bimodal_mixes() {
+        let cfg = TaskGenConfig {
+            target_util: Rat::int(8),
+            max_period: 16,
+            dist: WeightDist::Bimodal { heavy_percent: 50 },
+            fill_exact: false,
+        };
+        let ws = random_weights(&cfg, 7);
+        assert!(ws.iter().any(|w| w.is_heavy()));
+        assert!(ws.iter().any(|w| w.is_light()));
+    }
+}

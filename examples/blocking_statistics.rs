@@ -1,0 +1,89 @@
+//! E8 (extension): how often do the paper's priority inversions actually
+//! occur, and how does the PD^B partition engage, as the yield
+//! probability rises?
+//!
+//! For each yield probability the harness reports, over random
+//! full-utilization systems:
+//!
+//! * DVQ/PD²: eligibility- vs predecessor-blocking event counts, mean
+//!   blocking duration, max tardiness;
+//! * PD^B (SFQ): how many slots have a nonempty `PB(t)` partition
+//!   (the predecessor-blocking machinery engaging at boundaries).
+//!
+//! ```text
+//! cargo run --release --example blocking_statistics [trials]
+//! ```
+
+use pfair::core::Algorithm;
+use pfair::prelude::*;
+use pfair::workload::{random_weights, releasegen, AdversarialYield};
+
+fn main() {
+    let trials: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30);
+    let m = 4;
+    let delta = Rat::new(1, 64);
+    println!(
+        "E8: blocking frequency vs yield probability (M = {m}, δ = {delta}, {trials} systems/point)\n"
+    );
+    println!(
+        "{:>7} | {:>8} {:>8} {:>10} {:>13} | {:>10} {:>9}",
+        "yield%", "elig-blk", "pred-blk", "mean dur", "max tardiness", "PB slots", "per 1000"
+    );
+
+    for yield_percent in [0u8, 10, 30, 50, 70, 90] {
+        let mut elig = 0usize;
+        let mut pred = 0usize;
+        let mut dur_total = Rat::ZERO;
+        let mut max_tard = Rat::ZERO;
+        let mut pb_slots = 0usize;
+        let mut total_slots = 0usize;
+        for seed in 0..trials {
+            let ws = random_weights(&TaskGenConfig::full(m, 12), 88_000 + seed);
+            let sys = releasegen::generate(&ws, &ReleaseConfig::periodic(24), seed);
+            // DVQ with adversarial yields.
+            let mut cost = AdversarialYield::new(delta, yield_percent, seed);
+            let sched = simulate_dvq(&sys, m, Algorithm::Pd2.order(), &mut cost);
+            for ev in detect_blocking(&sys, &sched, Algorithm::Pd2.order()) {
+                match ev.kind {
+                    BlockingKind::Eligibility => elig += 1,
+                    BlockingKind::Predecessor => pred += 1,
+                }
+                dur_total += ev.duration();
+            }
+            max_tard = max_tard.max(tardiness_stats(&sys, &sched).max);
+            // PD^B partition engagement (boundary analogue).
+            let (_, stats) = simulate_sfq_pdb_instrumented(&sys, m, &mut FullQuantum);
+            pb_slots += stats.iter().filter(|s| s.pb > 0).count();
+            total_slots += stats.len();
+        }
+        let events = elig + pred;
+        let mean_dur = if events == 0 {
+            0.0
+        } else {
+            (dur_total / Rat::int(events as i64)).to_f64()
+        };
+        println!(
+            "{:>7} | {:>8} {:>8} {:>10.3} {:>13} | {:>10} {:>9.1}",
+            yield_percent,
+            elig,
+            pred,
+            mean_dur,
+            max_tard.to_string(),
+            pb_slots,
+            1000.0 * pb_slots as f64 / total_slots.max(1) as f64,
+        );
+        assert!(max_tard <= Rat::ONE);
+        if yield_percent == 0 {
+            assert_eq!(events, 0, "no yields ⇒ no inversions");
+        }
+    }
+    println!(
+        "\nShape: inversions appear as soon as subtasks yield, dominated by \
+         eligibility blocking; predecessor blocking is rarer (it needs the \
+         precise Fig. 3 interleaving); tardiness stays below one quantum \
+         throughout."
+    );
+}

@@ -1,0 +1,101 @@
+//! E9 (extension): early releasing under the DVQ model — the paper's §1
+//! remark that "the early-release model of Pfair scheduling provides a
+//! less-expensive and simpler alternative to using an auxiliary
+//! scheduler" (as DFS does) for soaking up reclaimed idle time.
+//!
+//! On an *under-loaded* system whose subtasks finish early, plain DVQ
+//! still idles whenever nothing is eligible; allowing each subtask to
+//! become eligible `k` slots before its Pfair release (`e(T_i) =
+//! r(T_i) − k`, still a legal IS system by Eq. (6)) lets the reclaimed
+//! capacity pull future work forward. This harness sweeps `k` and
+//! reports idle fraction, mean completion improvement, and tardiness
+//! (which must stay 0 here: early releasing never hurts a feasible
+//! system under PD²).
+//!
+//! ```text
+//! cargo run --release --example early_release [trials]
+//! ```
+
+use pfair::core::Algorithm;
+use pfair::prelude::*;
+use pfair::workload::{random_weights, releasegen};
+
+fn main() {
+    let trials: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(25);
+    let m = 4;
+    // Under-loaded: util = 3 on 4 processors, so reclaimed time exists.
+    let util = Rat::int(3);
+    println!(
+        "E9: early releasing under DVQ (M = {m}, util = {util}, c = 3/4 fixed, {trials} systems/point)\n"
+    );
+    println!(
+        "{:>3} | {:>10} {:>16} {:>14} {:>9}",
+        "k", "idle frac", "mean completion", "max tardiness", "misses"
+    );
+
+    let mut base_mean_completion = Rat::ZERO;
+    for k in [0i64, 1, 2, 4] {
+        let mut idle = 0.0;
+        let mut total_completion = Rat::ZERO;
+        let mut n_subtasks = 0usize;
+        let mut max_tard = Rat::ZERO;
+        let mut misses = 0usize;
+        for seed in 0..trials {
+            let ws = random_weights(
+                &TaskGenConfig {
+                    target_util: util,
+                    max_period: 12,
+                    dist: WeightDist::Uniform,
+                    fill_exact: true,
+                },
+                91_000 + seed,
+            );
+            let sys = releasegen::generate(
+                &ws,
+                &ReleaseConfig {
+                    kind: ReleaseKind::Periodic,
+                    horizon: 24,
+                    delay_percent: 0,
+                    drop_percent: 0,
+                    early: k,
+                    max_join: 0,
+                },
+                seed,
+            );
+            let sched = simulate_dvq(&sys, m, Algorithm::Pd2.order(), &mut ScaledCost(Rat::new(3, 4)));
+            let w = waste_stats(&sched);
+            idle += (w.idle / w.capacity()).to_f64();
+            for (st, _) in sys.iter_refs() {
+                total_completion += sched.completion(st);
+            }
+            n_subtasks += sys.num_subtasks();
+            let t = tardiness_stats(&sys, &sched);
+            max_tard = max_tard.max(t.max);
+            misses += t.misses;
+        }
+        let mean_completion = total_completion / Rat::int(n_subtasks as i64);
+        if k == 0 {
+            base_mean_completion = mean_completion;
+        }
+        println!(
+            "{:>3} | {:>10.4} {:>16.3} {:>14} {:>9}",
+            k,
+            idle / trials as f64,
+            mean_completion.to_f64(),
+            max_tard.to_string(),
+            misses
+        );
+        // Early releasing must not introduce misses on a feasible system
+        // beyond the DVQ bound.
+        assert!(max_tard <= Rat::ONE);
+        assert!(mean_completion <= base_mean_completion);
+    }
+    println!(
+        "\nShape: each extra slot of early-release allowance lowers idle \
+         time and mean completion; no auxiliary scheduler needed — the \
+         eligibility parameter of the IS model already expresses it."
+    );
+}

@@ -1,0 +1,61 @@
+//! Reproduces Fig. 1: Pfair windows of a weight-3/4 task under the
+//! periodic, IS, and GIS models.
+//!
+//! ```text
+//! cargo run --example figure1_windows
+//! ```
+
+use pfair::prelude::*;
+use pfair::taskmodel::release::{structured, ReleaseSpec};
+
+fn main() {
+    // (a) Periodic: subtasks T_1..T_3 with windows [0,2), [1,3), [2,4);
+    //     the pattern repeats for every job.
+    let periodic = release::periodic(&[(3, 4)], 8);
+    println!("Fig. 1(a) — periodic task, wt 3/4:");
+    println!("{}", render_windows(&periodic, TaskId(0), 10));
+
+    // (b) IS: T_3 becomes eligible one time unit late (θ(T_3) = 1); all
+    //     later windows shift right with it.
+    let is_task = structured(
+        &[ReleaseSpec {
+            name: "T",
+            e: 3,
+            p: 4,
+            delays: &[(3, 1)],
+            drops: &[],
+            early: 0,
+        }],
+        9,
+    )
+    .unwrap();
+    println!("Fig. 1(b) — IS task, T_3 one unit late:");
+    println!("{}", render_windows(&is_task, TaskId(0), 10));
+
+    // (c) GIS: subtask T_2 is absent and T_3 becomes eligible one unit
+    //     late.
+    let gis_task = structured(
+        &[ReleaseSpec {
+            name: "T",
+            e: 3,
+            p: 4,
+            delays: &[(3, 1)],
+            drops: &[2],
+            early: 0,
+        }],
+        9,
+    )
+    .unwrap();
+    println!("Fig. 1(c) — GIS task, T_2 absent, T_3 one unit late:");
+    println!("{}", render_windows(&gis_task, TaskId(0), 10));
+
+    // The tie-break parameters behind PD² for the first job.
+    println!("PD² parameters of the periodic task (first job):");
+    println!("  i | r  d  | b | D");
+    for s in periodic.task_subtasks(TaskId(0)).iter().take(3) {
+        println!(
+            "  {} | {}  {}  | {} | {}",
+            s.id.index, s.release, s.deadline, s.bbit as u8, s.group_deadline
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! Quickstart: schedule a task set under the SFQ and DVQ models and
+//! compare.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use pfair::prelude::*;
+
+fn main() {
+    // Three weight-1/6 tasks and three weight-1/2 tasks: total utilization
+    // 2, scheduled on M = 2 processors (the paper's running example).
+    let sys = release::periodic_named(
+        &[
+            ("A", 1, 6),
+            ("B", 1, 6),
+            ("C", 1, 6),
+            ("D", 1, 2),
+            ("E", 1, 2),
+            ("F", 1, 2),
+        ],
+        6,
+    );
+    println!(
+        "task system: {} tasks, {} subtasks, utilization {} (feasible on 2 cpus: {})\n",
+        sys.num_tasks(),
+        sys.num_subtasks(),
+        sys.utilization(),
+        sys.is_feasible(2)
+    );
+
+    // 1. Classical SFQ model: PD² is optimal — zero tardiness.
+    let sfq = simulate_sfq(&sys, 2, &Pd2, &mut FullQuantum);
+    println!("== SFQ model, PD² (every quantum runs to its boundary) ==");
+    print!(
+        "{}",
+        render_gantt(
+            &sys,
+            &sfq,
+            &GanttOptions {
+                resolution: 4,
+                horizon: 6
+            }
+        )
+    );
+    let t = tardiness_stats(&sys, &sfq);
+    println!("max tardiness: {}   misses: {}\n", t.max, t.misses);
+
+    // 2. DVQ model with early yields: A_1 and F_1 complete δ = 1/4 early;
+    //    the freed time is reclaimed, but a priority inversion makes F_2
+    //    miss its deadline — by less than one quantum (Theorem 3).
+    let delta = Rat::new(1, 4);
+    let mut costs = FixedCosts::new(Rat::ONE)
+        .with(TaskId(0), 1, Rat::ONE - delta) // A_1
+        .with(TaskId(5), 1, Rat::ONE - delta); // F_1
+    let dvq = simulate_dvq(&sys, 2, &Pd2, &mut costs);
+    println!("== DVQ model, PD² (A_1, F_1 yield {delta} early) ==");
+    print!(
+        "{}",
+        render_gantt(
+            &sys,
+            &dvq,
+            &GanttOptions {
+                resolution: 4,
+                horizon: 6
+            }
+        )
+    );
+    let t = tardiness_stats(&sys, &dvq);
+    println!("max tardiness: {}   misses: {}", t.max, t.misses);
+    for ev in detect_blocking(&sys, &dvq, &Pd2) {
+        println!(
+            "  inversion: {:?} ready at {} but scheduled at {} ({:?} blocking)",
+            sys.subtask(ev.victim).id,
+            ev.ready_at,
+            ev.scheduled_at,
+            ev.kind
+        );
+    }
+    println!();
+
+    // 3. The paper's bound, empirically: sweep random full-utilization
+    //    systems with adversarial yields — tardiness never exceeds 1.
+    let cfg = ExperimentConfig {
+        m: 4,
+        algorithm: pfair::core::Algorithm::Pd2,
+        model: ModelKind::Dvq,
+        taskgen: TaskGenConfig::full(4, 12),
+        release: ReleaseConfig::periodic(24),
+        cost: pfair::workload::experiment::CostKind::Adversarial {
+            delta: Rat::new(1, 64),
+            yield_percent: 70,
+        },
+        trials: 50,
+        base_seed: 2026,
+    };
+    let sweep = run_sweep(&cfg, 4);
+    println!(
+        "== Theorem 3 spot-check: 50 random full-utilization systems on 4 cpus ==\n\
+         subtasks simulated: {}   misses: {}   max tardiness: {} (bound: 1)",
+        sweep.total_subtasks(),
+        sweep.total_misses(),
+        sweep.max_tardiness()
+    );
+    assert!(sweep.max_tardiness() <= Rat::ONE);
+}

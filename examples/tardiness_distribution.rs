@@ -1,0 +1,84 @@
+//! E11 (extension): the *distribution* of DVQ tardiness, not just its
+//! maximum.
+//!
+//! Theorem 3 bounds the worst case at one quantum; operators of soft
+//! real-time systems also care where the mass sits. This harness sweeps
+//! yield regimes and prints a text histogram of subtask tardiness over
+//! `[0, 1]`: under light yielding almost everything is on time; under
+//! adversarial near-boundary yields the tardy mass piles up just below
+//! one quantum (the `1 − δ` signature of eligibility blocking), never
+//! crossing it.
+//!
+//! ```text
+//! cargo run --release --example tardiness_distribution [trials]
+//! ```
+
+use pfair::analysis::tardiness::tardiness_histogram;
+use pfair::core::Algorithm;
+use pfair::prelude::*;
+use pfair::workload::{random_weights, releasegen, AdversarialYield, BimodalCost, UniformCost};
+
+const BUCKETS: usize = 9; // on-time + 8 bins over (0, 1]
+
+fn bar(n: usize, total: usize) -> String {
+    let width = 40.0 * n as f64 / total.max(1) as f64;
+    "#".repeat(width.round() as usize)
+}
+
+fn main() {
+    let trials: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30);
+    let m = 4;
+    println!(
+        "E11: tardiness distribution under PD²-DVQ (M = {m}, full utilization, {trials} systems/regime)\n"
+    );
+
+    type CostFactory = fn(u64) -> Box<dyn CostModel>;
+    let regimes: [(&str, CostFactory); 3] = [
+        ("uniform costs in [1/4, 1]", |seed| {
+            Box::new(UniformCost::new(Rat::new(1, 4), seed))
+        }),
+        ("bimodal: 70% full, 30% at 1/2", |seed| {
+            Box::new(BimodalCost::new(70, Rat::new(1, 2), seed))
+        }),
+        ("adversarial: 70% yield 1 − 1/64", |seed| {
+            Box::new(AdversarialYield::new(Rat::new(1, 64), 70, seed))
+        }),
+    ];
+
+    for (label, make) in regimes {
+        let mut hist = [0usize; BUCKETS];
+        let mut max_tard = Rat::ZERO;
+        for seed in 0..trials {
+            let ws = random_weights(&TaskGenConfig::full(m, 12), 99_000 + seed);
+            let sys = releasegen::generate(&ws, &ReleaseConfig::periodic(24), seed);
+            let mut cost = make(seed);
+            let sched = simulate_dvq(&sys, m, Algorithm::Pd2.order(), cost.as_mut());
+            for (bin, count) in tardiness_histogram(&sys, &sched, BUCKETS)
+                .into_iter()
+                .enumerate()
+            {
+                hist[bin] += count;
+            }
+            max_tard = max_tard.max(tardiness_stats(&sys, &sched).max);
+        }
+        let total: usize = hist.iter().sum();
+        println!("== {label} (n = {total}, max tardiness {max_tard}) ==");
+        println!("  on time       {:>7}  {}", hist[0], bar(hist[0], total));
+        let tardy: usize = hist[1..].iter().sum();
+        for (k, &n) in hist.iter().enumerate().skip(1) {
+            let lo = (k - 1) as f64 / (BUCKETS - 1) as f64;
+            let hi = k as f64 / (BUCKETS - 1) as f64;
+            println!("  ({lo:.3},{hi:.3}] {n:>7}  {}", bar(n, tardy.max(1)));
+        }
+        println!();
+        assert!(max_tard <= Rat::ONE);
+    }
+    println!(
+        "Shape: tardy mass concentrates in the top bin under adversarial \
+         yields (the 1 − δ eligibility-blocking signature) and spreads thin \
+         under benign regimes; the one-quantum ceiling is never crossed."
+    );
+}

@@ -1,0 +1,109 @@
+//! Experiment E5: the §1 motivation, measured. Sweeps the mean actual
+//! cost c̄ and reports, for the SFQ, staggered and DVQ models: wasted
+//! quantum fraction, busy fraction, makespan, and max tardiness.
+//!
+//! SFQ and staggered (fixed-size quanta) waste every yield tail; the DVQ
+//! model reclaims all of it, finishing the same work no later — at the
+//! price of ≤ 1 quantum of tardiness.
+//!
+//! ```text
+//! cargo run --release --example waste_reclamation [trials]
+//! ```
+
+use pfair::core::Algorithm;
+use pfair::prelude::*;
+use pfair::workload::experiment::CostKind;
+
+fn main() {
+    let trials: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40);
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let m = 4;
+
+    println!(
+        "E5: waste vs mean cost — M = {m}, {trials} random full-utilization systems per cell\n"
+    );
+    println!(
+        "{:>6} {:>11} | {:>8} {:>8} {:>9} | {:>8} {:>8} {:>9} | {:>8} {:>9} {:>13}",
+        "c̄",
+        "cost model",
+        "SFQ wst",
+        "SFQ busy",
+        "SFQ mksp",
+        "stg wst",
+        "stg busy",
+        "stg mksp",
+        "DVQ wst",
+        "DVQ mksp",
+        "DVQ max tard"
+    );
+
+    for (label, cost) in [
+        ("1", CostKind::Full),
+        ("7/8", CostKind::Scaled(Rat::new(7, 8))),
+        ("3/4", CostKind::Scaled(Rat::new(3, 4))),
+        ("5/8", CostKind::Scaled(Rat::new(5, 8))),
+        ("1/2", CostKind::Scaled(Rat::new(1, 2))),
+        (
+            "~5/8",
+            CostKind::Uniform {
+                min: Rat::new(1, 4),
+            },
+        ),
+        (
+            "~0.9",
+            CostKind::Bimodal {
+                full_percent: 80,
+                low: Rat::new(1, 2),
+            },
+        ),
+    ] {
+        let mut cells = Vec::new();
+        for model in [ModelKind::Sfq, ModelKind::Staggered, ModelKind::Dvq] {
+            let cfg = ExperimentConfig {
+                m,
+                algorithm: Algorithm::Pd2,
+                model,
+                taskgen: TaskGenConfig::full(m, 12),
+                release: ReleaseConfig::periodic(24),
+                cost,
+                trials,
+                base_seed: 7_700,
+            };
+            cells.push(run_sweep(&cfg, threads));
+        }
+        let mean = |s: &pfair::workload::experiment::SweepSummary, f: &dyn Fn(&RunSummary) -> f64| {
+            s.runs.iter().map(f).sum::<f64>() / s.runs.len() as f64
+        };
+        let (sfq, stg, dvq) = (&cells[0], &cells[1], &cells[2]);
+        println!(
+            "{:>6} {:>11} | {:>8.3} {:>8.3} {:>9.2} | {:>8.3} {:>8.3} {:>9.2} | {:>8.3} {:>9.2} {:>13}",
+            label,
+            match cost {
+                CostKind::Full | CostKind::Scaled(_) => "fixed",
+                CostKind::Uniform { .. } => "uniform",
+                CostKind::Bimodal { .. } => "bimodal",
+                CostKind::Adversarial { .. } => "adversarial",
+                CostKind::PartialFinal { .. } => "partial",
+            },
+            mean(sfq, &|r| r.wasted_fraction.to_f64()),
+            mean(sfq, &|r| r.busy_fraction.to_f64()),
+            mean(sfq, &|r| r.makespan.to_f64()),
+            mean(stg, &|r| r.wasted_fraction.to_f64()),
+            mean(stg, &|r| r.busy_fraction.to_f64()),
+            mean(stg, &|r| r.makespan.to_f64()),
+            mean(dvq, &|r| r.wasted_fraction.to_f64()),
+            mean(dvq, &|r| r.makespan.to_f64()),
+            dvq.max_tardiness().to_string(),
+        );
+        // Invariants of the comparison.
+        assert_eq!(dvq.mean_wasted_fraction(), 0.0, "DVQ must reclaim all");
+        assert!(dvq.max_tardiness() <= Rat::ONE);
+    }
+    println!(
+        "\nShape check: SFQ/staggered waste grows as c̄ falls; DVQ waste is \
+         identically 0 and its tardiness never exceeds one quantum."
+    );
+}

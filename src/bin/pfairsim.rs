@@ -1,0 +1,132 @@
+//! `pfairsim` — a command-line front end for the library.
+//!
+//! ```text
+//! pfairsim --m 2 --model dvq --alg pd2 --cost 7/8 --horizon 12 1/6 1/6 1/6 1/2 1/2 1/2
+//! ```
+//!
+//! Positional arguments are task weights (`e/p`); options:
+//!
+//! * `--m <n>`        processors (default 2)
+//! * `--model <x>`    `sfq` | `dvq` | `staggered` | `pdb` (default `sfq`)
+//! * `--alg <x>`      `epdf` | `pd2` | `pf` | `pd` (default `pd2`; ignored for `pdb`)
+//! * `--cost <r>`     fixed actual cost for every subtask, e.g. `7/8` (default 1)
+//! * `--horizon <n>`  generate subtasks while `r < horizon` (default one hyperperiod-ish 24)
+//! * `--res <n>`      Gantt cells per slot (default 4)
+//! * `--json`         emit the trace bundle as JSON instead of text
+//!
+//! Exit code 0 always; scheduling outcomes are printed, not judged.
+
+use pfair::core::Algorithm;
+use pfair::prelude::*;
+
+fn parse_rat(s: &str) -> Option<Rat> {
+    s.parse().ok()
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pfairsim [--m N] [--model sfq|dvq|staggered|pdb] [--alg epdf|pd2|pf|pd]\n\
+         \u{20}               [--cost R] [--horizon N] [--res N] [--json] WEIGHT [WEIGHT ...]\n\
+         example: pfairsim --m 2 --model dvq --cost 7/8 1/6 1/6 1/6 1/2 1/2 1/2"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut m: u32 = 2;
+    let mut model = "sfq".to_string();
+    let mut alg = Algorithm::Pd2;
+    let mut cost = Rat::ONE;
+    let mut horizon: i64 = 24;
+    let mut res: u32 = 4;
+    let mut json = false;
+    let mut weights: Vec<(i64, i64)> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--m" => m = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()),
+            "--model" => model = args.next().unwrap_or_else(|| usage()),
+            "--alg" => {
+                alg = args
+                    .next()
+                    .and_then(|s| Algorithm::parse(&s))
+                    .unwrap_or_else(|| usage())
+            }
+            "--cost" => cost = args.next().and_then(|s| parse_rat(&s)).unwrap_or_else(|| usage()),
+            "--horizon" => {
+                horizon = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--res" => res = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()),
+            "--json" => json = true,
+            "--help" | "-h" => usage(),
+            w => {
+                let r = parse_rat(w).unwrap_or_else(|| usage());
+                weights.push((r.num(), r.den()));
+            }
+        }
+    }
+    if weights.is_empty() {
+        usage();
+    }
+    for &(e, p) in &weights {
+        if Weight::checked(e, p).is_err() {
+            eprintln!("invalid weight {e}/{p}: need 0 < e <= p");
+            std::process::exit(2);
+        }
+    }
+
+    let sys = release::periodic(&weights, horizon);
+    println!(
+        "system: {} tasks, {} subtasks, utilization {} on {} cpus (feasible: {})",
+        sys.num_tasks(),
+        sys.num_subtasks(),
+        sys.utilization(),
+        m,
+        sys.is_feasible(m)
+    );
+
+    let mut costs = ScaledCost(cost);
+    let sched = match model.as_str() {
+        "sfq" => simulate_sfq(&sys, m, alg.order(), &mut costs),
+        "dvq" => simulate_dvq(&sys, m, alg.order(), &mut costs),
+        "staggered" => simulate_staggered(&sys, m, alg.order(), &mut costs),
+        "pdb" => simulate_sfq_pdb(&sys, m, &mut costs),
+        other => {
+            eprintln!("unknown model {other:?}");
+            std::process::exit(2);
+        }
+    };
+
+    if json {
+        println!("{}", trace_bundle(&sys, &sched).to_json());
+        return;
+    }
+
+    print!(
+        "{}",
+        render_gantt(
+            &sys,
+            &sched,
+            &GanttOptions {
+                resolution: res,
+                horizon: sched.makespan().ceil().max(1),
+            }
+        )
+    );
+    println!(
+        "model {model}  alg {}  cost {cost}",
+        if model == "pdb" { "PD^B".to_string() } else { alg.to_string() },
+    );
+    println!("{}", schedule_report(&sys, &sched, alg.order()));
+    for ev in detect_blocking(&sys, &sched, alg.order()) {
+        println!(
+            "  {:?} blocking: {:?} waited {} (ready {}, scheduled {})",
+            ev.kind,
+            sys.subtask(ev.victim).id,
+            ev.duration(),
+            ev.ready_at,
+            ev.scheduled_at
+        );
+    }
+}

@@ -1,0 +1,4 @@
+//! Workspace root: examples and integration tests live here.
+//!
+//! The library surface is the [`pfair`] umbrella crate, re-exported.
+pub use pfair;

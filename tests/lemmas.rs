@@ -1,0 +1,100 @@
+//! Statistical validation of Lemma 1 / Property PB over randomized,
+//! adversarial DVQ workloads.
+//!
+//! Lemma 1 characterizes exactly when PD²-DVQ can leave a ready,
+//! higher-priority subtask waiting at an integral boundary: only when the
+//! waiter just became ready via a predecessor finishing at that boundary,
+//! and only if matching newly-eligible, at-least-as-high-priority subtasks
+//! take the processors at that instant. `check_lemma1` replays these
+//! conditions on simulated schedules; any violation would mean either the
+//! simulator or the priority implementation diverges from the paper's
+//! model.
+
+use pfair::analysis::lemmas::check_lemma1;
+use pfair::prelude::*;
+use pfair::workload::{random_weights, releasegen, AdversarialYield, UniformCost};
+
+fn random_system(m: u32, seed: u64, horizon: i64, gis: bool) -> TaskSystem {
+    let ws = random_weights(&TaskGenConfig::full(m, 10), seed);
+    let cfg = if gis {
+        ReleaseConfig {
+            kind: ReleaseKind::Gis,
+            horizon,
+            delay_percent: 15,
+            drop_percent: 8,
+            early: 0,
+            max_join: 0,
+        }
+    } else {
+        ReleaseConfig::periodic(horizon)
+    };
+    releasegen::generate(&ws, &cfg, seed)
+}
+
+#[test]
+fn lemma1_holds_on_adversarial_periodic_systems() {
+    for m in [2u32, 3, 4] {
+        for seed in 0..10u64 {
+            let sys = random_system(m, 40_000 + seed, 16, false);
+            let mut cost = AdversarialYield::new(Rat::new(1, 64), 70, seed);
+            let sched = simulate_dvq(&sys, m, &Pd2, &mut cost);
+            let horizon = sched.makespan().ceil() + 1;
+            let violations = check_lemma1(&sys, &sched, &Pd2, horizon);
+            assert!(
+                violations.is_empty(),
+                "m={m} seed={seed}: {violations:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn lemma1_holds_on_gis_systems_with_uniform_costs() {
+    for seed in 0..10u64 {
+        let sys = random_system(3, 50_000 + seed, 16, true);
+        let mut cost = UniformCost::new(Rat::new(1, 3), seed);
+        let sched = simulate_dvq(&sys, 3, &Pd2, &mut cost);
+        let horizon = sched.makespan().ceil() + 1;
+        let violations = check_lemma1(&sys, &sched, &Pd2, horizon);
+        assert!(violations.is_empty(), "seed={seed}: {violations:?}");
+    }
+}
+
+#[test]
+fn lemma1_premises_are_actually_exercised() {
+    // Guard against vacuous success: on the Fig. 3 instance the premises
+    // fire (B_2 waits past t = 3 while A_1 executes), so the checker must
+    // be walking nonempty U sets there. We detect that indirectly: the
+    // predecessor-blocking event exists, and the checker still reports no
+    // violation.
+    use pfair::taskmodel::release::{structured, ReleaseSpec};
+    let sys = structured(
+        &[
+            ReleaseSpec::periodic("A", 1, 84),
+            ReleaseSpec {
+                name: "B",
+                e: 1,
+                p: 3,
+                delays: &[],
+                drops: &[],
+                early: 1,
+            },
+            ReleaseSpec::periodic("C", 1, 2),
+            ReleaseSpec::periodic("D", 2, 3),
+            ReleaseSpec::periodic("E", 2, 3),
+            ReleaseSpec::periodic("F", 3, 4),
+        ],
+        6,
+    )
+    .unwrap();
+    let delta = Rat::new(1, 4);
+    let mut costs = FixedCosts::new(Rat::ONE)
+        .with(TaskId(4), 2, Rat::ONE - delta)
+        .with(TaskId(5), 3, Rat::ONE - delta);
+    let sched = simulate_dvq(&sys, 3, &Pd2, &mut costs);
+    let pred_blocking = detect_blocking(&sys, &sched, &Pd2)
+        .iter()
+        .any(|e| e.kind == BlockingKind::Predecessor);
+    assert!(pred_blocking, "premise scenario did not materialize");
+    assert!(check_lemma1(&sys, &sched, &Pd2, 8).is_empty());
+}

@@ -1,0 +1,156 @@
+//! Cross-check: the online heap-based scheduler must produce *exactly*
+//! the schedule of the offline DVQ simulator on identical workloads.
+//!
+//! The two implementations share the window formulas and nothing else —
+//! the offline simulator scans a ready vector with the comparator, the
+//! online one pops a binary heap of static keys — so agreement here
+//! certifies both the `Pd2Key` encoding and the event-loop semantics.
+
+use std::collections::HashMap;
+
+use pfair::prelude::*;
+use pfair::workload::{random_weights, UniformCost};
+
+/// Submits one periodic job stream per task and runs the online scheduler
+/// with costs drawn from the same per-subtask map as the offline run.
+fn run_online(
+    weights: &[Weight],
+    jobs_per_task: u64,
+    costs: &HashMap<(u32, u64), Rat>,
+    m: u32,
+) -> Vec<OnlineAssignment> {
+    let mut s = OnlineDvq::new(m);
+    let ids: Vec<TaskId> = weights.iter().map(|&w| s.add_task(w)).collect();
+    for (&t, &w) in ids.iter().zip(weights) {
+        for j in 0..jobs_per_task {
+            s.submit_job(t, j as i64 * w.p()).unwrap();
+        }
+    }
+    s.run_until_idle(&mut |task, index| {
+        costs
+            .get(&(task.0, index))
+            .copied()
+            .unwrap_or(Rat::ONE)
+    })
+}
+
+/// Builds the equivalent offline system (periodic, same job count).
+fn offline_system(weights: &[Weight], jobs_per_task: u64) -> TaskSystem {
+    let mut b = TaskSystemBuilder::new();
+    for &w in weights {
+        let t = b.add_task(w);
+        for i in 1..=jobs_per_task * w.e() as u64 {
+            b.push(t, i, 0, None).unwrap();
+        }
+    }
+    b.build()
+}
+
+fn check_equivalence(weights: &[Weight], jobs: u64, m: u32, seed: u64) {
+    let sys = offline_system(weights, jobs);
+    // Draw per-subtask costs once, deterministically.
+    let mut draw = UniformCost::new(Rat::new(1, 3), seed);
+    let mut cost_map: HashMap<(u32, u64), Rat> = HashMap::new();
+    for (st, s) in sys.iter_refs() {
+        cost_map.insert((s.id.task.0, s.id.index), draw.cost(&sys, st));
+    }
+    let mut offline_costs = FixedCosts::new(Rat::ONE);
+    for (&(task, index), &c) in &cost_map {
+        offline_costs.set(
+            SubtaskId {
+                task: TaskId(task),
+                index,
+            },
+            c,
+        );
+    }
+
+    let offline = simulate_dvq(&sys, m, &Pd2, &mut offline_costs);
+    let online = run_online(weights, jobs, &cost_map, m);
+
+    assert_eq!(online.len(), sys.num_subtasks(), "assignment counts differ");
+    for a in &online {
+        let st = sys
+            .find(SubtaskId {
+                task: a.task,
+                index: a.index,
+            })
+            .expect("subtask exists offline");
+        assert_eq!(
+            a.start,
+            offline.start(st),
+            "start of T{}_{} differs (seed {seed})",
+            a.task.0,
+            a.index
+        );
+        assert_eq!(
+            a.proc,
+            offline.placement(st).proc,
+            "processor of T{}_{} differs (seed {seed})",
+            a.task.0,
+            a.index
+        );
+        assert_eq!(a.deadline, sys.subtask(st).deadline);
+    }
+}
+
+#[test]
+fn online_matches_offline_on_fig2_set() {
+    let weights: Vec<Weight> = [(1i64, 6i64), (1, 6), (1, 6), (1, 2), (1, 2), (1, 2)]
+        .iter()
+        .map(|&(e, p)| Weight::new(e, p))
+        .collect();
+    for seed in 0..5 {
+        check_equivalence(&weights, 2, 2, seed);
+    }
+}
+
+#[test]
+fn online_matches_offline_on_random_systems() {
+    for m in [2u32, 3, 4] {
+        for seed in 0..6u64 {
+            let ws = random_weights(&TaskGenConfig::full(m, 8), 60_000 + seed);
+            check_equivalence(&ws, 2, m, seed);
+        }
+    }
+}
+
+#[test]
+fn online_bound_holds_on_sporadic_arrivals() {
+    // Sporadic (late) arrivals with early yields: Theorem 3's bound must
+    // hold for the online scheduler directly.
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let mut s = OnlineDvq::new(3);
+    let weights = [
+        Weight::new(1, 2),
+        Weight::new(2, 3),
+        Weight::new(3, 4),
+        Weight::new(1, 3),
+        Weight::new(1, 4),
+    ];
+    let ids: Vec<TaskId> = weights.iter().map(|&w| s.add_task(w)).collect();
+    for (&t, &w) in ids.iter().zip(&weights) {
+        let mut at = rng.gen_range(0..3);
+        for _ in 0..5 {
+            s.submit_job(t, at).unwrap();
+            at += w.p() + rng.gen_range(0..3); // sporadic slack
+        }
+    }
+    let delta = Rat::new(1, 64);
+    let log = s.run_until_idle(&mut |_, _| {
+        if rng.gen_bool(0.6) {
+            Rat::ONE - delta
+        } else {
+            Rat::ONE
+        }
+    });
+    let expected: u64 = weights.iter().map(|w| 5 * w.e() as u64).sum();
+    assert_eq!(log.len() as u64, expected); // Σ jobs × e per task
+    let mut max_tard = Rat::ZERO;
+    for a in &log {
+        let t = (a.start + a.cost - Rat::int(a.deadline)).max(Rat::ZERO);
+        max_tard = max_tard.max(t);
+    }
+    assert!(max_tard <= Rat::ONE, "online tardiness {max_tard}");
+}

@@ -1,0 +1,98 @@
+//! Hyperperiod laws: windows and schedules of synchronous periodic
+//! systems repeat with period `H = lcm{T.p}`.
+//!
+//! These are classical facts the paper's §2 presumes ("this pattern
+//! repeats for every job", Fig. 1(a)); verifying them end-to-end exercises
+//! the window formulas, the generators and the simulators together.
+
+use pfair::prelude::*;
+use pfair::taskmodel::hyperperiod::{hyperperiod, subtasks_per_hyperperiod, windows_repeat};
+
+fn two_hyperperiods(weights: &[(i64, i64)]) -> (TaskSystem, i64) {
+    let ws: Vec<Weight> = weights.iter().map(|&(e, p)| Weight::new(e, p)).collect();
+    let h = pfair::taskmodel::hyperperiod::hyperperiod_of_weights(&ws);
+    (release::periodic(weights, 2 * h), h)
+}
+
+#[test]
+fn window_repetition_across_weights() {
+    for &(e, p) in &[(3i64, 4i64), (1, 2), (2, 3), (5, 6), (1, 6), (7, 8), (1, 1), (5, 12)] {
+        let w = Weight::new(e, p);
+        assert!(windows_repeat(w, p, 4), "wt {e}/{p}");
+        assert!(windows_repeat(w, 2 * p, 2), "wt {e}/{p} at 2p");
+    }
+}
+
+#[test]
+fn subtask_counts_over_two_hyperperiods() {
+    let (sys, h) = two_hyperperiods(&[(1, 2), (1, 3), (1, 6)]);
+    assert_eq!(h, 6);
+    // util = 1 ⇒ 2·H·1 subtasks over two hyperperiods.
+    assert_eq!(sys.num_subtasks() as i64, 2 * h);
+    for task in sys.tasks() {
+        assert_eq!(
+            sys.task_subtasks(task.id).len() as i64,
+            2 * subtasks_per_hyperperiod(task.weight, h)
+        );
+    }
+}
+
+#[test]
+fn pd2_schedule_repeats_with_hyperperiod_full_utilization() {
+    let (sys, h) = two_hyperperiods(&[(1, 2), (1, 3), (1, 6), (1, 1)]);
+    assert_eq!(sys.utilization(), Rat::int(2));
+    let sched = simulate_sfq(&sys, 2, &Pd2, &mut FullQuantum);
+    // For every subtask scheduled in [0, H), the corresponding subtask one
+    // hyperperiod later is scheduled exactly H slots later.
+    for task in sys.tasks() {
+        let k = subtasks_per_hyperperiod(task.weight, h) as usize;
+        let refs: Vec<_> = sys.task_subtask_refs(task.id).collect();
+        for i in 0..k {
+            let early = sched.start(refs[i]);
+            let late = sched.start(refs[i + k]);
+            assert_eq!(
+                late,
+                early + Rat::int(h),
+                "task {:?} subtask {}",
+                task.id,
+                i + 1
+            );
+        }
+    }
+}
+
+#[test]
+fn pd2_schedule_repeats_with_hyperperiod_partial_utilization() {
+    // The law holds below full utilization too: the system returns to its
+    // initial state at H.
+    let (sys, h) = two_hyperperiods(&[(1, 2), (1, 4)]);
+    assert_eq!(sys.utilization(), Rat::new(3, 4));
+    let sched = simulate_sfq(&sys, 1, &Pd2, &mut FullQuantum);
+    for task in sys.tasks() {
+        let k = subtasks_per_hyperperiod(task.weight, h) as usize;
+        let refs: Vec<_> = sys.task_subtask_refs(task.id).collect();
+        for i in 0..k {
+            assert_eq!(sched.start(refs[i + k]), sched.start(refs[i]) + Rat::int(h));
+        }
+    }
+}
+
+#[test]
+fn epdf_schedule_also_periodic() {
+    let (sys, h) = two_hyperperiods(&[(2, 3), (1, 3), (1, 1)]);
+    let sched = simulate_sfq(&sys, 2, &Epdf, &mut FullQuantum);
+    for task in sys.tasks() {
+        let k = subtasks_per_hyperperiod(task.weight, h) as usize;
+        let refs: Vec<_> = sys.task_subtask_refs(task.id).collect();
+        for i in 0..k {
+            assert_eq!(sched.start(refs[i + k]), sched.start(refs[i]) + Rat::int(h));
+        }
+    }
+}
+
+#[test]
+fn hyperperiod_of_generated_system_matches() {
+    let (sys, h) = two_hyperperiods(&[(3, 4), (1, 6), (1, 2)]);
+    assert_eq!(hyperperiod(&sys), h);
+    assert_eq!(h, 12);
+}

@@ -1,0 +1,61 @@
+//! End-to-end in wall-clock units: specify tasks in microseconds, convert
+//! through a concrete quantum size, schedule, and read results back in
+//! microseconds — the adoption path a real system would take.
+
+use pfair::prelude::*;
+
+#[test]
+fn microsecond_workload_round_trip() {
+    // A 1 ms quantum; three tasks specified as (WCET µs, period µs).
+    let scale = QuantumScale::new(1_000);
+    let specs = [
+        ("camera", 3_200u64, 10_000u64), // 3.2 ms every 10 ms
+        ("fusion", 4_900, 20_000),       // 4.9 ms every 20 ms
+        ("logger", 700, 20_000),         // 0.7 ms every 20 ms
+    ];
+    let mut weights = Vec::new();
+    for &(name, wcet, period) in &specs {
+        let (e, p) = scale
+            .weight_quanta(wcet, period)
+            .unwrap_or_else(|| panic!("{name} not expressible at 1 ms quantum"));
+        weights.push((e, p));
+    }
+    // camera: 4/10, fusion: 5/20, logger: 1/20 → utilization 0.7.
+    assert_eq!(weights, vec![(4, 10), (5, 20), (1, 20)]);
+    let sys = release::periodic(&weights, 40);
+    assert!(sys.is_feasible(1));
+
+    let sched = simulate_sfq(&sys, 1, &Pd2, &mut FullQuantum);
+    assert!(check_window_containment(&sys, &sched).is_empty());
+
+    // First camera job: 4 quanta, job deadline at 10 quanta = 10 000 µs.
+    let camera = TaskId(0);
+    let last_of_job1 = sys
+        .find(SubtaskId {
+            task: camera,
+            index: 4,
+        })
+        .unwrap();
+    let completion_us = scale.time_to_us(sched.completion(last_of_job1));
+    assert!(completion_us <= 10_000, "job finished at {completion_us} µs");
+}
+
+#[test]
+fn finer_quantum_admits_more() {
+    // A task set that only fits after shrinking the quantum: rounding
+    // inflation at 1 ms pushes it over one CPU; at 250 µs it fits.
+    let tasks = [(1_100u64, 4_000u64), (1_100, 4_000), (1_100, 4_000)];
+    let util_at = |q_us: u64| -> Option<Rat> {
+        let scale = QuantumScale::new(q_us);
+        let mut total = Rat::ZERO;
+        for &(wcet, period) in &tasks {
+            let (e, p) = scale.weight_quanta(wcet, period)?;
+            total += Rat::new(e, p);
+        }
+        Some(total)
+    };
+    let coarse = util_at(1_000).unwrap(); // 2/4 each ⇒ 3/2
+    let fine = util_at(250).unwrap(); // 5/16 each ⇒ 15/16
+    assert!(coarse > Rat::ONE);
+    assert!(fine <= Rat::ONE);
+}

@@ -1,0 +1,75 @@
+//! Stress tests: larger machines, longer horizons, extreme weights —
+//! every invariant must hold at scale, not just on toy instances.
+
+use pfair::prelude::*;
+use pfair::workload::{random_weights, releasegen, AdversarialYield};
+
+#[test]
+fn sixteen_processors_long_horizon() {
+    let ws = random_weights(&TaskGenConfig::full(16, 12), 123);
+    let sys = releasegen::generate(&ws, &ReleaseConfig::periodic(60), 123);
+    assert!(sys.num_subtasks() > 500, "want a heavyweight instance");
+    let mut cost = AdversarialYield::new(Rat::new(1, 256), 60, 9);
+    let sched = simulate_dvq(&sys, 16, &Pd2, &mut cost);
+    let stats = tardiness_stats(&sys, &sched);
+    assert!(stats.max <= Rat::ONE, "tardiness {}", stats.max);
+    assert!(check_structural(&sys, &sched).is_empty());
+}
+
+#[test]
+fn extreme_weights_mix() {
+    // Near-1 heavies next to near-0 lights: window math at both ends.
+    let sys = release::periodic(
+        &[(99, 100), (97, 100), (1, 100), (1, 100), (1, 100), (1, 1)],
+        100,
+    );
+    assert!(sys.is_feasible(3));
+    let sched = simulate_sfq(&sys, 3, &Pd2, &mut FullQuantum);
+    assert!(check_window_containment(&sys, &sched).is_empty());
+    let mut half = ScaledCost(Rat::new(1, 2));
+    let dvq = simulate_dvq(&sys, 3, &Pd2, &mut half);
+    assert!(tardiness_stats(&sys, &dvq).max <= Rat::ONE);
+}
+
+#[test]
+fn window_formulas_survive_lcm_scale_weights() {
+    // Exact-fill remainders can carry lcm-scale reduced periods; the
+    // window formulas must not overflow silently (they compute in i128).
+    let w = Weight::new(2_184_060_317_093, 16_044_839_210_400);
+    // Far past the old i64 overflow point:
+    let i = 600_000u64;
+    let r = pfair::taskmodel::window::release(w, i);
+    let d = pfair::taskmodel::window::deadline(w, i);
+    assert!(r > 0 && d > r);
+    // Monotonicity holds out there too.
+    assert!(pfair::taskmodel::window::release(w, i + 1) >= r);
+    assert!(pfair::taskmodel::window::deadline(w, i + 1) >= d);
+}
+
+#[test]
+fn deep_subtask_indices() {
+    // A weight-1 task ground through 10⁵ subtasks: sequential chain, no
+    // drift, constant-time per-subtask bookkeeping.
+    let sys = release::periodic(&[(1, 1)], 20_000);
+    let sched = simulate_sfq(&sys, 1, &Pd2, &mut FullQuantum);
+    assert_eq!(sched.placements().len(), 20_000);
+    assert_eq!(tardiness_stats(&sys, &sched).max, Rat::ZERO);
+}
+
+#[test]
+fn online_scheduler_scales() {
+    let mut s = OnlineDvq::new(8);
+    let ws = random_weights(&TaskGenConfig::full(8, 10), 321);
+    let ids: Vec<TaskId> = ws.iter().map(|&w| s.add_task(w)).collect();
+    for (&t, &w) in ids.iter().zip(&ws) {
+        for j in 0..20 {
+            s.submit_job(t, j * w.p()).unwrap();
+        }
+    }
+    let log = s.run_until_idle(&mut |_, _| Rat::new(63, 64));
+    assert!(log.len() > 1_000);
+    for a in &log {
+        let t = (a.start + a.cost - Rat::int(a.deadline)).max(Rat::ZERO);
+        assert!(t <= Rat::ONE);
+    }
+}
