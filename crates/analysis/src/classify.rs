@@ -142,10 +142,20 @@ mod tests {
         let classes: std::collections::HashMap<_, _> =
             classify_subtasks(&sched).into_iter().collect();
         // B_1, C_1 start at 2 − δ with full cost ⇒ Olapped.
-        let b1 = sys.find(pfair_taskmodel::SubtaskId { task: TaskId(1), index: 1 }).unwrap();
+        let b1 = sys
+            .find(pfair_taskmodel::SubtaskId {
+                task: TaskId(1),
+                index: 1,
+            })
+            .unwrap();
         assert_eq!(classes[&b1], SubtaskClass::Olapped);
         // D_1 starts at 0 ⇒ Aligned.
-        let d1 = sys.find(pfair_taskmodel::SubtaskId { task: TaskId(3), index: 1 }).unwrap();
+        let d1 = sys
+            .find(pfair_taskmodel::SubtaskId {
+                task: TaskId(3),
+                index: 1,
+            })
+            .unwrap();
         assert_eq!(classes[&d1], SubtaskClass::Aligned);
     }
 

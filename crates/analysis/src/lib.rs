@@ -55,9 +55,9 @@ pub mod tardiness;
 pub mod validity;
 pub mod waste;
 
+pub use allocation::{allocation_matrix, slot_occupancy};
 pub use blocking::{detect_blocking, BlockingEvent, BlockingKind};
 pub use classify::{classify_subtasks, postpone_charged, SubtaskClass};
-pub use allocation::{allocation_matrix, slot_occupancy};
 pub use compliance::{k_compliant_system, ranks};
 pub use demand::{dbf, find_overload, OverloadWitness};
 pub use displacement::{displacement, displacement_stats, DisplacementStats};

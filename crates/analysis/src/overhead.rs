@@ -106,7 +106,19 @@ mod tests {
     use pfair_taskmodel::release;
 
     fn sys4() -> TaskSystem {
-        release::periodic(&[(1, 2), (1, 2), (1, 2), (1, 2), (1, 2), (1, 2), (1, 2), (1, 2)], 12)
+        release::periodic(
+            &[
+                (1, 2),
+                (1, 2),
+                (1, 2),
+                (1, 2),
+                (1, 2),
+                (1, 2),
+                (1, 2),
+                (1, 2),
+            ],
+            12,
+        )
     }
 
     #[test]

@@ -192,7 +192,7 @@ mod tests {
         let hist = tardiness_histogram(&sys, &sched, 5);
         assert_eq!(hist.iter().sum::<usize>(), sys.num_subtasks());
         assert_eq!(hist[0], sys.num_subtasks() - 1); // one miss
-        // Tardiness 7/8 lands in the last bin (width 1/4 × 4 bins).
+                                                     // Tardiness 7/8 lands in the last bin (width 1/4 × 4 bins).
         assert_eq!(hist[4], 1);
     }
 

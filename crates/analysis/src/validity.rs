@@ -16,8 +16,8 @@
 use core::fmt;
 
 use pfair_numeric::{Rat, Time};
-use pfair_taskmodel::{SubtaskRef, TaskSystem};
 use pfair_sim::{QuantumModel, Schedule};
+use pfair_taskmodel::{SubtaskRef, TaskSystem};
 
 /// A violated schedule invariant.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -77,10 +77,18 @@ pub enum ValidityError {
 impl fmt::Display for ValidityError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ValidityError::ProcessorOverlap { proc, first, second } => {
+            ValidityError::ProcessorOverlap {
+                proc,
+                first,
+                second,
+            } => {
                 write!(f, "processor {proc}: {first:?} and {second:?} overlap")
             }
-            ValidityError::BeforeEligibility { st, start, eligible } => {
+            ValidityError::BeforeEligibility {
+                st,
+                start,
+                eligible,
+            } => {
                 write!(f, "{st:?} starts at {start} before eligibility {eligible}")
             }
             ValidityError::BeforePredecessor {
@@ -95,13 +103,19 @@ impl fmt::Display for ValidityError {
                 write!(f, "slot {slot}: {count} subtasks exceed processor count")
             }
             ValidityError::NonIntegralStart { st, start } => {
-                write!(f, "{st:?} starts at non-integral {start} in an SFQ schedule")
+                write!(
+                    f,
+                    "{st:?} starts at non-integral {start} in an SFQ schedule"
+                )
             }
             ValidityError::DeadlineMiss {
                 st,
                 completion,
                 deadline,
-            } => write!(f, "{st:?} completes at {completion} after deadline {deadline}"),
+            } => write!(
+                f,
+                "{st:?} completes at {completion} after deadline {deadline}"
+            ),
         }
     }
 }

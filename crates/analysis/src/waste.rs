@@ -87,7 +87,7 @@ pub fn waste_stats(sched: &Schedule) -> WasteStats {
 mod tests {
     use super::*;
     use pfair_core::Pd2;
-    use pfair_sim::{simulate_dvq, simulate_sfq, ScaledCost, FullQuantum};
+    use pfair_sim::{simulate_dvq, simulate_sfq, FullQuantum, ScaledCost};
     use pfair_taskmodel::{release, TaskSystem};
 
     fn fig2_system() -> TaskSystem {

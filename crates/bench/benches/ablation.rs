@@ -87,9 +87,15 @@ fn bench_ablation(c: &mut Criterion) {
             let sys = releasegen::generate(&ws, &ReleaseConfig::periodic(24), seed);
             let base = simulate_sfq(&sys, 4, &Pd2, &mut FullQuantum);
             let same = |other: &Schedule| {
-                sys.iter_refs().all(|(st, _)| base.start(st) == other.start(st))
+                sys.iter_refs()
+                    .all(|(st, _)| base.start(st) == other.start(st))
             };
-            if !same(&simulate_sfq(&sys, 4, &Pd2NoGroupDeadline, &mut FullQuantum)) {
+            if !same(&simulate_sfq(
+                &sys,
+                4,
+                &Pd2NoGroupDeadline,
+                &mut FullQuantum,
+            )) {
                 diverge_nogd += 1;
             }
             if !same(&simulate_sfq(&sys, 4, &Pd2NoBBit, &mut FullQuantum)) {

@@ -105,9 +105,7 @@ fn bench_figures(c: &mut Criterion) {
         };
         let sched = simulate_dvq(&sys, 3, &Pd2, &mut mk());
         let events = detect_blocking(&sys, &sched, &Pd2);
-        assert!(events
-            .iter()
-            .any(|e| e.kind == BlockingKind::Predecessor));
+        assert!(events.iter().any(|e| e.kind == BlockingKind::Predecessor));
         println!("F3 ok: predecessor blocking observed");
         g.bench_function("F3_predecessor_blocking", |b| {
             b.iter(|| {

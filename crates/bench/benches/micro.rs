@@ -16,8 +16,12 @@ fn bench_rational(c: &mut Criterion) {
     let mut g = c.benchmark_group("rational");
     let a = Rat::new(355, 113);
     let b = Rat::new(1_000_003, 720_720);
-    g.bench_function("add", |bch| bch.iter(|| std::hint::black_box(a) + std::hint::black_box(b)));
-    g.bench_function("mul", |bch| bch.iter(|| std::hint::black_box(a) * std::hint::black_box(b)));
+    g.bench_function("add", |bch| {
+        bch.iter(|| std::hint::black_box(a) + std::hint::black_box(b))
+    });
+    g.bench_function("mul", |bch| {
+        bch.iter(|| std::hint::black_box(a) * std::hint::black_box(b))
+    });
     g.bench_function("cmp", |bch| {
         bch.iter(|| std::hint::black_box(a).cmp(&std::hint::black_box(b)))
     });
@@ -35,7 +39,12 @@ fn bench_windows(c: &mut Criterion) {
         })
     });
     g.bench_function("group_deadline_closed_form", |bch| {
-        bch.iter(|| window::group_deadline(std::hint::black_box(Weight::new(11, 12)), std::hint::black_box(12_345)))
+        bch.iter(|| {
+            window::group_deadline(
+                std::hint::black_box(Weight::new(11, 12)),
+                std::hint::black_box(12_345),
+            )
+        })
     });
     g.bench_function("group_deadline_cascade_oracle", |bch| {
         bch.iter(|| {
@@ -74,7 +83,16 @@ fn bench_priority(c: &mut Criterion) {
 fn bench_sort_ready_set(c: &mut Criterion) {
     let mut g = c.benchmark_group("ready_set");
     let sys = release::periodic(
-        &[(7, 8), (3, 4), (1, 2), (2, 3), (1, 6), (5, 6), (1, 3), (5, 12)],
+        &[
+            (7, 8),
+            (3, 4),
+            (1, 2),
+            (2, 3),
+            (1, 6),
+            (5, 6),
+            (1, 3),
+            (5, 12),
+        ],
         48,
     );
     let refs: Vec<SubtaskRef> = sys.iter_refs().map(|(r, _)| r).collect();
@@ -86,11 +104,7 @@ fn bench_sort_ready_set(c: &mut Criterion) {
         })
     });
     g.bench_function("min_by_pd2", |bch| {
-        bch.iter(|| {
-            refs.iter()
-                .copied()
-                .min_by(|&a, &b| Pd2.cmp(&sys, a, b))
-        })
+        bch.iter(|| refs.iter().copied().min_by(|&a, &b| Pd2.cmp(&sys, a, b)))
     });
     g.finish();
 }

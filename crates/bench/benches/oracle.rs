@@ -22,7 +22,11 @@ fn bench_oracle(c: &mut Criterion) {
         println!(
             "O1 m={m}: oracle schedulable={} simulator misses={misses} -> {}",
             fs.schedulable,
-            if fs.schedulable && misses == 0 { "agree" } else { "DISAGREE" }
+            if fs.schedulable && misses == 0 {
+                "agree"
+            } else {
+                "DISAGREE"
+            }
         );
         assert!(fs.schedulable && misses == 0);
         g.throughput(Throughput::Elements(n));

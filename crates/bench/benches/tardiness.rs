@@ -9,7 +9,13 @@ use pfair::core::Algorithm;
 use pfair::prelude::*;
 use pfair::workload::experiment::CostKind;
 
-fn cell(m: u32, model: ModelKind, algorithm: Algorithm, cost: CostKind, seed: u64) -> ExperimentConfig {
+fn cell(
+    m: u32,
+    model: ModelKind,
+    algorithm: Algorithm,
+    cost: CostKind,
+    seed: u64,
+) -> ExperimentConfig {
     ExperimentConfig {
         m,
         algorithm,
@@ -33,14 +39,24 @@ fn bench_tardiness(c: &mut Criterion) {
 
     // E1 (Theorem 3): PD² under DVQ, tardiness ≤ 1, across M.
     for m in [2u32, 4, 8] {
-        let cfg = cell(m, ModelKind::Dvq, Algorithm::Pd2, adversarial, 100 + u64::from(m));
+        let cfg = cell(
+            m,
+            ModelKind::Dvq,
+            Algorithm::Pd2,
+            adversarial,
+            100 + u64::from(m),
+        );
         let sweep = run_sweep(&cfg, 4);
         println!(
             "E1 m={m}: subtasks={} misses={} max_tardiness={} (bound 1) -> {}",
             sweep.total_subtasks(),
             sweep.total_misses(),
             sweep.max_tardiness(),
-            if sweep.max_tardiness() <= Rat::ONE { "ok" } else { "VIOLATION" }
+            if sweep.max_tardiness() <= Rat::ONE {
+                "ok"
+            } else {
+                "VIOLATION"
+            }
         );
         assert!(sweep.max_tardiness() <= Rat::ONE);
         g.bench_with_input(BenchmarkId::new("E1_dvq_pd2", m), &cfg, |b, cfg| {
@@ -50,14 +66,24 @@ fn bench_tardiness(c: &mut Criterion) {
 
     // E2 (Theorem 2): PD^B under SFQ, tardiness ≤ 1.
     for m in [2u32, 4, 8] {
-        let cfg = cell(m, ModelKind::SfqPdb, Algorithm::Pd2, CostKind::Full, 200 + u64::from(m));
+        let cfg = cell(
+            m,
+            ModelKind::SfqPdb,
+            Algorithm::Pd2,
+            CostKind::Full,
+            200 + u64::from(m),
+        );
         let sweep = run_sweep(&cfg, 4);
         println!(
             "E2 m={m}: subtasks={} misses={} max_tardiness={} (bound 1) -> {}",
             sweep.total_subtasks(),
             sweep.total_misses(),
             sweep.max_tardiness(),
-            if sweep.max_tardiness() <= Rat::ONE { "ok" } else { "VIOLATION" }
+            if sweep.max_tardiness() <= Rat::ONE {
+                "ok"
+            } else {
+                "VIOLATION"
+            }
         );
         assert!(sweep.max_tardiness() <= Rat::ONE);
         g.bench_with_input(BenchmarkId::new("E2_sfq_pdb", m), &cfg, |b, cfg| {
@@ -73,7 +99,11 @@ fn bench_tardiness(c: &mut Criterion) {
             "E3 m=8: subtasks={} max_tardiness={} (optimal) -> {}",
             sweep.total_subtasks(),
             sweep.max_tardiness(),
-            if sweep.max_tardiness() == Rat::ZERO { "ok" } else { "VIOLATION" }
+            if sweep.max_tardiness() == Rat::ZERO {
+                "ok"
+            } else {
+                "VIOLATION"
+            }
         );
         assert_eq!(sweep.max_tardiness(), Rat::ZERO);
         g.bench_function("E3_sfq_pd2_m8", |b| {
@@ -91,7 +121,11 @@ fn bench_tardiness(c: &mut Criterion) {
             "E4 m=8 EPDF: SFQ max={} DVQ max={} (claim: DVQ ≤ SFQ + 1) -> {}",
             sfq.max_tardiness(),
             dvq.max_tardiness(),
-            if dvq.max_tardiness() <= sfq.max_tardiness() + Rat::ONE { "ok" } else { "VIOLATION" }
+            if dvq.max_tardiness() <= sfq.max_tardiness() + Rat::ONE {
+                "ok"
+            } else {
+                "VIOLATION"
+            }
         );
         assert!(dvq.max_tardiness() <= sfq.max_tardiness() + Rat::ONE);
         g.bench_function("E4_epdf_dvq_m8", |b| {
@@ -119,8 +153,14 @@ fn bench_tardiness(c: &mut Criterion) {
                 .with(TaskId(5), 1, Rat::ONE - delta);
             let sched = simulate_dvq(&sys, 2, &Pd2, &mut costs);
             let max = tardiness_stats(&sys, &sched).max;
-            println!("E6 δ=1/{den}: max tardiness = {max} (expect 1-δ) -> {}",
-                if max == Rat::ONE - delta { "ok" } else { "VIOLATION" });
+            println!(
+                "E6 δ=1/{den}: max tardiness = {max} (expect 1-δ) -> {}",
+                if max == Rat::ONE - delta {
+                    "ok"
+                } else {
+                    "VIOLATION"
+                }
+            );
             assert_eq!(max, Rat::ONE - delta);
         }
         g.bench_function("E6_tightness_delta_sweep", |b| {

@@ -100,6 +100,61 @@ fn bench_scaling_processors(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_keyed_vs_comparator(c: &mut Criterion) {
+    // The tentpole of the precomputed-key layer: the same PD² order run
+    // through the keyed fast path (default) and through the comparator
+    // fallback (`ComparatorOnly`), at n ∈ {10, 100, 1000} tasks. The
+    // throughput element count is the number of scheduling decisions
+    // (= placements = subtasks), so `elem/s` reads as decisions/sec.
+    let mut g = c.benchmark_group("keyed_vs_comparator");
+    g.sample_size(15);
+    let base = [
+        (1i64, 2i64),
+        (1, 3),
+        (2, 5),
+        (3, 8),
+        (1, 6),
+        (5, 12),
+        (1, 4),
+        (7, 24),
+        (2, 3),
+        (1, 8),
+    ];
+    for n in [10usize, 100, 1000] {
+        let weights: Vec<Weight> = (0..n)
+            .map(|i| {
+                let (e, p) = base[i % base.len()];
+                Weight::new(e, p)
+            })
+            .collect();
+        let util: Rat = weights.iter().map(|w| w.as_rat()).sum();
+        let m = util.ceil() as u32;
+        let sys = releasegen::generate(&weights, &ReleaseConfig::periodic(24), 46);
+        let decisions = sys.num_subtasks() as u64;
+        g.throughput(Throughput::Elements(decisions));
+        for (engine, keyed) in [("dvq", true), ("dvq", false), ("sfq", true), ("sfq", false)] {
+            let id = BenchmarkId::new(
+                format!("{engine}_{}", if keyed { "keyed" } else { "comparator" }),
+                n,
+            );
+            g.bench_with_input(id, &sys, |b, sys| {
+                let comparator = ComparatorOnly(&Pd2);
+                let order: &dyn PriorityOrder = if keyed { &Pd2 } else { &comparator };
+                match engine {
+                    "dvq" => b.iter(|| {
+                        let mut cost = UniformCost::new(Rat::new(1, 2), 7);
+                        simulate_dvq(std::hint::black_box(sys), m, order, &mut cost)
+                    }),
+                    _ => b.iter(|| {
+                        simulate_sfq(std::hint::black_box(sys), m, order, &mut FullQuantum)
+                    }),
+                }
+            });
+        }
+    }
+    g.finish();
+}
+
 fn bench_online_vs_offline(c: &mut Criterion) {
     // The online scheduler's heap dispatch vs the offline simulator's
     // ready-vector scan, on identical periodic workloads.
@@ -136,18 +191,22 @@ fn bench_online_vs_offline(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("offline_scan", n), &sys, |bch, sys| {
             bch.iter(|| simulate_dvq(std::hint::black_box(sys), m, &Pd2, &mut FullQuantum))
         });
-        g.bench_with_input(BenchmarkId::new("online_heap", n), &weights, |bch, weights| {
-            bch.iter(|| {
-                let mut s = OnlineDvq::new(m);
-                let ids: Vec<TaskId> = weights.iter().map(|&w| s.add_task(w)).collect();
-                for (&t, &w) in ids.iter().zip(weights.iter()) {
-                    for j in 0..jobs {
-                        s.submit_job(t, j as i64 * w.p()).unwrap();
+        g.bench_with_input(
+            BenchmarkId::new("online_heap", n),
+            &weights,
+            |bch, weights| {
+                bch.iter(|| {
+                    let mut s = OnlineDvq::new(m);
+                    let ids: Vec<TaskId> = weights.iter().map(|&w| s.add_task(w)).collect();
+                    for (&t, &w) in ids.iter().zip(weights.iter()) {
+                        for j in 0..jobs {
+                            s.submit_job(t, j as i64 * w.p()).unwrap();
+                        }
                     }
-                }
-                s.run_until_idle(&mut |_, _| Rat::ONE)
-            })
-        });
+                    s.run_until_idle(&mut |_, _| Rat::ONE)
+                })
+            },
+        );
     }
     g.finish();
 }
@@ -158,6 +217,7 @@ criterion_group!(
     bench_models,
     bench_scaling_tasks,
     bench_scaling_processors,
+    bench_keyed_vs_comparator,
     bench_online_vs_offline
 );
 criterion_main!(benches);

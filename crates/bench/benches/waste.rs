@@ -64,9 +64,11 @@ fn bench_waste(c: &mut Criterion) {
         ("dvq", ModelKind::Dvq),
     ] {
         let c_model = cfg(model, half);
-        g.bench_with_input(BenchmarkId::new("E5_sweep", name), &c_model, |b, c_model| {
-            b.iter(|| run_sweep(std::hint::black_box(c_model), 4))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("E5_sweep", name),
+            &c_model,
+            |b, c_model| b.iter(|| run_sweep(std::hint::black_box(c_model), 4)),
+        );
     }
 
     g.finish();

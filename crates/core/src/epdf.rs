@@ -26,6 +26,10 @@ impl PriorityOrder for Epdf {
     fn cmp_strict(&self, sys: &TaskSystem, a: SubtaskRef, b: SubtaskRef) -> Ordering {
         sys.subtask(a).deadline.cmp(&sys.subtask(b).deadline)
     }
+
+    fn key_dispatch(&self) -> crate::key::KeyDispatch {
+        crate::key::KeyDispatch::Epdf
+    }
 }
 
 #[cfg(test)]

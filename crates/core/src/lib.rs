@@ -15,7 +15,12 @@
 //!   subtask can suffer under PD² in the DVQ model (§3.1, Table 1).
 //!
 //! Priorities are exposed as total orders over released subtasks
-//! ([`PriorityOrder`]); the simulators in `pfair-sim` consume them. The
+//! ([`PriorityOrder`]); the simulators in `pfair-sim` consume them. For
+//! the EPDF/PD/PD² orders, [`key`] additionally provides precomputed
+//! `Ord` keys ([`Pd2Key`], [`EpdfKey`], [`PdKey`]) plus a per-system
+//! [`KeyCache`], letting the simulators' hot loops sort and heap on
+//! plain struct comparisons instead of re-deriving window formulas —
+//! provably schedule-for-schedule identical to the comparator path. The
 //! paper's precedence symbol `T_i ≺ U_j` ("`T_i` has strictly higher
 //! priority") corresponds to `cmp(a, b) == Ordering::Less` *before* the
 //! deterministic final tie-break; see [`priority`] for how ties that the
@@ -26,6 +31,7 @@
 
 pub mod ablation;
 pub mod epdf;
+pub mod key;
 pub mod pd;
 pub mod pd2;
 pub mod pdb;
@@ -34,7 +40,8 @@ pub mod priority;
 
 pub use ablation::{Pd2NoBBit, Pd2NoGroupDeadline};
 pub use epdf::Epdf;
+pub use key::{EpdfKey, KeyCache, KeyDispatch, Pd2Key, PdKey, SubtaskKey};
 pub use pd::Pd;
 pub use pd2::Pd2;
 pub use pf::Pf;
-pub use priority::{Algorithm, PriorityOrder};
+pub use priority::{Algorithm, ComparatorOnly, PriorityOrder};

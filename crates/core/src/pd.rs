@@ -37,10 +37,12 @@ impl PriorityOrder for Pd {
                 sys.task(sys.subtask(b).id.task).weight,
             );
             // Heavy before light, then heavier weight first.
-            wy.is_heavy()
-                .cmp(&wx.is_heavy())
-                .then_with(|| wy.cmp(&wx))
+            wy.is_heavy().cmp(&wx.is_heavy()).then_with(|| wy.cmp(&wx))
         })
+    }
+
+    fn key_dispatch(&self) -> crate::key::KeyDispatch {
+        crate::key::KeyDispatch::Pd
     }
 }
 

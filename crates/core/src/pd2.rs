@@ -47,6 +47,10 @@ impl PriorityOrder for Pd2 {
                 }
             })
     }
+
+    fn key_dispatch(&self) -> crate::key::KeyDispatch {
+        crate::key::KeyDispatch::Pd2
+    }
 }
 
 #[cfg(test)]
@@ -77,7 +81,10 @@ mod tests {
         let sys = release::periodic(&[(3, 4), (1, 2)], 4);
         let heavy_b1 = find(&sys, 0, 1);
         let half_b0 = find(&sys, 1, 1);
-        assert_eq!(sys.subtask(heavy_b1).deadline, sys.subtask(half_b0).deadline);
+        assert_eq!(
+            sys.subtask(heavy_b1).deadline,
+            sys.subtask(half_b0).deadline
+        );
         assert!(Pd2.precedes(&sys, heavy_b1, half_b0));
     }
 

@@ -388,10 +388,10 @@ mod tests {
         let d2 = find(&sys, 0, 2); // e = 1, r = 2
         let x1 = find(&sys, 1, 1); // d = 6
         let y1 = find(&sys, 2, 1); // d = 3
-        // At t = 2 with M = 2: D2 ready (pred ran slot 1, holds until 2) ⇒
-        // PB; X1, Y1 ⇒ DB. p = 1: first decision from DB (Y1, the PD²
-        // better of the two), final decision strict PD² between D2 (d = 4)
-        // and X1 (d = 6) ⇒ D2.
+                                   // At t = 2 with M = 2: D2 ready (pred ran slot 1, holds until 2) ⇒
+                                   // PB; X1, Y1 ⇒ DB. p = 1: first decision from DB (Y1, the PD²
+                                   // better of the two), final decision strict PD² between D2 (d = 4)
+                                   // and X1 (d = 6) ⇒ D2.
         let ready = vec![
             Ready {
                 st: d2,
@@ -469,8 +469,7 @@ mod tests {
             let m = 2;
             let p = part.p().min(m);
             let picked = select_slot(&sys, m, &part);
-            let mut remaining: Vec<SubtaskRef> =
-                ready.iter().map(|r| r.st).collect();
+            let mut remaining: Vec<SubtaskRef> = ready.iter().map(|r| r.st).collect();
             for (r0, &x) in picked.iter().enumerate() {
                 let r = r0 + 1;
                 remaining.retain(|&s| s != x);

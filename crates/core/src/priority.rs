@@ -21,6 +21,8 @@ use core::cmp::Ordering;
 
 use pfair_taskmodel::{SubtaskRef, TaskSystem};
 
+use crate::key::KeyDispatch;
+
 /// A total priority order over released subtasks. `Less` = higher priority.
 pub trait PriorityOrder: core::fmt::Debug + Sync {
     /// Short human-readable name ("PD2", "EPDF", …).
@@ -58,6 +60,37 @@ pub trait PriorityOrder: core::fmt::Debug + Sync {
     fn precedes_eq(&self, sys: &TaskSystem, a: SubtaskRef, b: SubtaskRef) -> bool {
         self.cmp_strict(sys, a, b) != Ordering::Greater
     }
+
+    /// Which precomputed key type ([`crate::key`]) reproduces this order's
+    /// [`Self::cmp`], if any. Simulators consult this to replace repeated
+    /// comparator calls with cached-key comparisons; the registered key's
+    /// `Ord` is proven equivalent by tests, so dispatching through it never
+    /// changes a schedule. The default — no key — keeps the comparator
+    /// path, which stays correct for every order (PF, ablations, custom
+    /// implementations).
+    fn key_dispatch(&self) -> KeyDispatch {
+        KeyDispatch::Comparator
+    }
+}
+
+/// Forces the comparator path: wraps any order, forwarding everything but
+/// reporting no key dispatch. Used by equivalence tests and benchmarks to
+/// pit keyed against comparator execution of the *same* order.
+#[derive(Debug)]
+pub struct ComparatorOnly<'a>(pub &'a dyn PriorityOrder);
+
+impl PriorityOrder for ComparatorOnly<'_> {
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+
+    fn cmp_strict(&self, sys: &TaskSystem, a: SubtaskRef, b: SubtaskRef) -> Ordering {
+        self.0.cmp_strict(sys, a, b)
+    }
+
+    fn cmp(&self, sys: &TaskSystem, a: SubtaskRef, b: SubtaskRef) -> Ordering {
+        self.0.cmp(sys, a, b)
+    }
 }
 
 /// Sorts `ready` into scheduling order (highest priority first) under `ord`.
@@ -94,7 +127,12 @@ impl Algorithm {
     /// All algorithms, for sweeps.
     #[must_use]
     pub fn all() -> [Algorithm; 4] {
-        [Algorithm::Epdf, Algorithm::Pd2, Algorithm::Pf, Algorithm::Pd]
+        [
+            Algorithm::Epdf,
+            Algorithm::Pd2,
+            Algorithm::Pf,
+            Algorithm::Pd,
+        ]
     }
 
     /// Parses a case-insensitive name ("pd2", "epdf", "pf", "pd").

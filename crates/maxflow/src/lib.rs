@@ -68,7 +68,10 @@ impl FlowNetwork {
     /// # Panics
     /// Panics on out-of-range endpoints or negative capacity.
     pub fn add_edge(&mut self, from: usize, to: usize, cap: i64) -> EdgeId {
-        assert!(from < self.adj.len() && to < self.adj.len(), "node out of range");
+        assert!(
+            from < self.adj.len() && to < self.adj.len(),
+            "node out of range"
+        );
         assert!(cap >= 0, "negative capacity");
         let id = self.edges.len() as u32;
         self.edges.push(Edge { to: to as u32, cap });

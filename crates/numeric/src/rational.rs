@@ -10,8 +10,7 @@ use core::cmp::Ordering;
 use core::fmt;
 use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
 
-use serde::de::Error as _;
-use serde::{Deserialize, Deserializer, Serialize, Serializer};
+use serde::{Deserialize, Serialize, Value};
 
 use crate::int::gcd;
 
@@ -203,7 +202,8 @@ impl From<u32> for Rat {
 impl Add for Rat {
     type Output = Rat;
     fn add(self, rhs: Rat) -> Rat {
-        let num = i128::from(self.num) * i128::from(rhs.den) + i128::from(rhs.num) * i128::from(self.den);
+        let num =
+            i128::from(self.num) * i128::from(rhs.den) + i128::from(rhs.num) * i128::from(self.den);
         let den = i128::from(self.den) * i128::from(rhs.den);
         Rat::from_i128(num, den)
     }
@@ -304,17 +304,19 @@ impl fmt::Debug for Rat {
     }
 }
 
+// Serialized as the two-element pair `[num, den]`, matching how real serde
+// would encode the `(i64, i64)` tuple form.
 impl Serialize for Rat {
-    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        (self.num, self.den).serialize(serializer)
+    fn to_value(&self) -> Value {
+        (self.num, self.den).to_value()
     }
 }
 
-impl<'de> Deserialize<'de> for Rat {
-    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Rat, D::Error> {
-        let (num, den) = <(i64, i64)>::deserialize(deserializer)?;
+impl Deserialize for Rat {
+    fn from_value(v: &Value) -> Result<Rat, serde::de::Error> {
+        let (num, den) = <(i64, i64)>::from_value(v)?;
         if den == 0 {
-            return Err(D::Error::custom("Rat denominator must be nonzero"));
+            return Err(serde::de::Error::custom("Rat denominator must be nonzero"));
         }
         Ok(Rat::new(num, den))
     }
@@ -352,7 +354,10 @@ impl core::str::FromStr for Rat {
             }
             Ok(Rat::new(num, den))
         } else {
-            s.trim().parse::<i64>().map(Rat::int).map_err(|_| ParseRatError)
+            s.trim()
+                .parse::<i64>()
+                .map(Rat::int)
+                .map_err(|_| ParseRatError)
         }
     }
 }

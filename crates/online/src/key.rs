@@ -1,94 +1,28 @@
-//! PD² priority as a static, totally ordered key.
+//! PD² priority as a static key — re-exported from `pfair-core`.
 //!
-//! `pfair-core` exposes PD² as a comparator over a `TaskSystem`; for the
-//! online scheduler we need the same order as an `Ord` key so ready
-//! subtasks can live in a binary heap. The subtlety is PD²'s *conditional*
-//! third rule — the group deadline is compared only when **both** b-bits
-//! are 1 — which a naive lexicographic tuple cannot express. [`Pd2Key`]
-//! encodes it exactly: the group-deadline component participates only via
-//! the custom `Ord`, gated on the b-bit, and the result is proven
-//! equivalent to `pfair_core::Pd2`'s total order
-//! (`tests` below, plus a cross-crate property test).
+//! [`Pd2Key`] originated here (the online scheduler needed an `Ord` key so
+//! ready subtasks could live in a binary heap) and has since been lifted
+//! into [`pfair_core::key`], where it powers the keyed dispatch of the
+//! offline simulators too and is proven equivalent to the `Pd2` comparator
+//! alongside its EPDF/PD siblings. This module remains as the online
+//! crate's import path; `Pd2Key::of(weight, id, index, theta)` builds keys
+//! straight from the window formulas, with no `TaskSystem` — exactly what
+//! an online scheduler, which never materializes one, needs.
 
-use core::cmp::Ordering;
-
-use pfair_taskmodel::{SubtaskId, Weight};
-use pfair_taskmodel::window;
-
-/// The PD² total order as a key. Smaller = higher priority, matching
-/// `PriorityOrder::cmp` (deadline asc; b = 1 first; for b = 1 pairs,
-/// group deadline desc; then heavier weight first; then `(task, index)`).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct Pd2Key {
-    /// Pseudo-deadline `d(T_i)` (θ-adjusted).
-    pub deadline: i64,
-    /// The b-bit.
-    pub bbit: bool,
-    /// Group deadline `D(T_i)` (θ-adjusted; 0 for light tasks).
-    pub group_deadline: i64,
-    /// Task weight (for the deterministic residual tie-break).
-    pub weight: Weight,
-    /// Subtask identity (final tie-break).
-    pub id: SubtaskId,
-}
-
-impl Pd2Key {
-    /// Builds the key of subtask `index` of a task with `weight` and IS
-    /// offset `theta`.
-    #[must_use]
-    pub fn of(weight: Weight, id: SubtaskId, index: u64, theta: i64) -> Pd2Key {
-        let gd = window::group_deadline(weight, index);
-        Pd2Key {
-            deadline: theta + window::deadline(weight, index),
-            bbit: window::bbit(weight, index),
-            group_deadline: if gd == 0 { 0 } else { theta + gd },
-            weight,
-            id,
-        }
-    }
-}
-
-impl PartialOrd for Pd2Key {
-    fn partial_cmp(&self, other: &Pd2Key) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for Pd2Key {
-    fn cmp(&self, other: &Pd2Key) -> Ordering {
-        self.deadline
-            .cmp(&other.deadline)
-            // b = 1 first.
-            .then_with(|| other.bbit.cmp(&self.bbit))
-            // Group deadline only when both b-bits are set; larger first.
-            .then_with(|| {
-                if self.bbit && other.bbit {
-                    other.group_deadline.cmp(&self.group_deadline)
-                } else {
-                    Ordering::Equal
-                }
-            })
-            // Heavier weight first, then identity.
-            .then_with(|| other.weight.cmp(&self.weight))
-            .then_with(|| self.id.cmp(&other.id))
-    }
-}
+pub use pfair_core::key::Pd2Key;
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use pfair_core::{Pd2, PriorityOrder};
     use pfair_taskmodel::release;
-    use proptest::prelude::*;
 
-    /// The key order must coincide with the comparator's total order on
-    /// every pair of a representative system.
+    /// The re-exported key still matches the comparator on a
+    /// representative system (the exhaustive equivalence suite lives in
+    /// `pfair-core`).
     #[test]
-    fn key_order_matches_comparator() {
-        let sys = release::periodic(
-            &[(7, 8), (3, 4), (1, 2), (2, 3), (1, 6), (5, 6), (1, 1), (5, 12)],
-            24,
-        );
+    fn reexported_key_matches_comparator() {
+        let sys = release::periodic(&[(7, 8), (3, 4), (1, 2), (2, 3), (1, 6)], 24);
         let keys: Vec<(pfair_taskmodel::SubtaskRef, Pd2Key)> = sys
             .iter_refs()
             .map(|(st, s)| {
@@ -98,69 +32,8 @@ mod tests {
             .collect();
         for &(a, ka) in &keys {
             for &(b, kb) in &keys {
-                assert_eq!(
-                    ka.cmp(&kb),
-                    Pd2.cmp(&sys, a, b),
-                    "{:?} vs {:?}",
-                    sys.subtask(a).id,
-                    sys.subtask(b).id
-                );
+                assert_eq!(ka.cmp(&kb), Pd2.cmp(&sys, a, b));
             }
-        }
-    }
-
-    #[test]
-    fn conditional_group_deadline_gating() {
-        // Two heavy b = 0 subtasks with different D must tie through the
-        // D stage and fall to weight/id — exactly like the comparator.
-        // wt 1/2 with different θ: d equal requires matching θ… instead
-        // compare equal-weight b = 0 at same deadline from two tasks.
-        let w = Weight::new(1, 2);
-        let a = Pd2Key::of(
-            w,
-            SubtaskId {
-                task: pfair_taskmodel::TaskId(0),
-                index: 1,
-            },
-            1,
-            0,
-        );
-        let b = Pd2Key::of(
-            w,
-            SubtaskId {
-                task: pfair_taskmodel::TaskId(1),
-                index: 1,
-            },
-            1,
-            0,
-        );
-        assert!(!a.bbit && !b.bbit);
-        assert_eq!(a.cmp(&b), core::cmp::Ordering::Less); // id tie-break
-    }
-
-    proptest! {
-        /// Key equivalence over random weights/indices/offsets.
-        #[test]
-        fn prop_key_matches_comparator(
-            e1 in 1i64..12, p1 in 1i64..12, i1 in 1u64..40, th1 in 0i64..6,
-            e2 in 1i64..12, p2 in 1i64..12, i2 in 1u64..40, th2 in 0i64..6,
-        ) {
-            prop_assume!(e1 <= p1 && e2 <= p2);
-            // Build a two-task system exposing exactly these subtasks.
-            let mut b = pfair_taskmodel::TaskSystemBuilder::new();
-            let w1 = Weight::new(e1, p1);
-            let w2 = Weight::new(e2, p2);
-            let t1 = b.add_task(w1);
-            let t2 = b.add_task(w2);
-            b.push(t1, i1, th1, None).unwrap();
-            b.push(t2, i2, th2, None).unwrap();
-            let sys = b.build();
-            let (ra, sa) = sys.iter_refs().next().unwrap();
-            let (rb, sb) = sys.iter_refs().nth(1).unwrap();
-            let ka = Pd2Key::of(w1, sa.id, i1, th1);
-            let kb = Pd2Key::of(w2, sb.id, i2, th2);
-            prop_assert_eq!(ka.cmp(&kb), Pd2.cmp(&sys, ra, rb));
-            prop_assert_eq!(kb.cmp(&ka), Pd2.cmp(&sys, rb, ra));
         }
     }
 }

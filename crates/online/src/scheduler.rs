@@ -30,8 +30,8 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
 use pfair_numeric::{Rat, Time};
-use pfair_taskmodel::{SubtaskId, TaskId, Weight};
 use pfair_taskmodel::window;
+use pfair_taskmodel::{SubtaskId, TaskId, Weight};
 
 use crate::key::Pd2Key;
 
@@ -78,7 +78,10 @@ pub enum OnlineError {
 impl core::fmt::Display for OnlineError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
-            OnlineError::TooEarly { earliest, requested } => write!(
+            OnlineError::TooEarly {
+                earliest,
+                requested,
+            } => write!(
                 f,
                 "sporadic separation violated: job released at {requested}, earliest {earliest}"
             ),
@@ -319,7 +322,8 @@ impl OnlineDvq {
                     deadline: spec.deadline,
                 });
                 self.tasks[task.idx()].pred_completion = completion;
-                self.events.push(Reverse((completion, Ev::ProcFree(proc, task))));
+                self.events
+                    .push(Reverse((completion, Ev::ProcFree(proc, task))));
             }
         }
         if self.now < horizon {
@@ -330,7 +334,10 @@ impl OnlineDvq {
 
     /// Runs until every submitted job has completed; returns the
     /// assignments made during this call.
-    pub fn run_until_idle(&mut self, cost: &mut dyn FnMut(TaskId, u64) -> Rat) -> Vec<OnlineAssignment> {
+    pub fn run_until_idle(
+        &mut self,
+        cost: &mut dyn FnMut(TaskId, u64) -> Rat,
+    ) -> Vec<OnlineAssignment> {
         // Events only exist while work is pending, so an unbounded horizon
         // terminates exactly when the system drains.
         let far = Rat::int(i64::MAX / 2);

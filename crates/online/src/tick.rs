@@ -230,7 +230,13 @@ mod tests {
                         index: a.index,
                     })
                     .unwrap();
-                assert_eq!(offline.start(st), Rat::int(slot), "T{}_{}", a.task.0, a.index);
+                assert_eq!(
+                    offline.start(st),
+                    Rat::int(slot),
+                    "T{}_{}",
+                    a.task.0,
+                    a.index
+                );
                 assert_eq!(offline.placement(st).proc, a.proc);
                 ticked += 1;
             }

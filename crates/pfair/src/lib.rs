@@ -69,29 +69,34 @@ pub mod paper;
 pub mod prelude {
     pub use pfair_analysis::{
         all_jobs, check_structural, check_window_containment, classify_subtasks, dbf,
-        detect_blocking, find_overload,
-        jobs_of,
-        k_compliant_system, postpone_charged, ranks, schedule_report, subtask_tardiness,
-        tardiness_stats,
-        waste_stats, BlockingKind, SubtaskClass, TardinessStats, WasteStats,
+        detect_blocking, find_overload, jobs_of, k_compliant_system, postpone_charged, ranks,
+        schedule_report, subtask_tardiness, tardiness_stats, waste_stats, BlockingKind,
+        SubtaskClass, TardinessStats, WasteStats,
     };
-    pub use pfair_core::{pdb, Algorithm, Epdf, Pd, Pd2, Pf, PriorityOrder};
+    pub use pfair_core::{
+        pdb, Algorithm, ComparatorOnly, Epdf, EpdfKey, KeyCache, KeyDispatch, Pd, Pd2, PdKey, Pf,
+        PriorityOrder, SubtaskKey,
+    };
     pub use pfair_numeric::{QuantumScale, Rat, Time};
+    pub use pfair_online::{
+        OnlineAssignment, OnlineDvq, OnlineError, OnlineSfq, Pd2Key, TickAssignment,
+    };
     pub use pfair_sim::{
         simulate_dvq, simulate_sfq, simulate_sfq_affine, simulate_sfq_pdb,
-        simulate_sfq_pdb_instrumented, simulate_sfq_pdb_with,
-        simulate_staggered, CostModel, FixedCosts, FullQuantum, PdbSlotStats, Placement,
-        QuantumModel, ScaledCost, Schedule, SfqPolicy,
+        simulate_sfq_pdb_instrumented, simulate_sfq_pdb_with, simulate_staggered, CostModel,
+        FixedCosts, FullQuantum, PdbSlotStats, Placement, QuantumModel, ScaledCost, Schedule,
+        SfqPolicy,
     };
     pub use pfair_taskmodel::{
         release, ModelError, Subtask, SubtaskId, SubtaskRef, Task, TaskId, TaskSystem,
         TaskSystemBuilder, Weight,
     };
-    pub use pfair_online::{OnlineAssignment, OnlineDvq, OnlineError, OnlineSfq, Pd2Key, TickAssignment};
-    pub use pfair_trace::{render_gantt, render_svg, render_windows, trace_bundle, GanttOptions, SvgOptions, TraceBundle};
+    pub use pfair_trace::{
+        render_gantt, render_svg, render_windows, trace_bundle, GanttOptions, SvgOptions,
+        TraceBundle,
+    };
     pub use pfair_workload::{
-        run_sweep, AdversarialYield, BimodalCost, ExperimentConfig, ModelKind,
-        PartialFinalSubtask, ReleaseConfig, ReleaseKind, RunSummary, TaskGenConfig, UniformCost,
-        WeightDist,
+        run_sweep, AdversarialYield, BimodalCost, ExperimentConfig, ModelKind, PartialFinalSubtask,
+        ReleaseConfig, ReleaseKind, RunSummary, TaskGenConfig, UniformCost, WeightDist,
     };
 }

@@ -31,6 +31,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use pfair_core::key::{EpdfKey, KeyCache, KeyDispatch, Pd2Key, PdKey, SubtaskKey};
 use pfair_core::priority::PriorityOrder;
 use pfair_numeric::Time;
 use pfair_taskmodel::{SubtaskRef, TaskSystem};
@@ -47,9 +48,82 @@ enum Event {
     Activate(SubtaskRef),
 }
 
+/// The ready set of the DVQ loop: push activated subtasks, pop the
+/// highest-priority one. Two implementations share the event loop — a
+/// precomputed-key binary heap (the default whenever the order registers a
+/// key type) and a linear comparator scan (the fallback for orders without
+/// one). Both pop in the same total order, so the produced schedules are
+/// identical; the tests pin that down on the paper's golden traces.
+trait ReadySet {
+    fn push(&mut self, st: SubtaskRef);
+    fn pop_best(&mut self) -> Option<SubtaskRef>;
+    fn is_empty(&self) -> bool;
+}
+
+/// O(log n) ready set over precomputed keys.
+struct KeyedReady<K: SubtaskKey> {
+    cache: KeyCache<K>,
+    heap: BinaryHeap<Reverse<(K, SubtaskRef)>>,
+}
+
+impl<K: SubtaskKey> KeyedReady<K> {
+    fn new(sys: &TaskSystem) -> KeyedReady<K> {
+        KeyedReady {
+            cache: KeyCache::build(sys),
+            heap: BinaryHeap::new(),
+        }
+    }
+}
+
+impl<K: SubtaskKey> ReadySet for KeyedReady<K> {
+    fn push(&mut self, st: SubtaskRef) {
+        self.heap.push(Reverse((self.cache.key(st), st)));
+    }
+
+    fn pop_best(&mut self) -> Option<SubtaskRef> {
+        self.heap.pop().map(|Reverse((_, st))| st)
+    }
+
+    fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// O(n)-per-pop ready set calling the comparator (for orders with no
+/// registered key type, e.g. PF or the ablations).
+struct ComparatorReady<'a> {
+    sys: &'a TaskSystem,
+    order: &'a dyn PriorityOrder,
+    items: Vec<SubtaskRef>,
+}
+
+impl ReadySet for ComparatorReady<'_> {
+    fn push(&mut self, st: SubtaskRef) {
+        self.items.push(st);
+    }
+
+    fn pop_best(&mut self) -> Option<SubtaskRef> {
+        let (best_pos, _) = self
+            .items
+            .iter()
+            .enumerate()
+            .min_by(|(_, &a), (_, &b)| self.order.cmp(self.sys, a, b))?;
+        Some(self.items.swap_remove(best_pos))
+    }
+
+    fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
 /// Simulates `sys` on `m` processors under the DVQ model with priority
 /// order `order` (the paper analyzes PD²-DVQ; any order is accepted so the
 /// EPDF comparison of experiment E4 reuses this driver).
+///
+/// Dispatches on [`PriorityOrder::key_dispatch`]: orders with a
+/// precomputed-key type (EPDF, PD², PD) run the event loop over a key
+/// binary heap; others fall back to the comparator scan. The schedule is
+/// identical either way.
 ///
 /// Runs until every released subtask has been scheduled and completed.
 #[must_use]
@@ -57,6 +131,28 @@ pub fn simulate_dvq(
     sys: &TaskSystem,
     m: u32,
     order: &dyn PriorityOrder,
+    cost: &mut dyn CostModel,
+) -> Schedule {
+    match order.key_dispatch() {
+        KeyDispatch::Pd2 => run_dvq(sys, m, KeyedReady::<Pd2Key>::new(sys), cost),
+        KeyDispatch::Epdf => run_dvq(sys, m, KeyedReady::<EpdfKey>::new(sys), cost),
+        KeyDispatch::Pd => run_dvq(sys, m, KeyedReady::<PdKey>::new(sys), cost),
+        KeyDispatch::Comparator => {
+            let ready = ComparatorReady {
+                sys,
+                order,
+                items: Vec::with_capacity(sys.num_tasks()),
+            };
+            run_dvq(sys, m, ready, cost)
+        }
+    }
+}
+
+/// The shared DVQ event loop, generic over the ready-set implementation.
+fn run_dvq<R: ReadySet>(
+    sys: &TaskSystem,
+    m: u32,
+    mut ready: R,
     cost: &mut dyn CostModel,
 ) -> Schedule {
     assert!(m >= 1, "need at least one processor");
@@ -78,12 +174,19 @@ pub fn simulate_dvq(
     }
 
     let mut free: Vec<u32> = Vec::with_capacity(m as usize);
-    let mut ready: Vec<SubtaskRef> = Vec::with_capacity(sys.num_tasks());
     let mut placed = 0usize;
 
     while placed < total {
         let Some(&Reverse((now, _))) = events.peek() else {
-            unreachable!("event queue drained with {placed}/{total} subtasks placed");
+            // Every unplaced subtask owes the queue either an Activate or
+            // the ProcFree that will trigger one, so an empty queue here is
+            // a lost-event bug in this driver — abort loudly (also in
+            // release builds) rather than looping forever on `placed <
+            // total`.
+            panic!(
+                "DVQ event queue drained with only {placed}/{total} subtasks placed: \
+                 an Activate/ProcFree event was lost (broken successor chain?)"
+            );
         };
         // Drain the batch at `now`.
         while let Some(&Reverse((t, ev))) = events.peek() {
@@ -100,12 +203,7 @@ pub fn simulate_dvq(
 
         // Assign free processors to ready subtasks in priority order.
         while !free.is_empty() && !ready.is_empty() {
-            let (best_pos, _) = ready
-                .iter()
-                .enumerate()
-                .min_by(|(_, &a), (_, &b)| order.cmp(sys, a, b))
-                .expect("ready nonempty");
-            let st = ready.swap_remove(best_pos);
+            let st = ready.pop_best().expect("ready nonempty");
             let proc = free.remove(0);
             let c = checked_cost(cost.cost(sys, st), st);
             let completion = now + c;
@@ -188,7 +286,7 @@ mod tests {
         let two_minus = Rat::int(2) - delta;
         assert_eq!(sched.start(find(&sys, 1, 1)), two_minus); // B_1
         assert_eq!(sched.start(find(&sys, 2, 1)), two_minus); // C_1
-        // D_2, E_2 blocked until 3 − δ; they still meet d = 4.
+                                                              // D_2, E_2 blocked until 3 − δ; they still meet d = 4.
         let three_minus = Rat::int(3) - delta;
         assert_eq!(sched.start(find(&sys, 3, 2)), three_minus);
         assert_eq!(sched.start(find(&sys, 4, 2)), three_minus);

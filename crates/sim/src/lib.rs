@@ -42,7 +42,6 @@ pub use dvq::simulate_dvq;
 pub use schedule::{Placement, QuantumModel, Schedule};
 pub use sfq::{
     simulate_sfq, simulate_sfq_affine, simulate_sfq_pdb, simulate_sfq_pdb_instrumented,
-    simulate_sfq_pdb_with,
-    AffinityMode, PdbSlotStats, SfqPolicy,
+    simulate_sfq_pdb_with, AffinityMode, PdbSlotStats, SfqPolicy,
 };
 pub use staggered::simulate_staggered;

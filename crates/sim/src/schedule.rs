@@ -82,7 +82,12 @@ impl Schedule {
     /// # Panics
     /// Panics unless every subtask of `sys` is placed exactly once.
     #[must_use]
-    pub fn new(sys: &TaskSystem, model: QuantumModel, m: u32, mut placements: Vec<Placement>) -> Schedule {
+    pub fn new(
+        sys: &TaskSystem,
+        model: QuantumModel,
+        m: u32,
+        mut placements: Vec<Placement>,
+    ) -> Schedule {
         placements.sort_by(|a, b| a.start.cmp(&b.start).then(a.proc.cmp(&b.proc)));
         let mut by_subtask = vec![u32::MAX; sys.num_subtasks()];
         for (i, pl) in placements.iter().enumerate() {

@@ -19,6 +19,7 @@
 //! procedure, which needs the extra readiness fact "did the predecessor
 //! run in slot `t − 1`" to form its `EB/PB/DB` partition.
 
+use pfair_core::key::{EpdfKey, KeyCache, KeyDispatch, Pd2Key, PdKey, SubtaskKey};
 use pfair_core::pdb;
 use pfair_core::priority::{sort_by_priority, PriorityOrder};
 use pfair_numeric::Rat;
@@ -62,7 +63,12 @@ pub fn simulate_sfq(
 /// selection procedure.
 #[must_use]
 pub fn simulate_sfq_pdb(sys: &TaskSystem, m: u32, cost: &mut dyn CostModel) -> Schedule {
-    run_sfq(sys, m, SfqPolicy::PdB(pdb::PdbLinearization::MaxBlocking), cost)
+    run_sfq(
+        sys,
+        m,
+        SfqPolicy::PdB(pdb::PdbLinearization::MaxBlocking),
+        cost,
+    )
 }
 
 /// [`simulate_sfq_pdb`] with an explicit resolution of Table 1's two-way
@@ -129,7 +135,12 @@ pub enum AffinityMode {
 
 /// Shared SFQ driver.
 #[must_use]
-pub fn run_sfq(sys: &TaskSystem, m: u32, policy: SfqPolicy<'_>, cost: &mut dyn CostModel) -> Schedule {
+pub fn run_sfq(
+    sys: &TaskSystem,
+    m: u32,
+    policy: SfqPolicy<'_>,
+    cost: &mut dyn CostModel,
+) -> Schedule {
     run_sfq_impl(sys, m, policy, cost, None, AffinityMode::ByDecision)
 }
 
@@ -151,6 +162,67 @@ pub fn simulate_sfq_affine(
     )
 }
 
+/// Per-slot top-`M` selection for [`SfqPolicy::Priority`] runs.
+///
+/// The keyed variants map the slot's ready refs to precomputed keys once,
+/// then select/sort by plain key comparisons; the comparator variant is the
+/// fallback for orders with no registered key type. Selection is
+/// select-then-sort either way: the priority order is strict (unique ids
+/// break every tie), so the partial selection yields exactly the full
+/// sort's prefix, and keyed and comparator runs pick identical slots.
+enum SlotSelector<'a> {
+    Comparator(&'a dyn PriorityOrder),
+    Pd2(KeyCache<Pd2Key>, Vec<(Pd2Key, SubtaskRef)>),
+    Epdf(KeyCache<EpdfKey>, Vec<(EpdfKey, SubtaskRef)>),
+    Pd(KeyCache<PdKey>, Vec<(PdKey, SubtaskRef)>),
+}
+
+impl<'a> SlotSelector<'a> {
+    fn new(sys: &TaskSystem, order: &'a dyn PriorityOrder) -> SlotSelector<'a> {
+        match order.key_dispatch() {
+            KeyDispatch::Pd2 => SlotSelector::Pd2(KeyCache::build(sys), Vec::new()),
+            KeyDispatch::Epdf => SlotSelector::Epdf(KeyCache::build(sys), Vec::new()),
+            KeyDispatch::Pd => SlotSelector::Pd(KeyCache::build(sys), Vec::new()),
+            KeyDispatch::Comparator => SlotSelector::Comparator(order),
+        }
+    }
+
+    /// Shrinks `ready` to the top `mcap` subtasks, sorted by priority.
+    fn select(&mut self, sys: &TaskSystem, ready: &mut Vec<SubtaskRef>, mcap: usize) {
+        match self {
+            SlotSelector::Comparator(order) => {
+                if ready.len() > mcap {
+                    ready.select_nth_unstable_by(mcap - 1, |&a, &b| order.cmp(sys, a, b));
+                    ready.truncate(mcap);
+                }
+                sort_by_priority(*order, sys, ready);
+            }
+            SlotSelector::Pd2(cache, scratch) => select_keyed(cache, scratch, ready, mcap),
+            SlotSelector::Epdf(cache, scratch) => select_keyed(cache, scratch, ready, mcap),
+            SlotSelector::Pd(cache, scratch) => select_keyed(cache, scratch, ready, mcap),
+        }
+    }
+}
+
+/// Keyed top-`mcap` selection: pair each ready ref with its cached key,
+/// partial-select, sort, write the refs back.
+fn select_keyed<K: SubtaskKey>(
+    cache: &KeyCache<K>,
+    scratch: &mut Vec<(K, SubtaskRef)>,
+    ready: &mut Vec<SubtaskRef>,
+    mcap: usize,
+) {
+    scratch.clear();
+    scratch.extend(ready.iter().map(|&st| (cache.key(st), st)));
+    if scratch.len() > mcap {
+        scratch.select_nth_unstable_by(mcap - 1, |a, b| a.0.cmp(&b.0));
+        scratch.truncate(mcap);
+    }
+    scratch.sort_unstable_by_key(|a| a.0);
+    ready.clear();
+    ready.extend(scratch.iter().map(|&(_, st)| st));
+}
+
 fn run_sfq_impl(
     sys: &TaskSystem,
     m: u32,
@@ -160,6 +232,10 @@ fn run_sfq_impl(
     affinity: AffinityMode,
 ) -> Schedule {
     assert!(m >= 1, "need at least one processor");
+    let mut selector = match policy {
+        SfqPolicy::Priority(order) => Some(SlotSelector::new(sys, order)),
+        SfqPolicy::PdB(_) => None,
+    };
     let total = sys.num_subtasks();
     let mut placements = Vec::with_capacity(total);
     // Slot in which each subtask was scheduled (for readiness / PD^B).
@@ -197,24 +273,33 @@ fn run_sfq_impl(
         }
 
         if ready.is_empty() {
-            debug_assert!(next_interesting > t && next_interesting < i64::MAX);
+            // With nothing ready, the driver can only jump forward to the
+            // next readiness time. If none exists (or it does not advance),
+            // `continue` would spin forever with unscheduled subtasks left
+            // — a driver bug that a debug-only assert would let a release
+            // build loop on silently. Fail hard instead.
+            assert!(
+                next_interesting < i64::MAX,
+                "SFQ driver stuck at slot {t}: no subtask is ready, none becomes \
+                 ready later, yet only {placed}/{total} subtasks are placed \
+                 (lost readiness: broken predecessor chain or eligible time?)"
+            );
+            assert!(
+                next_interesting > t,
+                "SFQ driver stuck at slot {t}: next readiness time \
+                 {next_interesting} does not advance ({placed}/{total} placed)"
+            );
             t = next_interesting;
             continue;
         }
 
         let picked: Vec<SubtaskRef> = match policy {
-            SfqPolicy::Priority(order) => {
+            SfqPolicy::Priority(_) => {
                 // Only the top M matter; a partial selection beats a full
-                // sort once the ready set outgrows the machine. The
-                // priority order is strict (unique ids break every tie),
-                // so select-then-sort yields exactly the full sort's
-                // prefix.
-                let mcap = m as usize;
-                if ready.len() > mcap {
-                    ready.select_nth_unstable_by(mcap - 1, |&a, &b| order.cmp(sys, a, b));
-                    ready.truncate(mcap);
-                }
-                sort_by_priority(order, sys, &mut ready);
+                // sort once the ready set outgrows the machine (and cached
+                // keys beat comparator calls; see `SlotSelector`).
+                let sel = selector.as_mut().expect("Priority policy has a selector");
+                sel.select(sys, &mut ready, m as usize);
                 ready.clone()
             }
             SfqPolicy::PdB(lin) => {
@@ -222,9 +307,10 @@ fn run_sfq_impl(
                     .iter()
                     .map(|&st| pdb::Ready {
                         st,
-                        pred_holds_until_t: sys.subtask(st).pred.is_some_and(|p| {
-                            slot_of[p.idx()] == Some(t - 1)
-                        }),
+                        pred_holds_until_t: sys
+                            .subtask(st)
+                            .pred
+                            .is_some_and(|p| slot_of[p.idx()] == Some(t - 1)),
                     })
                     .collect();
                 let part = pdb::classify(sys, t, &readiness);
@@ -354,7 +440,7 @@ mod tests {
         assert_eq!(slot(&sys, &sched, 4, 3), 4); // E3
         assert_eq!(slot(&sys, &sched, 5, 3), 5); // F3
         assert_eq!(slot(&sys, &sched, 2, 1), 5); // C1
-        // Everything meets its deadline (PD² optimal under SFQ).
+                                                 // Everything meets its deadline (PD² optimal under SFQ).
         for (st, s) in sys.iter_refs() {
             assert!(sched.completion(st) <= Rat::int(s.deadline));
         }

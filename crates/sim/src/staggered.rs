@@ -54,7 +54,10 @@ pub fn simulate_staggered(
         }
     }
     for k in 0..m {
-        events.push(Reverse((Rat::new(i64::from(k), i64::from(m)), Event::Boundary(k))));
+        events.push(Reverse((
+            Rat::new(i64::from(k), i64::from(m)),
+            Event::Boundary(k),
+        )));
     }
 
     let mut ready: Vec<SubtaskRef> = Vec::with_capacity(sys.num_tasks());

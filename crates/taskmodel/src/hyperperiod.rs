@@ -22,9 +22,7 @@ pub fn hyperperiod_of_weights(weights: &[Weight]) -> i64 {
 /// The hyperperiod of a task system's tasks.
 #[must_use]
 pub fn hyperperiod(sys: &TaskSystem) -> i64 {
-    sys.tasks()
-        .iter()
-        .fold(1, |h, t| lcm(h, t.weight.p()))
+    sys.tasks().iter().fold(1, |h, t| lcm(h, t.weight.p()))
 }
 
 /// Number of subtasks a weight-`e/p` task releases per hyperperiod `h`
@@ -47,7 +45,8 @@ pub fn windows_repeat(w: Weight, h: i64, jobs: u64) -> bool {
         window::release(w, i + k) == window::release(w, i) + h
             && window::deadline(w, i + k) == window::deadline(w, i) + h
             && window::bbit(w, i + k) == window::bbit(w, i)
-            && (w.is_light() || window::group_deadline(w, i + k) == window::group_deadline(w, i) + h)
+            && (w.is_light()
+                || window::group_deadline(w, i + k) == window::group_deadline(w, i) + h)
     })
 }
 

@@ -46,8 +46,10 @@ pub fn inflate_weight(w: Weight, epsilon: Rat) -> Result<Weight, ModelError> {
 /// # Errors
 /// Propagates the first weight that no longer fits its period.
 pub fn inflate_set(weights: &[Weight], epsilon: Rat) -> Result<InflatedSet, ModelError> {
-    let inflated: Result<Vec<Weight>, ModelError> =
-        weights.iter().map(|&w| inflate_weight(w, epsilon)).collect();
+    let inflated: Result<Vec<Weight>, ModelError> = weights
+        .iter()
+        .map(|&w| inflate_weight(w, epsilon))
+        .collect();
     let weights = inflated?;
     let utilization = weights.iter().map(|w| w.as_rat()).sum();
     Ok(InflatedSet {
@@ -87,10 +89,16 @@ mod tests {
     fn inflation_rounds_up_to_whole_quanta() {
         // e = 3, ε = 10% ⇒ 3.3 ⇒ 4 quanta.
         let w = Weight::new(3, 8);
-        assert_eq!(inflate_weight(w, Rat::new(1, 10)).unwrap(), Weight::new(4, 8));
+        assert_eq!(
+            inflate_weight(w, Rat::new(1, 10)).unwrap(),
+            Weight::new(4, 8)
+        );
         // e = 1 inflates to 2 as soon as ε > 0.
         let w1 = Weight::new(1, 4);
-        assert_eq!(inflate_weight(w1, Rat::new(1, 100)).unwrap(), Weight::new(2, 4));
+        assert_eq!(
+            inflate_weight(w1, Rat::new(1, 100)).unwrap(),
+            Weight::new(2, 4)
+        );
     }
 
     #[test]

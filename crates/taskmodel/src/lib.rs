@@ -48,9 +48,9 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod error;
 pub mod hyperperiod;
 pub mod inflation;
-pub mod error;
 pub mod release;
 pub mod subtask;
 pub mod system;
@@ -58,8 +58,8 @@ pub mod weight;
 pub mod window;
 
 pub use builder::TaskSystemBuilder;
-pub use hyperperiod::hyperperiod;
 pub use error::ModelError;
+pub use hyperperiod::hyperperiod;
 pub use subtask::{Subtask, SubtaskId, SubtaskRef};
 pub use system::{Task, TaskId, TaskSystem};
 pub use weight::Weight;

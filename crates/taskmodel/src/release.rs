@@ -28,7 +28,8 @@ pub fn periodic(weights: &[(i64, i64)], horizon: i64) -> TaskSystem {
         .enumerate()
         .map(|(k, &(e, p))| (format!("T{k}"), e, p))
         .collect();
-    let borrowed: Vec<(&str, i64, i64)> = named.iter().map(|(n, e, p)| (n.as_str(), *e, *p)).collect();
+    let borrowed: Vec<(&str, i64, i64)> =
+        named.iter().map(|(n, e, p)| (n.as_str(), *e, *p)).collect();
     periodic_named(&borrowed, horizon)
 }
 

@@ -67,7 +67,13 @@ pub fn schedule_to_csv(sys: &TaskSystem, sched: &Schedule) -> String {
 #[must_use]
 pub fn rows_to_csv(header: &[&str], rows: &[Vec<String>]) -> String {
     let mut out = String::new();
-    out.push_str(&header.iter().map(|h| field(h)).collect::<Vec<_>>().join(","));
+    out.push_str(
+        &header
+            .iter()
+            .map(|h| field(h))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
     out.push('\n');
     for row in rows {
         assert_eq!(row.len(), header.len(), "row arity mismatch");
@@ -81,7 +87,7 @@ pub fn rows_to_csv(header: &[&str], rows: &[Vec<String>]) -> String {
 mod tests {
     use super::*;
     use pfair_core::Pd2;
-    use pfair_sim::{simulate_dvq, FixedCosts, FullQuantum, simulate_sfq};
+    use pfair_sim::{simulate_dvq, simulate_sfq, FixedCosts, FullQuantum};
     use pfair_taskmodel::{release, TaskId};
 
     #[test]

@@ -69,7 +69,7 @@ impl TraceBundle {
 mod tests {
     use super::*;
     use pfair_core::Pd2;
-    use pfair_sim::{simulate_dvq, FixedCosts, FullQuantum, simulate_sfq};
+    use pfair_sim::{simulate_dvq, simulate_sfq, FixedCosts, FullQuantum};
     use pfair_taskmodel::{release, TaskId};
 
     #[test]

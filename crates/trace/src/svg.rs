@@ -36,7 +36,9 @@ impl Default for SvgOptions {
 
 /// Escapes XML-special characters in text content.
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 /// A fixed qualitative palette (cycled by task id).

@@ -31,7 +31,10 @@ impl UniformCost {
     /// Panics unless `0 < min ≤ 1`.
     #[must_use]
     pub fn new(min: Rat, seed: u64) -> UniformCost {
-        assert!(min.is_positive() && min <= Rat::ONE, "min must be in (0, 1]");
+        assert!(
+            min.is_positive() && min <= Rat::ONE,
+            "min must be in (0, 1]"
+        );
         let min_num = (min * Rat::int(GRID)).ceil();
         UniformCost {
             min_num,

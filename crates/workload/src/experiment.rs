@@ -11,6 +11,9 @@
 //! trial — in particular a bound-violating one, should a bug ever produce
 //! it — can be re-run in isolation.
 
+use pfair_analysis::{
+    detect_blocking, migration_stats, response_stats, tardiness_stats, waste_stats,
+};
 use pfair_core::Algorithm;
 use pfair_numeric::Rat;
 use pfair_sim::{
@@ -18,7 +21,6 @@ use pfair_sim::{
     ScaledCost, Schedule,
 };
 use pfair_taskmodel::TaskSystem;
-use pfair_analysis::{detect_blocking, migration_stats, response_stats, tardiness_stats, waste_stats};
 use serde::{Deserialize, Serialize};
 
 use crate::costgen::{AdversarialYield, BimodalCost, UniformCost};
@@ -143,10 +145,12 @@ fn make_cost(kind: CostKind, seed: u64) -> Box<dyn CostModel + Send> {
         CostKind::Adversarial {
             delta,
             yield_percent,
-        } => Box::new(AdversarialYield::new(delta, yield_percent, seed ^ 0xadae_25a1)),
-        CostKind::PartialFinal { frac } => {
-            Box::new(crate::costgen::PartialFinalSubtask::new(frac))
-        }
+        } => Box::new(AdversarialYield::new(
+            delta,
+            yield_percent,
+            seed ^ 0xadae_25a1,
+        )),
+        CostKind::PartialFinal { frac } => Box::new(crate::costgen::PartialFinalSubtask::new(frac)),
     }
 }
 
@@ -275,7 +279,10 @@ pub fn run_sweep(cfg: &ExperimentConfig, threads: usize) -> SweepSummary {
     .expect("experiment worker panicked");
 
     SweepSummary {
-        runs: runs.into_iter().map(|r| r.expect("trial completed")).collect(),
+        runs: runs
+            .into_iter()
+            .map(|r| r.expect("trial completed"))
+            .collect(),
     }
 }
 

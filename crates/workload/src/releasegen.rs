@@ -112,8 +112,7 @@ pub fn generate(weights: &[Weight], cfg: &ReleaseConfig, seed: u64) -> TaskSyste
             if r >= cfg.horizon {
                 break;
             }
-            let dropped =
-                cfg.kind == ReleaseKind::Gis && percent(&mut rng, cfg.drop_percent);
+            let dropped = cfg.kind == ReleaseKind::Gis && percent(&mut rng, cfg.drop_percent);
             if !dropped {
                 let eligible = (r - cfg.early).max(prev_eligible).max(0).min(r);
                 b.push(task, i, theta, Some(eligible))

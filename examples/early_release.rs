@@ -65,7 +65,12 @@ fn main() {
                 },
                 seed,
             );
-            let sched = simulate_dvq(&sys, m, Algorithm::Pd2.order(), &mut ScaledCost(Rat::new(3, 4)));
+            let sched = simulate_dvq(
+                &sys,
+                m,
+                Algorithm::Pd2.order(),
+                &mut ScaledCost(Rat::new(3, 4)),
+            );
             let w = waste_stats(&sched);
             idle += (w.idle / w.capacity()).to_f64();
             for (st, _) in sys.iter_refs() {

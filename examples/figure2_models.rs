@@ -76,7 +76,12 @@ fn main() {
     // (c) PD^B in the SFQ model: the δ → 0 limit of (b) — allocations not
     //     commencing on a boundary postpone to the next one.
     let pdb = simulate_sfq_pdb(&sys, 2, &mut FullQuantum);
-    report(&sys, "Fig. 2(c): PD^B in the SFQ model (δ → 0 limit)", &pdb, 4);
+    report(
+        &sys,
+        "Fig. 2(c): PD^B in the SFQ model (δ → 0 limit)",
+        &pdb,
+        4,
+    );
 
     // Verify the limit correspondence subtask by subtask.
     println!("δ → 0 reduction check (⌈DVQ start⌉ == PD^B slot):");

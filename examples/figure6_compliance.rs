@@ -87,11 +87,11 @@ fn main() {
             .map(|&st| format!("{:?}", sys_b.subtask(st).id))
             .collect::<Vec<_>>()
             .join(" ");
-        println!(
-            "  τ^{k:<2} eligibility restored for [{restored}] → misses: {misses}"
-        );
+        println!("  τ^{k:<2} eligibility restored for [{restored}] → misses: {misses}");
         assert_eq!(misses, 0, "τ^{k} must remain schedulable");
     }
-    println!("\nEvery τ^k is schedulable: viewed against τ^B's original \
-              deadlines, PD^B is at most one quantum late (Theorem 2).");
+    println!(
+        "\nEvery τ^k is schedulable: viewed against τ^B's original \
+              deadlines, PD^B is at most one quantum late (Theorem 2)."
+    );
 }

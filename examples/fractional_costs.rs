@@ -33,7 +33,11 @@ fn main() {
     );
 
     for den in [1i64, 8, 4, 2] {
-        let frac = if den == 1 { Rat::ONE } else { Rat::new(den - 1, den) };
+        let frac = if den == 1 {
+            Rat::ONE
+        } else {
+            Rat::new(den - 1, den)
+        };
         let mut sfq_waste = 0.0;
         let mut dvq_waste = 0.0;
         let mut sfq_tard = Rat::ZERO;
@@ -41,8 +45,18 @@ fn main() {
         for seed in 0..trials as u64 {
             let ws = random_weights(&TaskGenConfig::full(m, 12), 31_000 + seed);
             let sys = releasegen::generate(&ws, &ReleaseConfig::periodic(24), seed);
-            let sfq = simulate_sfq(&sys, m, Algorithm::Pd2.order(), &mut PartialFinalSubtask::new(frac));
-            let dvq = simulate_dvq(&sys, m, Algorithm::Pd2.order(), &mut PartialFinalSubtask::new(frac));
+            let sfq = simulate_sfq(
+                &sys,
+                m,
+                Algorithm::Pd2.order(),
+                &mut PartialFinalSubtask::new(frac),
+            );
+            let dvq = simulate_dvq(
+                &sys,
+                m,
+                Algorithm::Pd2.order(),
+                &mut PartialFinalSubtask::new(frac),
+            );
             sfq_waste += waste_stats(&sfq).wasted_fraction().to_f64();
             dvq_waste += waste_stats(&dvq).wasted_fraction().to_f64();
             sfq_tard = sfq_tard.max(tardiness_stats(&sys, &sfq).max);

@@ -87,7 +87,10 @@ fn main() {
         97_000,
     );
     let util: Rat = base.iter().map(|w| w.as_rat()).sum();
-    println!("3. overhead inflation on a util-{util} base set ({} tasks):", base.len());
+    println!(
+        "3. overhead inflation on a util-{util} base set ({} tasks):",
+        base.len()
+    );
     for eps_den in [20i64, 10, 5] {
         let eps = Rat::new(1, eps_den);
         match inflate_set(&base, eps) {

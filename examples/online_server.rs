@@ -57,8 +57,10 @@ fn main() {
         // Submit every job releasing before this wave's end.
         for (k, &(id, w, _)) in admitted.iter().enumerate() {
             while next_release[k] < wave_end {
-                sched.submit_job(id, next_release[k]).expect("valid arrival");
-                next_release[k] += w.p() + rng.gen_range(0..2); // sporadic jitter
+                sched
+                    .submit_job(id, next_release[k])
+                    .expect("valid arrival");
+                next_release[k] += w.p() + rng.gen_range(0..2i64); // sporadic jitter
             }
         }
         // Advance the scheduler to the wave boundary.

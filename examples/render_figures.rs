@@ -31,7 +31,10 @@ fn main() -> std::io::Result<()> {
 
     // Fig. 2(a): SFQ under PD².
     let sfq = simulate_sfq(&sys, 2, &Pd2, &mut FullQuantum);
-    std::fs::write(format!("{out}/fig2a_sfq_pd2.svg"), render_svg(&sys, &sfq, &opts))?;
+    std::fs::write(
+        format!("{out}/fig2a_sfq_pd2.svg"),
+        render_svg(&sys, &sfq, &opts),
+    )?;
 
     // Fig. 2(b): DVQ with δ = 1/4 yields on A_1 and F_1.
     let delta = Rat::new(1, 4);
@@ -39,11 +42,17 @@ fn main() -> std::io::Result<()> {
         .with(TaskId(0), 1, Rat::ONE - delta)
         .with(TaskId(5), 1, Rat::ONE - delta);
     let dvq = simulate_dvq(&sys, 2, &Pd2, &mut costs);
-    std::fs::write(format!("{out}/fig2b_dvq_pd2.svg"), render_svg(&sys, &dvq, &opts))?;
+    std::fs::write(
+        format!("{out}/fig2b_dvq_pd2.svg"),
+        render_svg(&sys, &dvq, &opts),
+    )?;
 
     // Fig. 2(c) / Fig. 6(a): PD^B.
     let pdb = simulate_sfq_pdb(&sys, 2, &mut FullQuantum);
-    std::fs::write(format!("{out}/fig2c_pdb.svg"), render_svg(&sys, &pdb, &opts))?;
+    std::fs::write(
+        format!("{out}/fig2c_pdb.svg"),
+        render_svg(&sys, &pdb, &opts),
+    )?;
 
     // Fig. 6(b): the right-shifted system under PD².
     let tau = sys.shifted(1, 1);

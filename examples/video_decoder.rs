@@ -62,7 +62,10 @@ fn main() {
     let sfq = simulate_sfq(&sys, m, &Pd2, &mut decode_times());
     let dvq = simulate_dvq(&sys, m, &Pd2, &mut decode_times());
 
-    for (label, sched) in [("SFQ (quantum-aligned)", &sfq), ("DVQ (work-conserving)", &dvq)] {
+    for (label, sched) in [
+        ("SFQ (quantum-aligned)", &sfq),
+        ("DVQ (work-conserving)", &dvq),
+    ] {
         let t = tardiness_stats(&sys, sched);
         let w = waste_stats(sched);
         println!("== {label} ==");

@@ -74,7 +74,8 @@ fn main() {
             };
             cells.push(run_sweep(&cfg, threads));
         }
-        let mean = |s: &pfair::workload::experiment::SweepSummary, f: &dyn Fn(&RunSummary) -> f64| {
+        let mean = |s: &pfair::workload::experiment::SweepSummary,
+                    f: &dyn Fn(&RunSummary) -> f64| {
             s.runs.iter().map(f).sum::<f64>() / s.runs.len() as f64
         };
         let (sfq, stg, dvq) = (&cells[0], &cells[1], &cells[2]);

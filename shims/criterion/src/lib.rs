@@ -1,0 +1,233 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Runs each benchmark closure in a warmup pass, then measures enough
+//! batches to estimate a stable mean, and prints `name ... time: <mean>`
+//! lines. No statistical machinery (outlier rejection, plots, HTML
+//! report) — just wall-clock means, which is enough for the relative
+//! comparisons this repo reports. If the `CRITERION_SHIM_OUT` environment
+//! variable names a file, every measurement is appended to it as one JSON
+//! object per line (`{"bench": .., "ns_per_iter": .., "throughput_elems": ..}`)
+//! so scripts can collect machine-readable results.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` callers keep working.
+pub use std::hint::black_box;
+
+/// Throughput annotation attached to a group; folded into reported rates.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/param`.
+    pub fn new(name: impl Into<String>, param: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            full: format!("{}/{}", name.into(), param),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+/// Passed to each benchmark closure; `iter` does the timing.
+pub struct Bencher {
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean wall-clock nanoseconds per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup + calibration: find an iteration count that runs ~25ms.
+        let mut n: u64 = 1;
+        let per_iter = loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(25) || n >= 1 << 20 {
+                break elapsed.as_nanos() as f64 / n as f64;
+            }
+            n = n.saturating_mul(4);
+        };
+        // Measurement: three batches at the calibrated count, keep the best
+        // (least-interfered) batch mean.
+        let mut best = per_iter;
+        for _ in 0..3 {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            let mean = start.elapsed().as_nanos() as f64 / n as f64;
+            if mean < best {
+                best = mean;
+            }
+        }
+        self.ns_per_iter = best;
+    }
+}
+
+/// Mirrors criterion's CLI: bare (non-flag) arguments are substring
+/// filters; a benchmark runs when no filter is given or any filter
+/// matches its full `group/id` name.
+fn filtered_out(name: &str) -> bool {
+    let filters: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .collect();
+    !filters.is_empty() && !filters.iter().any(|f| name.contains(f.as_str()))
+}
+
+fn record(name: &str, ns_per_iter: f64, throughput: Option<Throughput>) {
+    let rate = match throughput {
+        Some(Throughput::Elements(e)) => {
+            let per_sec = e as f64 * 1e9 / ns_per_iter;
+            format!(" thrpt: {per_sec:.0} elem/s")
+        }
+        Some(Throughput::Bytes(b)) => {
+            let per_sec = b as f64 * 1e9 / ns_per_iter;
+            format!(" thrpt: {per_sec:.0} B/s")
+        }
+        None => String::new(),
+    };
+    println!("{name:<48} time: {ns_per_iter:.0} ns/iter{rate}");
+    if let Ok(path) = std::env::var("CRITERION_SHIM_OUT") {
+        if !path.is_empty() {
+            let elems = match throughput {
+                Some(Throughput::Elements(e)) => e.to_string(),
+                _ => "null".to_string(),
+            };
+            let line = format!(
+                "{{\"bench\": \"{name}\", \"ns_per_iter\": {ns_per_iter:.1}, \"throughput_elems\": {elems}}}\n"
+            );
+            if let Ok(mut f) = OpenOptions::new().create(true).append(true).open(&path) {
+                let _ = f.write_all(line.as_bytes());
+            }
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (accepted for compatibility; the shim
+    /// auto-calibrates instead).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        if filtered_out(&name) {
+            return self;
+        }
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        record(&name, b.ns_per_iter, self.throughput);
+        self
+    }
+
+    /// Runs one benchmark with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        if filtered_out(&name) {
+            return self;
+        }
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b, input);
+        record(&name, b.ns_per_iter, self.throughput);
+        self
+    }
+
+    /// Ends the group (no-op beyond dropping).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        let name = id.to_string();
+        if filtered_out(&name) {
+            return;
+        }
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        record(&name, b.ns_per_iter, None);
+    }
+}
+
+/// Collects benchmark functions into a runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running each group (bare CLI args act as substring
+/// filters, flags are ignored).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

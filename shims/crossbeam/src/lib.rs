@@ -1,0 +1,45 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Only [`scope`] is provided (the workspace uses scoped threads for
+//! experiment sweeps); it delegates to `std::thread::scope`, which has
+//! subsumed crossbeam's implementation since Rust 1.63.
+
+#![forbid(unsafe_code)]
+
+use std::any::Any;
+
+/// A scope handle passed to [`scope`]'s closure and to each spawned
+/// thread's closure (crossbeam passes the scope again so spawned threads
+/// can spawn).
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread; the closure receives the scope (unused by
+    /// most callers, hence commonly `|_|`).
+    pub fn spawn<F, T>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let reborrowed = Scope { inner: self.inner };
+        self.inner.spawn(move || f(&reborrowed));
+    }
+}
+
+/// Runs `f` with a scope in which borrowing threads can be spawned; joins
+/// them all before returning.
+///
+/// # Errors
+/// Mirrors crossbeam's signature. `std::thread::scope` propagates child
+/// panics by resuming them on the calling thread, so the `Err` arm is
+/// never constructed here; callers' `.expect(..)` behaves equivalently
+/// (the process still dies with the panic payload).
+#[allow(clippy::missing_panics_doc)]
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}

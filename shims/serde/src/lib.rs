@@ -1,0 +1,339 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment for this workspace has no access to a crates
+//! registry, so the real `serde` cannot be vendored. This shim provides the
+//! subset the workspace uses — `#[derive(Serialize, Deserialize)]` on plain
+//! structs, newtype structs, and fieldless enums, plus manual impls — over a
+//! simple self-describing [`Value`] tree instead of serde's visitor
+//! machinery. `serde_json` (the sibling shim) renders and parses that tree.
+//!
+//! The JSON data model matches what the real serde+serde_json pair would
+//! produce for the shapes used here: structs as objects, newtypes as their
+//! inner value, unit enum variants as strings, tuples and `Vec`s as arrays,
+//! `Option` as `null`/value.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Deserialization error support (`serde::de` in the real crate).
+pub mod de {
+    use core::fmt;
+
+    /// A deserialization error: a plain message.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct Error(pub String);
+
+    impl Error {
+        /// Builds an error from any displayable message (mirrors
+        /// `serde::de::Error::custom`).
+        pub fn custom<T: fmt::Display>(msg: T) -> Error {
+            Error(msg.to_string())
+        }
+    }
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+}
+
+/// A self-describing serialized value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null` (`None`).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// Any integer (all of Rust's fixed-width integers fit in `i128`).
+    Int(i128),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// A sequence (`Vec`, tuple, multi-field tuple struct).
+    Seq(Vec<Value>),
+    /// A map with string keys, in insertion order (named-field struct).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a struct field by name.
+    ///
+    /// # Errors
+    /// If `self` is not a map or lacks the field.
+    pub fn field(&self, name: &str) -> Result<&Value, de::Error> {
+        match self {
+            Value::Map(entries) => entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| de::Error::custom(format!("missing field `{name}`"))),
+            other => Err(de::Error::custom(format!(
+                "expected a map with field `{name}`, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// The value as a sequence.
+    ///
+    /// # Errors
+    /// If `self` is not a sequence.
+    pub fn as_seq(&self) -> Result<&[Value], de::Error> {
+        match self {
+            Value::Seq(items) => Ok(items),
+            other => Err(de::Error::custom(format!(
+                "expected a sequence, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// The value as an integer.
+    ///
+    /// # Errors
+    /// If `self` is not an integer.
+    pub fn as_int(&self) -> Result<i128, de::Error> {
+        match self {
+            Value::Int(n) => Ok(*n),
+            other => Err(de::Error::custom(format!(
+                "expected an integer, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// The value as a string slice.
+    ///
+    /// # Errors
+    /// If `self` is not a string.
+    pub fn as_str(&self) -> Result<&str, de::Error> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(de::Error::custom(format!(
+                "expected a string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "a boolean",
+            Value::Int(_) => "an integer",
+            Value::Float(_) => "a float",
+            Value::Str(_) => "a string",
+            Value::Seq(_) => "a sequence",
+            Value::Map(_) => "a map",
+        }
+    }
+}
+
+/// Types that can serialize themselves into a [`Value`].
+pub trait Serialize {
+    /// The serialized form.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can reconstruct themselves from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Parses the value.
+    ///
+    /// # Errors
+    /// [`de::Error`] on shape or range mismatches.
+    fn from_value(v: &Value) -> Result<Self, de::Error>;
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(i128::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, de::Error> {
+                let n = v.as_int()?;
+                <$t>::try_from(n).map_err(|_| {
+                    de::Error::custom(format!(
+                        "integer {n} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64, u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        Value::Int(*self as i128)
+    }
+}
+
+impl Deserialize for usize {
+    fn from_value(v: &Value) -> Result<usize, de::Error> {
+        let n = v.as_int()?;
+        usize::try_from(n)
+            .map_err(|_| de::Error::custom(format!("integer {n} out of range for usize")))
+    }
+}
+
+impl Serialize for i128 {
+    fn to_value(&self) -> Value {
+        Value::Int(*self)
+    }
+}
+
+impl Deserialize for i128 {
+    fn from_value(v: &Value) -> Result<i128, de::Error> {
+        v.as_int()
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<f64, de::Error> {
+        match v {
+            Value::Float(x) => Ok(*x),
+            // Integral JSON numbers parse as Int; accept them here.
+            Value::Int(n) => Ok(*n as f64),
+            other => Err(de::Error::custom(format!(
+                "expected a number, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<f32, de::Error> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<bool, de::Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(de::Error::custom(format!(
+                "expected a boolean, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<String, de::Error> {
+        v.as_str().map(str::to_owned)
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Option<T>, de::Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Vec<T>, de::Error> {
+        v.as_seq()?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident . $idx:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, de::Error> {
+                let items = v.as_seq()?;
+                let want = [$(stringify!($idx)),+].len();
+                if items.len() != want {
+                    return Err(de::Error::custom(format!(
+                        "expected a tuple of {want}, found {} elements",
+                        items.len()
+                    )));
+                }
+                Ok(($($t::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}

@@ -1,0 +1,285 @@
+//! Derive macros for the offline `serde` shim.
+//!
+//! Hand-rolled token parsing (no `syn`/`quote` — the build environment has
+//! no registry access). Supports exactly the shapes this workspace derives
+//! on: structs with named fields, tuple structs, and fieldless enums, all
+//! without generic parameters. Anything else is a compile error with a
+//! pointed message rather than silent misbehavior.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (Value-based; see the `serde` shim crate).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\"))",
+                        name = item.name
+                    )
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}",
+        name = item.name
+    )
+    .parse()
+    .expect("serde_derive: generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize` (Value-based; see the `serde` shim crate).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(v.field(\"{f}\")?)?"))
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", "),
+                name = item.name
+            )
+        }
+        Shape::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))",
+            name = item.name
+        ),
+        Shape::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = v.as_seq()?;\n\
+                 if items.len() != {n} {{\n\
+                     return ::std::result::Result::Err(::serde::de::Error::custom(\
+                         \"wrong tuple arity for {name}\"));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({inits}))",
+                name = item.name,
+                inits = inits.join(", ")
+            )
+        }
+        Shape::UnitEnum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v})",
+                        name = item.name
+                    )
+                })
+                .collect();
+            format!(
+                "match v.as_str()? {{\n\
+                     {arms},\n\
+                     other => ::std::result::Result::Err(::serde::de::Error::custom(\
+                         format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                 }}",
+                arms = arms.join(",\n"),
+                name = item.name
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::de::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}",
+        name = item.name
+    )
+    .parse()
+    .expect("serde_derive: generated Deserialize impl must parse")
+}
+
+enum Shape {
+    /// Field names, in declaration order.
+    NamedStruct(Vec<String>),
+    /// Field count.
+    TupleStruct(usize),
+    /// Variant names, in declaration order.
+    UnitEnum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    // Leading attributes (#[...], doc comments) and visibility.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected a type name, found {other:?}"),
+    };
+    if matches!(&tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic type `{name}` is not supported");
+    }
+    let shape = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace && kind == "struct" => {
+            Shape::NamedStruct(parse_named_fields(g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace && kind == "enum" => {
+            Shape::UnitEnum(parse_unit_variants(&name, g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::TupleStruct(count_tuple_fields(g.stream()))
+        }
+        other => panic!("serde_derive shim: unsupported item shape for `{name}`: {other:?}"),
+    };
+    Item { name, shape }
+}
+
+/// Field names of a named-field struct body: skip attributes and
+/// visibility, take the ident before `:`, then skip the type (tracking `<`
+/// `>` depth so commas inside generics don't split fields — parenthesized
+/// and bracketed types arrive as single groups already).
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tree) = tokens.next() else { break };
+        let TokenTree::Ident(field) = tree else {
+            panic!("serde_derive shim: expected a field name, found {tree:?}");
+        };
+        fields.push(field.to_string());
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive shim: expected `:` after field, found {other:?}"),
+        }
+        // Skip the type up to the next top-level comma.
+        let mut angle_depth = 0usize;
+        for tree in tokens.by_ref() {
+            match tree {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+fn parse_unit_variants(name: &str, body: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                _ => break,
+            }
+        }
+        let Some(tree) = tokens.next() else { break };
+        let TokenTree::Ident(variant) = tree else {
+            panic!("serde_derive shim: expected a variant name in `{name}`, found {tree:?}");
+        };
+        variants.push(variant.to_string());
+        match tokens.next() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(other) => panic!(
+                "serde_derive shim: enum `{name}` has a non-unit variant \
+                 `{variant}` ({other:?}); only fieldless enums are supported"
+            ),
+        }
+    }
+    variants
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut angle_depth = 0usize;
+    let mut saw_tokens = false;
+    for tree in body {
+        saw_tokens = true;
+        match tree {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => count += 1,
+            _ => {}
+        }
+    }
+    // N-1 commas for N fields, unless there is a trailing comma; a lone
+    // trailing comma after the last field is rare in practice — handle it
+    // by never counting an empty trailing segment.
+    if saw_tokens {
+        count + 1
+    } else {
+        0
+    }
+}

@@ -45,7 +45,12 @@ fn main() {
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--m" => m = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()),
+            "--m" => {
+                m = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
             "--model" => model = args.next().unwrap_or_else(|| usage()),
             "--alg" => {
                 alg = args
@@ -53,11 +58,24 @@ fn main() {
                     .and_then(|s| Algorithm::parse(&s))
                     .unwrap_or_else(|| usage())
             }
-            "--cost" => cost = args.next().and_then(|s| parse_rat(&s)).unwrap_or_else(|| usage()),
-            "--horizon" => {
-                horizon = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+            "--cost" => {
+                cost = args
+                    .next()
+                    .and_then(|s| parse_rat(&s))
+                    .unwrap_or_else(|| usage())
             }
-            "--res" => res = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage()),
+            "--horizon" => {
+                horizon = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--res" => {
+                res = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
             "--json" => json = true,
             "--help" | "-h" => usage(),
             w => {
@@ -116,7 +134,11 @@ fn main() {
     );
     println!(
         "model {model}  alg {}  cost {cost}",
-        if model == "pdb" { "PD^B".to_string() } else { alg.to_string() },
+        if model == "pdb" {
+            "PD^B".to_string()
+        } else {
+            alg.to_string()
+        },
     );
     println!("{}", schedule_report(&sys, &sched, alg.order()));
     for ev in detect_blocking(&sys, &sched, alg.order()) {

@@ -103,10 +103,7 @@ fn ablated_variants_still_bounded_under_dvq() {
             let sfq = tardiness_stats(&sys, &simulate_sfq(&sys, 6, order, &mut FullQuantum)).max;
             let mut adv = AdversarialYield::new(Rat::new(1, 64), 70, 99);
             let dvq = tardiness_stats(&sys, &simulate_dvq(&sys, 6, order, &mut adv)).max;
-            assert!(
-                dvq <= sfq + Rat::ONE,
-                "{name}: DVQ {dvq} vs SFQ {sfq} + 1"
-            );
+            assert!(dvq <= sfq + Rat::ONE, "{name}: DVQ {dvq} vs SFQ {sfq} + 1");
         }
     }
 }

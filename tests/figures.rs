@@ -275,13 +275,13 @@ fn fig3_predecessor_blocking_in_dvq() {
     assert_eq!(sched.start(find(&sys, 1, 1)), Rat::int(2)); // B_1
     assert_eq!(sched.start(find(&sys, 4, 2)), Rat::int(2)); // E_2
     assert_eq!(sched.start(find(&sys, 5, 3)), Rat::int(2)); // F_3
-    // The early-freed processors go to C_2 and A_1 at 3 − δ.
+                                                            // The early-freed processors go to C_2 and A_1 at 3 − δ.
     assert_eq!(sched.start(find(&sys, 2, 2)), Rat::int(3) - delta); // C_2
     assert_eq!(sched.start(find(&sys, 0, 1)), Rat::int(3) - delta); // A_1
-    // At t = 3, B_1's processor goes to the newly-eligible D_3 (higher
-    // priority than B_2)...
+                                                                    // At t = 3, B_1's processor goes to the newly-eligible D_3 (higher
+                                                                    // priority than B_2)...
     assert_eq!(sched.start(find(&sys, 3, 3)), Rat::int(3)); // D_3
-    // ...so B_2, ready at 3 via its predecessor, waits behind A_1.
+                                                            // ...so B_2, ready at 3 via its predecessor, waits behind A_1.
     let b2 = find(&sys, 1, 2);
     assert!(sched.start(b2) > Rat::int(3));
 
@@ -293,7 +293,11 @@ fn fig3_predecessor_blocking_in_dvq() {
     assert_eq!(ev.kind, BlockingKind::Predecessor);
     assert_eq!(ev.ready_at, Rat::int(3));
     let a1 = find(&sys, 0, 1);
-    assert!(ev.blockers.contains(&a1), "A_1 blocks B_2: {:?}", ev.blockers);
+    assert!(
+        ev.blockers.contains(&a1),
+        "A_1 blocks B_2: {:?}",
+        ev.blockers
+    );
 }
 
 #[test]
@@ -365,8 +369,7 @@ fn fig4_classification_and_postponement() {
         .with(TaskId(5), 1, Rat::ONE - delta);
     let sched = simulate_dvq(&sys, 2, &Pd2, &mut costs);
 
-    let classes: std::collections::HashMap<_, _> =
-        classify_subtasks(&sched).into_iter().collect();
+    let classes: std::collections::HashMap<_, _> = classify_subtasks(&sched).into_iter().collect();
     // D_1 commences at 0: Aligned. B_1 commences at 2 − δ with cost 1:
     // Olapped (straddles t = 2).
     assert_eq!(classes[&find(&sys, 3, 1)], SubtaskClass::Aligned);

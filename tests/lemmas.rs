@@ -40,10 +40,7 @@ fn lemma1_holds_on_adversarial_periodic_systems() {
             let sched = simulate_dvq(&sys, m, &Pd2, &mut cost);
             let horizon = sched.makespan().ceil() + 1;
             let violations = check_lemma1(&sys, &sched, &Pd2, horizon);
-            assert!(
-                violations.is_empty(),
-                "m={m} seed={seed}: {violations:?}"
-            );
+            assert!(violations.is_empty(), "m={m} seed={seed}: {violations:?}");
         }
     }
 }

@@ -26,12 +26,7 @@ fn run_online(
             s.submit_job(t, j as i64 * w.p()).unwrap();
         }
     }
-    s.run_until_idle(&mut |task, index| {
-        costs
-            .get(&(task.0, index))
-            .copied()
-            .unwrap_or(Rat::ONE)
-    })
+    s.run_until_idle(&mut |task, index| costs.get(&(task.0, index)).copied().unwrap_or(Rat::ONE))
 }
 
 /// Builds the equivalent offline system (periodic, same job count).
@@ -134,7 +129,7 @@ fn online_bound_holds_on_sporadic_arrivals() {
         let mut at = rng.gen_range(0..3);
         for _ in 0..5 {
             s.submit_job(t, at).unwrap();
-            at += w.p() + rng.gen_range(0..3); // sporadic slack
+            at += w.p() + rng.gen_range(0..3i64); // sporadic slack
         }
     }
     let delta = Rat::new(1, 64);

@@ -19,7 +19,10 @@ fn oracle_and_pd2_agree_on_feasible_systems() {
         for seed in 0..12u64 {
             let sys = random_feasible(m, 10_000 + seed, 20);
             let fs = flow_schedulable(&sys, m, WindowMode::PfWindow);
-            assert!(fs.schedulable, "m={m} seed={seed}: oracle rejected a feasible system");
+            assert!(
+                fs.schedulable,
+                "m={m} seed={seed}: oracle rejected a feasible system"
+            );
             let sched = simulate_sfq(&sys, m, &Pd2, &mut FullQuantum);
             assert!(
                 check_window_containment(&sys, &sched).is_empty(),

@@ -16,7 +16,16 @@ fn two_hyperperiods(weights: &[(i64, i64)]) -> (TaskSystem, i64) {
 
 #[test]
 fn window_repetition_across_weights() {
-    for &(e, p) in &[(3i64, 4i64), (1, 2), (2, 3), (5, 6), (1, 6), (7, 8), (1, 1), (5, 12)] {
+    for &(e, p) in &[
+        (3i64, 4i64),
+        (1, 2),
+        (2, 3),
+        (5, 6),
+        (1, 6),
+        (7, 8),
+        (1, 1),
+        (5, 12),
+    ] {
         let w = Weight::new(e, p);
         assert!(windows_repeat(w, p, 4), "wt {e}/{p}");
         assert!(windows_repeat(w, 2 * p, 2), "wt {e}/{p} at 2p");

@@ -37,7 +37,10 @@ fn microsecond_workload_round_trip() {
         })
         .unwrap();
     let completion_us = scale.time_to_us(sched.completion(last_of_job1));
-    assert!(completion_us <= 10_000, "job finished at {completion_us} µs");
+    assert!(
+        completion_us <= 10_000,
+        "job finished at {completion_us} µs"
+    );
 }
 
 #[test]

@@ -67,7 +67,9 @@ fn online_scheduler_scales() {
         }
     }
     let log = s.run_until_idle(&mut |_, _| Rat::new(63, 64));
-    assert!(log.len() > 1_000);
+    // Every submitted job must be fully allocated: Σ jobs × e per task.
+    let expected: u64 = ws.iter().map(|w| 20 * w.e() as u64).sum();
+    assert_eq!(log.len() as u64, expected);
     for a in &log {
         let t = (a.start + a.cost - Rat::int(a.deadline)).max(Rat::ZERO);
         assert!(t <= Rat::ONE);
