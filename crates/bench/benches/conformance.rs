@@ -1,0 +1,72 @@
+//! Bench E8: differential fuzzing throughput — how many generated cases
+//! per second the conformance harness sustains, at campaign sizes
+//! n ∈ {10, 100, 1000}, plus the marginal cost of one full invariant-bank
+//! check and of shrinking a planted-bug counterexample.
+//!
+//! Run with `cargo bench -p pfair-bench --bench conformance`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pfair::conformance::{
+    check_seed, generate_case, mutants, run_campaign, shrink, CampaignConfig, GenConfig, REFERENCE,
+};
+
+fn bench_campaign(c: &mut Criterion) {
+    let mut g = c.benchmark_group("conformance");
+    g.sample_size(10);
+    for trials in [10usize, 100, 1000] {
+        g.throughput(Throughput::Elements(trials as u64));
+        g.bench_with_input(
+            BenchmarkId::new("campaign_cases", trials),
+            &trials,
+            |b, &trials| {
+                let cfg = CampaignConfig {
+                    trials,
+                    base_seed: 1,
+                    threads: 1,
+                    gen: GenConfig::default(),
+                    time_limit: None,
+                    shrink: false,
+                    stop_on_first: false,
+                };
+                b.iter(|| run_campaign(std::hint::black_box(&cfg), &REFERENCE))
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_single_case(c: &mut Criterion) {
+    let mut g = c.benchmark_group("conformance");
+    g.sample_size(20);
+    // One case through the whole invariant bank (generation included).
+    g.bench_function("check_seed", |b| {
+        let gen = GenConfig::default();
+        b.iter(|| check_seed(std::hint::black_box(&gen), 42, &REFERENCE))
+    });
+    g.finish();
+}
+
+fn bench_shrink(c: &mut Criterion) {
+    // Shrink a real planted-bug counterexample: the first violation the
+    // inverted-b-bit mutant produces from the test suite's seed window.
+    let mutant = &mutants()[0];
+    let gen = GenConfig::default();
+    let (seed, invariant) = (0xC0FFEEu64..)
+        .take(1000)
+        .find_map(|s| {
+            check_seed(&gen, s, &mutant.engines)
+                .err()
+                .map(|v| (s, v.invariant))
+        })
+        .expect("mutant not detected in seed window");
+    let spec = generate_case(&gen, seed);
+    let mut g = c.benchmark_group("conformance");
+    g.sample_size(10);
+    g.bench_function("shrink_counterexample", |b| {
+        b.iter(|| shrink(std::hint::black_box(&spec), &invariant, &mutant.engines))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_campaign, bench_single_case, bench_shrink);
+criterion_main!(benches);

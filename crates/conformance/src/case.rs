@@ -1,0 +1,315 @@
+//! Replayable fuzz cases.
+//!
+//! A [`CaseSpec`] is the *serializable* description of one differential
+//! test: a processor count, a GIS task system given as per-subtask
+//! `(index, θ, early)` triples, and the actual-cost overrides (every
+//! subtask not listed costs a full quantum). The spec round-trips through
+//! `serde_json`, rebuilds its [`TaskSystem`] via the validating
+//! [`TaskSystemBuilder`], and is the unit the shrinker mutates — every
+//! shrink candidate is re-validated by the same builder the generators
+//! use, so a shrunk repro can never describe an ill-formed system.
+
+use pfair_numeric::Rat;
+use pfair_sim::FixedCosts;
+use pfair_taskmodel::{
+    window, ModelError, SubtaskRef, TaskId, TaskSystem, TaskSystemBuilder, Weight,
+};
+use serde::{Deserialize, Serialize};
+
+/// One released subtask of a [`TaskSpec`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubtaskSpec {
+    /// 1-based subtask index `i` of `T_i`; gaps between consecutive
+    /// entries model GIS drops.
+    pub index: u64,
+    /// IS offset `θ(T_i)` (monotone within a task).
+    pub theta: i64,
+    /// Early-release allowance: the eligibility time is `r(T_i) − early`,
+    /// clamped to the model constraints (Eq. (6)).
+    pub early: i64,
+}
+
+/// One task: a weight `e/p` plus its released subtasks.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskSpec {
+    /// Per-job execution cost `T.e`.
+    pub e: i64,
+    /// Period `T.p`.
+    pub p: i64,
+    /// Released subtasks, in increasing index order.
+    pub subtasks: Vec<SubtaskSpec>,
+}
+
+/// An actual-cost override: subtask `T_index` of task `task` yields after
+/// `cost` (every subtask without an override costs a full quantum).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CostOverride {
+    /// Dense task index into [`CaseSpec::tasks`].
+    pub task: u32,
+    /// Subtask index.
+    pub index: u64,
+    /// Actual execution cost in `(0, 1]`.
+    pub cost: Rat,
+}
+
+/// A complete, replayable fuzz case.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CaseSpec {
+    /// The generator seed this case came from (kept through shrinking so a
+    /// shrunk artifact still names its origin).
+    pub seed: u64,
+    /// Number of processors.
+    pub m: u32,
+    /// The task system.
+    pub tasks: Vec<TaskSpec>,
+    /// Actual-cost overrides (empty = every cost is a full quantum).
+    pub costs: Vec<CostOverride>,
+}
+
+impl CaseSpec {
+    /// Rebuilds the task system through the validating builder.
+    ///
+    /// The eligibility of each subtask is `r − early` clamped to the model
+    /// constraints (non-negative, monotone, `≤ r`) — exactly the clamp the
+    /// workload generator applies, so generator output round-trips
+    /// unchanged while shrink candidates stay well-formed.
+    ///
+    /// # Errors
+    /// Any model constraint violated by the spec, as a [`ModelError`].
+    pub fn build(&self) -> Result<TaskSystem, ModelError> {
+        let mut b = TaskSystemBuilder::new();
+        for t in &self.tasks {
+            let w = Weight::checked(t.e, t.p)?;
+            let id = b.add_task(w);
+            let mut prev_eligible = 0i64;
+            for s in &t.subtasks {
+                let r = s.theta + window::release(w, s.index);
+                let eligible = (r - s.early).max(prev_eligible).max(0).min(r);
+                b.push(id, s.index, s.theta, Some(eligible))?;
+                prev_eligible = eligible;
+            }
+        }
+        Ok(b.build())
+    }
+
+    /// Extracts a spec from a generated system (plus a cost assignment,
+    /// queried once per subtask in system order). Tasks with no released
+    /// subtasks are skipped; full-quantum costs are left implicit.
+    pub fn from_system(
+        seed: u64,
+        m: u32,
+        sys: &TaskSystem,
+        mut cost_of: impl FnMut(SubtaskRef) -> Rat,
+    ) -> CaseSpec {
+        let mut tasks = Vec::new();
+        let mut costs = Vec::new();
+        for task in sys.tasks() {
+            let subtasks: Vec<SubtaskSpec> = sys
+                .task_subtask_refs(task.id)
+                .map(|st| {
+                    let s = sys.subtask(st);
+                    SubtaskSpec {
+                        index: s.id.index,
+                        theta: s.theta,
+                        early: s.release - s.eligible,
+                    }
+                })
+                .collect();
+            if subtasks.is_empty() {
+                continue;
+            }
+            let dense = tasks.len() as u32;
+            for st in sys.task_subtask_refs(task.id) {
+                let c = cost_of(st);
+                if c != Rat::ONE {
+                    costs.push(CostOverride {
+                        task: dense,
+                        index: sys.subtask(st).id.index,
+                        cost: c,
+                    });
+                }
+            }
+            tasks.push(TaskSpec {
+                e: task.weight.e(),
+                p: task.weight.p(),
+                subtasks,
+            });
+        }
+        CaseSpec {
+            seed,
+            m,
+            tasks,
+            costs,
+        }
+    }
+
+    /// Total number of released subtasks described by the spec.
+    #[must_use]
+    pub fn num_subtasks(&self) -> usize {
+        self.tasks.iter().map(|t| t.subtasks.len()).sum()
+    }
+}
+
+/// A spec together with its built task system — what the invariants check.
+#[derive(Clone, Debug)]
+pub struct Case {
+    /// The replayable description.
+    pub spec: CaseSpec,
+    /// The built system.
+    pub sys: TaskSystem,
+}
+
+impl Case {
+    /// Builds the system from the spec.
+    ///
+    /// # Errors
+    /// Propagates [`CaseSpec::build`] failures.
+    pub fn build(spec: CaseSpec) -> Result<Case, ModelError> {
+        let sys = spec.build()?;
+        Ok(Case { spec, sys })
+    }
+
+    /// The case's deterministic cost model (stateless, so every engine
+    /// sees identical per-subtask costs regardless of query order).
+    #[must_use]
+    pub fn cost_model(&self) -> FixedCosts {
+        let mut costs = FixedCosts::new(Rat::ONE);
+        for c in &self.spec.costs {
+            costs = costs.with(TaskId(c.task), c.index, c.cost);
+        }
+        costs
+    }
+
+    /// The actual cost the case assigns to subtask `T_index` of `task`.
+    #[must_use]
+    pub fn expected_cost(&self, task: TaskId, index: u64) -> Rat {
+        self.spec
+            .costs
+            .iter()
+            .find(|c| c.task == task.0 && c.index == index)
+            .map_or(Rat::ONE, |c| c.cost)
+    }
+
+    /// `true` iff total utilization fits the case's processor count (the
+    /// precondition of every theorem the invariants encode).
+    #[must_use]
+    pub fn is_feasible(&self) -> bool {
+        self.sys.is_feasible(self.spec.m)
+    }
+
+    /// `true` iff the case is a synchronous periodic system made of whole
+    /// jobs: `θ = 0` and `early = 0` throughout, contiguous indices from
+    /// 1, and a multiple of `T.e` subtasks per task. Exactly the workloads
+    /// the online scheduler's job-submission API can express.
+    #[must_use]
+    pub fn is_whole_jobs(&self) -> bool {
+        self.spec.tasks.iter().all(|t| {
+            t.subtasks.len() % t.e.unsigned_abs() as usize == 0
+                && t.subtasks
+                    .iter()
+                    .enumerate()
+                    .all(|(k, s)| s.index == k as u64 + 1 && s.theta == 0 && s.early == 0)
+        })
+    }
+
+    /// The task weights, in dense task order.
+    #[must_use]
+    pub fn weights(&self) -> Vec<Weight> {
+        self.spec
+            .tasks
+            .iter()
+            .map(|t| Weight::new(t.e, t.p))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfair_workload::{random_weights, releasegen, ReleaseConfig, TaskGenConfig};
+
+    #[test]
+    fn generated_systems_round_trip() {
+        for seed in 0..20u64 {
+            let ws = random_weights(&TaskGenConfig::full(2, 8), seed);
+            let sys = releasegen::generate(&ws, &ReleaseConfig::gis(12), seed);
+            let spec = CaseSpec::from_system(seed, 2, &sys, |_| Rat::ONE);
+            let rebuilt = spec.build().expect("round trip");
+            assert_eq!(rebuilt.num_subtasks(), sys.num_subtasks(), "seed {seed}");
+            let kept: Vec<_> = sys
+                .tasks()
+                .iter()
+                .filter(|t| !sys.task_subtasks(t.id).is_empty())
+                .collect();
+            for (nt, t) in kept.iter().enumerate() {
+                let a: Vec<_> = sys.task_subtasks(t.id).to_vec();
+                let b: Vec<_> = rebuilt.task_subtasks(TaskId(nt as u32)).to_vec();
+                for (x, y) in a.iter().zip(&b) {
+                    assert_eq!(x.id.index, y.id.index);
+                    assert_eq!(x.theta, y.theta);
+                    assert_eq!(x.release, y.release);
+                    assert_eq!(x.deadline, y.deadline);
+                    assert_eq!(x.eligible, y.eligible, "seed {seed} {:?}", x.id);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spec_serializes_and_parses() {
+        let spec = CaseSpec {
+            seed: 7,
+            m: 2,
+            tasks: vec![TaskSpec {
+                e: 1,
+                p: 2,
+                subtasks: vec![SubtaskSpec {
+                    index: 1,
+                    theta: 0,
+                    early: 0,
+                }],
+            }],
+            costs: vec![CostOverride {
+                task: 0,
+                index: 1,
+                cost: Rat::new(1, 2),
+            }],
+        };
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: CaseSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn expected_cost_defaults_to_full_quantum() {
+        let spec = CaseSpec {
+            seed: 0,
+            m: 1,
+            tasks: vec![TaskSpec {
+                e: 1,
+                p: 2,
+                subtasks: vec![
+                    SubtaskSpec {
+                        index: 1,
+                        theta: 0,
+                        early: 0,
+                    },
+                    SubtaskSpec {
+                        index: 2,
+                        theta: 0,
+                        early: 0,
+                    },
+                ],
+            }],
+            costs: vec![CostOverride {
+                task: 0,
+                index: 2,
+                cost: Rat::new(3, 4),
+            }],
+        };
+        let case = Case::build(spec).unwrap();
+        assert_eq!(case.expected_cost(TaskId(0), 1), Rat::ONE);
+        assert_eq!(case.expected_cost(TaskId(0), 2), Rat::new(3, 4));
+        assert!(case.is_whole_jobs());
+    }
+}

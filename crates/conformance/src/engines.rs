@@ -1,0 +1,53 @@
+//! The engine set a campaign exercises.
+//!
+//! An [`Engines`] value bundles the priority orders and simulator entry
+//! points the invariant bank calls. The default, [`REFERENCE`], is the
+//! production PD² stack; mutation tests substitute deliberately broken
+//! components to prove the bank detects them.
+
+use pfair_core::priority::PriorityOrder;
+use pfair_core::Pd2;
+use pfair_sim::{
+    simulate_dvq, simulate_sfq, simulate_sfq_pdb, simulate_staggered, CostModel, Schedule,
+};
+use pfair_taskmodel::TaskSystem;
+
+/// A priority-ordered simulator entry point (SFQ / DVQ / staggered shape).
+pub type SimFn = fn(&TaskSystem, u32, &dyn PriorityOrder, &mut dyn CostModel) -> Schedule;
+
+/// A PD^B simulator entry point (the selection procedure is built in).
+pub type PdbFn = fn(&TaskSystem, u32, &mut dyn CostModel) -> Schedule;
+
+/// The engines and priority orders one campaign checks against each other.
+#[derive(Clone, Copy, Debug)]
+pub struct Engines {
+    /// Name shown in violation reports (`"reference"` or a mutant name).
+    pub name: &'static str,
+    /// Order driving the keyed-heap dispatch path.
+    pub keyed_order: &'static dyn PriorityOrder,
+    /// Order driving the comparator-scan dispatch path (wrapped in
+    /// [`pfair_core::priority::ComparatorOnly`] by the invariants).
+    pub comparator_order: &'static dyn PriorityOrder,
+    /// Order used for SFQ runs whose tardiness the theorems bound.
+    pub sfq_order: &'static dyn PriorityOrder,
+    /// SFQ simulator.
+    pub sfq: SimFn,
+    /// DVQ simulator.
+    pub dvq: SimFn,
+    /// Staggered-quantum simulator.
+    pub staggered: SimFn,
+    /// SFQ/PD^B simulator.
+    pub pdb: PdbFn,
+}
+
+/// The production engine set: PD² everywhere, the real simulators.
+pub const REFERENCE: Engines = Engines {
+    name: "reference",
+    keyed_order: &Pd2,
+    comparator_order: &Pd2,
+    sfq_order: &Pd2,
+    sfq: simulate_sfq,
+    dvq: simulate_dvq,
+    staggered: simulate_staggered,
+    pdb: simulate_sfq_pdb,
+};

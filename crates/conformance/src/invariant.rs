@@ -1,0 +1,607 @@
+//! The invariant bank.
+//!
+//! Each [`Invariant`] encodes one theorem or cross-engine agreement law
+//! from the paper and checks it against a single [`Case`]. The bank is
+//! deliberately redundant: a planted bug that slips past one checker (say,
+//! a tardiness bound that happens to hold on small systems) is usually
+//! caught by another (schedule equality across dispatch paths, or the
+//! maxflow oracle, which shares no code with the simulators).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use pfair_analysis::{
+    check_structural, check_window_containment, flow_schedulable, tardiness_stats, WindowMode,
+};
+use pfair_core::pdb;
+use pfair_core::priority::ComparatorOnly;
+use pfair_core::KeyDispatch;
+use pfair_numeric::Rat;
+use pfair_online::OnlineDvq;
+use pfair_sim::{FullQuantum, Schedule};
+use pfair_taskmodel::hyperperiod::{hyperperiod_of_weights, subtasks_per_hyperperiod};
+use pfair_taskmodel::{SubtaskRef, TaskSystem};
+use pfair_workload::{releasegen, ReleaseConfig};
+
+use crate::case::Case;
+use crate::engines::Engines;
+
+/// One checkable law drawn from the paper's theorems (or from an
+/// implementation-level agreement the repo guarantees).
+pub trait Invariant: Sync {
+    /// Stable name used in reports and by the shrinker to re-check.
+    fn name(&self) -> &'static str;
+
+    /// Whether the law is meaningful for this case (e.g. the online
+    /// scheduler only expresses synchronous whole-job workloads). Cases
+    /// are already feasibility-filtered before reaching the bank.
+    fn applies(&self, _case: &Case) -> bool {
+        true
+    }
+
+    /// Checks the law; `Err` carries a human-readable violation report.
+    ///
+    /// # Errors
+    /// A description of the violated law and the witnessing subtasks.
+    fn check(&self, case: &Case, engines: &Engines) -> Result<(), String>;
+}
+
+/// An invariant violation (or an engine panic) on one case.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// [`Invariant::name`] of the violated law, or `"panic"` if an engine
+    /// panicked outright.
+    pub invariant: &'static str,
+    /// Human-readable description of the violation.
+    pub detail: String,
+}
+
+/// Runs every applicable invariant in [`bank`] against `case`, converting
+/// engine panics into failures.
+///
+/// # Errors
+/// The first violated invariant, as a [`Failure`].
+pub fn check_case(case: &Case, engines: &Engines) -> Result<(), Failure> {
+    for inv in bank() {
+        check_one(inv.name(), case, engines)?;
+    }
+    Ok(())
+}
+
+/// Runs the single invariant named `name` against `case` (panics from the
+/// engines are reported as failures, so the shrinker can chase crashes the
+/// same way it chases violations).
+///
+/// # Errors
+/// A [`Failure`] if the invariant is violated or an engine panics.
+///
+/// # Panics
+/// If `name` does not match any invariant in [`bank`].
+pub fn check_one(name: &str, case: &Case, engines: &Engines) -> Result<(), Failure> {
+    let inv = bank()
+        .iter()
+        .find(|i| i.name() == name)
+        .unwrap_or_else(|| panic!("unknown invariant {name:?}"));
+    if !inv.applies(case) {
+        return Ok(());
+    }
+    match catch_unwind(AssertUnwindSafe(|| inv.check(case, engines))) {
+        Ok(Ok(())) => Ok(()),
+        Ok(Err(detail)) => Err(Failure {
+            invariant: inv.name(),
+            detail,
+        }),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("opaque panic payload");
+            Err(Failure {
+                invariant: inv.name(),
+                detail: format!("engine panicked: {msg}"),
+            })
+        }
+    }
+}
+
+/// The full invariant bank, in checking order (cheap structural laws
+/// first, expensive cross-engine comparisons last).
+#[must_use]
+pub fn bank() -> &'static [&'static dyn Invariant] {
+    static BANK: [&dyn Invariant; 11] = [
+        &StructuralValidity,
+        &AllocationConservation,
+        &SfqZeroTardiness,
+        &DvqTardinessBound,
+        &PdbTardinessBound,
+        &MaxflowAgreement,
+        &KeyedComparatorEquality,
+        &SfqDvqFullCostAgreement,
+        &PdbTable1Conformance,
+        &OnlineOfflineEquivalence,
+        &HyperperiodPeriodicity,
+    ];
+    &BANK
+}
+
+fn describe(sys: &TaskSystem, st: SubtaskRef) -> String {
+    let s = sys.subtask(st);
+    format!(
+        "T{}_{} (r={}, d={}, e={})",
+        s.id.task.0, s.id.index, s.release, s.deadline, s.eligible
+    )
+}
+
+/// The slot each placement occupies, asserting integral starts (only
+/// meaningful for slot-based runs, i.e. SFQ-shaped schedules).
+fn slot_of(sched: &Schedule) -> Vec<(SubtaskRef, i64)> {
+    sched
+        .placements()
+        .iter()
+        .map(|pl| {
+            assert!(
+                pl.start.den() == 1,
+                "expected integral slot start, got {:?}",
+                pl.start
+            );
+            (pl.st, pl.start.num())
+        })
+        .collect()
+}
+
+/// Every engine must produce a structurally valid schedule: each released
+/// subtask placed once, within capacity, respecting eligibility and
+/// predecessor completion.
+#[derive(Debug)]
+struct StructuralValidity;
+
+impl Invariant for StructuralValidity {
+    fn name(&self) -> &'static str {
+        "structural-validity"
+    }
+
+    fn check(&self, case: &Case, engines: &Engines) -> Result<(), String> {
+        let sys = &case.sys;
+        let m = case.spec.m;
+        let runs: [(&str, Schedule); 4] = [
+            (
+                "sfq",
+                (engines.sfq)(sys, m, engines.sfq_order, &mut case.cost_model()),
+            ),
+            (
+                "dvq",
+                (engines.dvq)(sys, m, engines.keyed_order, &mut case.cost_model()),
+            ),
+            (
+                "staggered",
+                (engines.staggered)(sys, m, engines.keyed_order, &mut case.cost_model()),
+            ),
+            ("pdb", (engines.pdb)(sys, m, &mut case.cost_model())),
+        ];
+        for (label, sched) in &runs {
+            if let Some(err) = check_structural(sys, sched).into_iter().next() {
+                return Err(format!("{label}: {err}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Eq. (1) conservation: every placement executes for exactly the cost the
+/// case's cost model assigns — engines may neither truncate nor pad work.
+#[derive(Debug)]
+struct AllocationConservation;
+
+impl Invariant for AllocationConservation {
+    fn name(&self) -> &'static str {
+        "allocation-conservation"
+    }
+
+    fn check(&self, case: &Case, engines: &Engines) -> Result<(), String> {
+        let sys = &case.sys;
+        let m = case.spec.m;
+        let runs: [(&str, Schedule); 2] = [
+            (
+                "sfq",
+                (engines.sfq)(sys, m, engines.sfq_order, &mut case.cost_model()),
+            ),
+            (
+                "dvq",
+                (engines.dvq)(sys, m, engines.keyed_order, &mut case.cost_model()),
+            ),
+        ];
+        for (label, sched) in &runs {
+            for pl in sched.placements() {
+                let s = sys.subtask(pl.st);
+                let want = case.expected_cost(s.id.task, s.id.index);
+                if pl.cost != want {
+                    return Err(format!(
+                        "{label}: {} executed for {:?}, cost model says {:?}",
+                        describe(sys, pl.st),
+                        pl.cost,
+                        want
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// PD² optimality under SFQ: zero tardiness on every feasible system.
+#[derive(Debug)]
+struct SfqZeroTardiness;
+
+impl Invariant for SfqZeroTardiness {
+    fn name(&self) -> &'static str {
+        "sfq-zero-tardiness"
+    }
+
+    fn check(&self, case: &Case, engines: &Engines) -> Result<(), String> {
+        let sched = (engines.sfq)(
+            &case.sys,
+            case.spec.m,
+            engines.sfq_order,
+            &mut case.cost_model(),
+        );
+        let stats = tardiness_stats(&case.sys, &sched);
+        if stats.max > Rat::ZERO {
+            return Err(format!(
+                "SFQ tardiness {:?} > 0 ({} deadline misses)",
+                stats.max, stats.misses
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Theorem 3: PD²-DVQ tardiness is at most one quantum.
+#[derive(Debug)]
+struct DvqTardinessBound;
+
+impl Invariant for DvqTardinessBound {
+    fn name(&self) -> &'static str {
+        "dvq-tardiness-bound"
+    }
+
+    fn check(&self, case: &Case, engines: &Engines) -> Result<(), String> {
+        let sched = (engines.dvq)(
+            &case.sys,
+            case.spec.m,
+            engines.keyed_order,
+            &mut case.cost_model(),
+        );
+        let stats = tardiness_stats(&case.sys, &sched);
+        if stats.max > Rat::ONE {
+            return Err(format!(
+                "DVQ tardiness {:?} > 1 (Theorem 3 bound, {} misses)",
+                stats.max, stats.misses
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Theorem 2: PD^B tardiness under SFQ is at most one quantum.
+#[derive(Debug)]
+struct PdbTardinessBound;
+
+impl Invariant for PdbTardinessBound {
+    fn name(&self) -> &'static str {
+        "pdb-tardiness-bound"
+    }
+
+    fn check(&self, case: &Case, engines: &Engines) -> Result<(), String> {
+        let sched = (engines.pdb)(&case.sys, case.spec.m, &mut case.cost_model());
+        let stats = tardiness_stats(&case.sys, &sched);
+        if stats.max > Rat::ONE {
+            return Err(format!(
+                "PD^B tardiness {:?} > 1 (Theorem 2 bound, {} misses)",
+                stats.max, stats.misses
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The maxflow oracle and the SFQ engine must agree on PF-window
+/// schedulability. The oracle shares no code with the simulators, so this
+/// is the harness's independent referee. Early releases move placements
+/// ahead of PF windows by design, so the law applies only to cases
+/// without them.
+#[derive(Debug)]
+struct MaxflowAgreement;
+
+impl Invariant for MaxflowAgreement {
+    fn name(&self) -> &'static str {
+        "maxflow-agreement"
+    }
+
+    fn applies(&self, case: &Case) -> bool {
+        case.spec
+            .tasks
+            .iter()
+            .all(|t| t.subtasks.iter().all(|s| s.early == 0))
+    }
+
+    fn check(&self, case: &Case, engines: &Engines) -> Result<(), String> {
+        let flow = flow_schedulable(&case.sys, case.spec.m, WindowMode::PfWindow);
+        let sched = (engines.sfq)(&case.sys, case.spec.m, engines.sfq_order, &mut FullQuantum);
+        let contained = check_window_containment(&case.sys, &sched).is_empty();
+        if flow.schedulable != contained {
+            return Err(format!(
+                "maxflow oracle says schedulable={}, SFQ window containment={}",
+                flow.schedulable, contained
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The keyed-heap and comparator dispatch paths must produce identical
+/// schedules (same slot and processor per subtask) under both SFQ and DVQ.
+#[derive(Debug)]
+struct KeyedComparatorEquality;
+
+impl Invariant for KeyedComparatorEquality {
+    fn name(&self) -> &'static str {
+        "keyed-vs-comparator"
+    }
+
+    fn check(&self, case: &Case, engines: &Engines) -> Result<(), String> {
+        if engines.keyed_order.key_dispatch() == KeyDispatch::Comparator {
+            return Ok(());
+        }
+        let sys = &case.sys;
+        let m = case.spec.m;
+        let comparator = ComparatorOnly(engines.comparator_order);
+        for (label, keyed, scanned) in [
+            (
+                "sfq",
+                (engines.sfq)(sys, m, engines.keyed_order, &mut case.cost_model()),
+                (engines.sfq)(sys, m, &comparator, &mut case.cost_model()),
+            ),
+            (
+                "dvq",
+                (engines.dvq)(sys, m, engines.keyed_order, &mut case.cost_model()),
+                (engines.dvq)(sys, m, &comparator, &mut case.cost_model()),
+            ),
+        ] {
+            for (st, _) in sys.iter_refs() {
+                let a = keyed.placement(st);
+                let b = scanned.placement(st);
+                if a.start != b.start || a.proc != b.proc {
+                    return Err(format!(
+                        "{label}: {} keyed→(start {:?}, proc {}) vs comparator→(start {:?}, proc {})",
+                        describe(sys, st),
+                        a.start,
+                        a.proc,
+                        b.start,
+                        b.proc
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// With every actual cost a full quantum, DVQ degenerates to SFQ: the two
+/// engines must place every subtask at the same time.
+#[derive(Debug)]
+struct SfqDvqFullCostAgreement;
+
+impl Invariant for SfqDvqFullCostAgreement {
+    fn name(&self) -> &'static str {
+        "sfq-dvq-full-cost"
+    }
+
+    fn applies(&self, case: &Case) -> bool {
+        case.spec.costs.is_empty()
+    }
+
+    fn check(&self, case: &Case, engines: &Engines) -> Result<(), String> {
+        let sys = &case.sys;
+        let m = case.spec.m;
+        let sfq = (engines.sfq)(sys, m, engines.keyed_order, &mut FullQuantum);
+        let dvq = (engines.dvq)(sys, m, engines.keyed_order, &mut FullQuantum);
+        for (st, _) in sys.iter_refs() {
+            let a = sfq.start(st);
+            let b = dvq.start(st);
+            if a != b {
+                return Err(format!(
+                    "{} starts at {a:?} under SFQ but {b:?} under full-cost DVQ",
+                    describe(sys, st)
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Every PD^B slot decision must be justified by Table 1: the driver may
+/// never idle a processor while work is ready, and may never schedule a
+/// subtask over a waiting one that strictly dominates it at *every*
+/// possible decision index.
+#[derive(Debug)]
+struct PdbTable1Conformance;
+
+impl Invariant for PdbTable1Conformance {
+    fn name(&self) -> &'static str {
+        "pdb-table1-conformance"
+    }
+
+    fn check(&self, case: &Case, engines: &Engines) -> Result<(), String> {
+        let sys = &case.sys;
+        let m = case.spec.m as usize;
+        let sched = (engines.pdb)(sys, case.spec.m, &mut FullQuantum);
+        let slots = slot_of(&sched);
+        let mut slot = vec![0i64; sys.num_subtasks()];
+        let mut horizon = 0i64;
+        for &(st, t) in &slots {
+            slot[st.idx()] = t;
+            horizon = horizon.max(t);
+        }
+        for t in 0..=horizon {
+            let ready: Vec<pdb::Ready> = sys
+                .iter_refs()
+                .filter(|(st, s)| {
+                    s.eligible <= t
+                        && slot[st.idx()] >= t
+                        && s.pred.is_none_or(|p| slot[p.idx()] < t)
+                })
+                .map(|(st, s)| pdb::Ready {
+                    st,
+                    pred_holds_until_t: s.pred.is_some_and(|p| slot[p.idx()] == t - 1),
+                })
+                .collect();
+            let scheduled: Vec<SubtaskRef> = ready
+                .iter()
+                .map(|r| r.st)
+                .filter(|st| slot[st.idx()] == t)
+                .collect();
+            if scheduled.len() != ready.len().min(m) {
+                return Err(format!(
+                    "slot {t}: scheduled {} of {} ready subtasks on {m} processors",
+                    scheduled.len(),
+                    ready.len()
+                ));
+            }
+            let part = pdb::classify(sys, t, &ready);
+            let p = part.p().min(m);
+            for r in &ready {
+                let y = r.st;
+                if slot[y.idx()] == t {
+                    continue;
+                }
+                let cy = part.class_of(y).expect("waiting subtask is classified");
+                for &x in &scheduled {
+                    let cx = part.class_of(x).expect("scheduled subtask is classified");
+                    let dominates_at_all_r = (1..=m).all(|rr| {
+                        pdb::table1_leq(sys, y, cy, x, cx, rr, m, p)
+                            && !pdb::table1_leq(sys, x, cx, y, cy, rr, m, p)
+                    });
+                    if dominates_at_all_r {
+                        return Err(format!(
+                            "slot {t}: scheduled {} ({cx:?}) over waiting {} ({cy:?}) that strictly dominates it at every decision index",
+                            describe(sys, x),
+                            describe(sys, y)
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The incremental online DVQ scheduler and the offline DVQ engine must
+/// produce the same schedule on workloads both can express (synchronous
+/// periodic systems of whole jobs).
+#[derive(Debug)]
+struct OnlineOfflineEquivalence;
+
+impl Invariant for OnlineOfflineEquivalence {
+    fn name(&self) -> &'static str {
+        "online-offline-equivalence"
+    }
+
+    fn applies(&self, case: &Case) -> bool {
+        case.is_whole_jobs()
+    }
+
+    fn check(&self, case: &Case, engines: &Engines) -> Result<(), String> {
+        let sys = &case.sys;
+        let offline = (engines.dvq)(
+            sys,
+            case.spec.m,
+            engines.keyed_order,
+            &mut case.cost_model(),
+        );
+
+        let mut online = OnlineDvq::new(case.spec.m);
+        let mut ids = Vec::new();
+        for t in &case.spec.tasks {
+            ids.push(online.add_task(pfair_taskmodel::Weight::new(t.e, t.p)));
+        }
+        for (t, &id) in case.spec.tasks.iter().zip(&ids) {
+            let jobs = t.subtasks.len() as i64 / t.e;
+            for j in 0..jobs {
+                online
+                    .submit_job(id, j * t.p)
+                    .map_err(|e| format!("online submit_job failed: {e:?}"))?;
+            }
+        }
+        let log = online.run_until_idle(&mut |task, index| case.expected_cost(task, index));
+        if log.len() != sys.num_subtasks() {
+            return Err(format!(
+                "online scheduler made {} assignments for {} subtasks",
+                log.len(),
+                sys.num_subtasks()
+            ));
+        }
+        for a in &log {
+            let st = sys
+                .find(pfair_taskmodel::SubtaskId {
+                    task: a.task,
+                    index: a.index,
+                })
+                .ok_or_else(|| {
+                    format!("online scheduled unknown subtask T{}_{}", a.task.0, a.index)
+                })?;
+            let pl = offline.placement(st);
+            if pl.start != a.start || pl.proc != a.proc {
+                return Err(format!(
+                    "{}: online (start {:?}, proc {}) vs offline DVQ (start {:?}, proc {})",
+                    describe(sys, st),
+                    a.start,
+                    a.proc,
+                    pl.start,
+                    pl.proc
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Hyperperiod periodicity: on the synchronous periodic closure of the
+/// case's weights, the SFQ schedule repeats with period `H` — subtask
+/// `i + k` starts exactly `H` after subtask `i`, at full *and* partial
+/// utilization.
+#[derive(Debug)]
+struct HyperperiodPeriodicity;
+
+impl Invariant for HyperperiodPeriodicity {
+    fn name(&self) -> &'static str {
+        "hyperperiod-periodicity"
+    }
+
+    fn applies(&self, case: &Case) -> bool {
+        hyperperiod_of_weights(&case.weights()) <= 24
+    }
+
+    fn check(&self, case: &Case, engines: &Engines) -> Result<(), String> {
+        let weights = case.weights();
+        let h = hyperperiod_of_weights(&weights);
+        let periodic = releasegen::generate(&weights, &ReleaseConfig::periodic(2 * h), 0);
+        let sched = (engines.sfq)(&periodic, case.spec.m, engines.sfq_order, &mut FullQuantum);
+        for (task, &w) in periodic.tasks().iter().zip(&weights) {
+            let k = subtasks_per_hyperperiod(w, h) as usize;
+            let refs: Vec<SubtaskRef> = periodic.task_subtask_refs(task.id).collect();
+            for i in 0..refs.len().saturating_sub(k) {
+                let a = sched.start(refs[i]);
+                let b = sched.start(refs[i + k]);
+                if b != a + Rat::int(h) {
+                    return Err(format!(
+                        "{} starts at {:?} but its successor one hyperperiod (H={h}) later starts at {:?}",
+                        describe(&periodic, refs[i]),
+                        a,
+                        b
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,49 @@
+//! Differential conformance fuzzing for the Pfair engines.
+//!
+//! The paper's claims are *relational*: PD²-DVQ versus PD^B versus
+//! right-shifted PD²-SFQ, keyed-heap versus comparator dispatch, online
+//! versus offline scheduling — and the maxflow schedulability oracle
+//! shares no code with any simulator. This crate turns those relations
+//! into a standing correctness backstop:
+//!
+//! * [`invariant`] — an [`Invariant`] bank drawn
+//!   from the theorems: schedule validity, the Theorem 2 and Theorem 3
+//!   tardiness bounds, PD²-SFQ optimality, allocation conservation,
+//!   maxflow-oracle agreement, keyed-vs-comparator equality,
+//!   online/offline equivalence, PD^B Table-1 conformance, and
+//!   hyperperiod periodicity.
+//! * [`gen`] — a seeded case generator: one `u64` deterministically picks
+//!   the processor count, weight distribution, utilization, release model
+//!   and actual-cost model, materialized into a serializable
+//!   [`CaseSpec`].
+//! * [`campaign`] — a threaded campaign runner reusing the
+//!   `experiment::run_sweep` seeding discipline (`base_seed + trial`),
+//!   so results are independent of the thread count.
+//! * [`mod@shrink`] — a greedy delta-debugging shrinker reducing any failing
+//!   case to a minimal replayable repro (drop tasks → erase offsets /
+//!   early releases / index gaps → truncate chains → simplify yields →
+//!   reduce processors).
+//! * [`mod@mutants`] — planted-bug engine sets that the mutation test suite
+//!   uses to prove the harness actually fires.
+//!
+//! The `pfairsim fuzz` CLI subcommand and the CI smoke job are thin
+//! wrappers over [`campaign::run_campaign`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod case;
+pub mod engines;
+pub mod gen;
+pub mod invariant;
+pub mod mutants;
+pub mod shrink;
+
+pub use campaign::{check_seed, run_campaign, CampaignConfig, CampaignOutcome, Violation};
+pub use case::{Case, CaseSpec, CostOverride, SubtaskSpec, TaskSpec};
+pub use engines::{Engines, REFERENCE};
+pub use gen::{generate_case, GenConfig};
+pub use invariant::{bank, check_case, check_one, Failure, Invariant};
+pub use mutants::{mutants, Mutant};
+pub use shrink::shrink;

@@ -1,0 +1,381 @@
+//! Planted-bug engines ("mutants") for validating the harness itself.
+//!
+//! A fuzzing harness that never fires is indistinguishable from one that
+//! cannot fire. Each mutant here swaps exactly one deliberately broken
+//! component into the reference engine set — an inverted tie-break, a
+//! dropped rule stage, a driver that ignores a precondition — and the
+//! mutation test suite asserts that a seeded campaign catches every one
+//! and shrinks its counterexample to a handful of tasks on ≤ 2
+//! processors.
+
+use core::cmp::Ordering;
+
+use pfair_core::pdb;
+use pfair_core::priority::PriorityOrder;
+use pfair_core::{Pd2, Pd2NoGroupDeadline};
+use pfair_numeric::{Rat, Time};
+use pfair_sim::cost::checked_cost;
+use pfair_sim::{simulate_dvq, CostModel, Placement, QuantumModel, Schedule};
+use pfair_taskmodel::{SubtaskRef, TaskId, TaskSystem};
+
+use crate::engines::{Engines, REFERENCE};
+
+/// One deliberately broken engine set.
+#[derive(Clone, Copy, Debug)]
+pub struct Mutant {
+    /// Mutant name (doubles as [`Engines::name`]).
+    pub name: &'static str,
+    /// What was broken, in one sentence.
+    pub description: &'static str,
+    /// The reference engines with the broken component swapped in.
+    pub engines: Engines,
+}
+
+/// The full mutant roster.
+#[must_use]
+pub fn mutants() -> Vec<Mutant> {
+    vec![
+        Mutant {
+            name: "inverted-b-bit",
+            description: "PD² with the b-bit tie-break inverted (b = 0 wins instead of b = 1)",
+            engines: Engines {
+                name: "inverted-b-bit",
+                comparator_order: &InvertedBBit,
+                ..REFERENCE
+            },
+        },
+        Mutant {
+            name: "no-group-deadline",
+            description: "PD² missing the group-deadline tie-break stage",
+            engines: Engines {
+                name: "no-group-deadline",
+                comparator_order: &Pd2NoGroupDeadline,
+                ..REFERENCE
+            },
+        },
+        Mutant {
+            name: "no-id-tie-break",
+            description: "PD² without the deterministic final tie-break (residual ties left to container order)",
+            engines: Engines {
+                name: "no-id-tie-break",
+                comparator_order: &NoIdTieBreak,
+                ..REFERENCE
+            },
+        },
+        Mutant {
+            name: "latest-deadline-first",
+            description: "priority order inverted outright: latest deadline first",
+            engines: Engines {
+                name: "latest-deadline-first",
+                sfq_order: &LatestDeadlineFirst,
+                ..REFERENCE
+            },
+        },
+        Mutant {
+            name: "pdb-eb-before-db",
+            description: "PD^B selection that prefers EB over DB in the first M − p decisions",
+            engines: Engines {
+                name: "pdb-eb-before-db",
+                pdb: simulate_pdb_eb_first,
+                ..REFERENCE
+            },
+        },
+        Mutant {
+            name: "dvq-eager-successor",
+            description: "DVQ that activates successors at predecessor start, ignoring completion",
+            engines: Engines {
+                name: "dvq-eager-successor",
+                dvq: simulate_dvq_eager,
+                ..REFERENCE
+            },
+        },
+        Mutant {
+            name: "dvq-cost-blind",
+            description: "DVQ that ignores the cost model and bills every quantum as full",
+            engines: Engines {
+                name: "dvq-cost-blind",
+                dvq: simulate_dvq_cost_blind,
+                ..REFERENCE
+            },
+        },
+    ]
+}
+
+/// PD² with the b-bit comparison inverted: among equal deadlines, `b = 0`
+/// is preferred over `b = 1`.
+#[derive(Debug)]
+struct InvertedBBit;
+
+impl PriorityOrder for InvertedBBit {
+    fn name(&self) -> &'static str {
+        "PD2-inverted-b"
+    }
+
+    fn cmp_strict(&self, sys: &TaskSystem, a: SubtaskRef, b: SubtaskRef) -> Ordering {
+        let x = sys.subtask(a);
+        let y = sys.subtask(b);
+        x.deadline
+            .cmp(&y.deadline)
+            .then_with(|| x.bbit.cmp(&y.bbit))
+            .then_with(|| {
+                if x.bbit && y.bbit {
+                    y.group_deadline.cmp(&x.group_deadline)
+                } else {
+                    Ordering::Equal
+                }
+            })
+    }
+}
+
+/// PD²'s strict relation with residual ties left unresolved — the paper's
+/// "broken arbitrarily" taken literally, so the comparator scan and the
+/// keyed heap disagree whenever a tie survives.
+#[derive(Debug)]
+struct NoIdTieBreak;
+
+impl PriorityOrder for NoIdTieBreak {
+    fn name(&self) -> &'static str {
+        "PD2-no-id-tie"
+    }
+
+    fn cmp_strict(&self, sys: &TaskSystem, a: SubtaskRef, b: SubtaskRef) -> Ordering {
+        Pd2.cmp_strict(sys, a, b)
+    }
+
+    fn cmp(&self, sys: &TaskSystem, a: SubtaskRef, b: SubtaskRef) -> Ordering {
+        self.cmp_strict(sys, a, b)
+    }
+}
+
+/// The outright wrong order: latest deadline first.
+#[derive(Debug)]
+struct LatestDeadlineFirst;
+
+impl PriorityOrder for LatestDeadlineFirst {
+    fn name(&self) -> &'static str {
+        "latest-deadline-first"
+    }
+
+    fn cmp_strict(&self, sys: &TaskSystem, a: SubtaskRef, b: SubtaskRef) -> Ordering {
+        let x = sys.subtask(a);
+        let y = sys.subtask(b);
+        y.deadline.cmp(&x.deadline)
+    }
+}
+
+/// [`pdb::select_slot`] with the planted bug: in the first `M − p`
+/// decisions, EB is taken before DB whenever both are nonempty (the
+/// reference resolves DB-vs-EB per its linearization; always preferring EB
+/// lets a lower-priority eligibility-blocked subtask jump a deadline-based
+/// one that Table 1 ranks strictly higher at every decision index).
+fn select_slot_eb_first(sys: &TaskSystem, m: usize, part: &pdb::Partition) -> Vec<SubtaskRef> {
+    let p = part.p().min(m);
+    let mut eb = part.eb.as_slice();
+    let mut pb = part.pb.as_slice();
+    let mut db = part.db.as_slice();
+    let mut picked = Vec::with_capacity(m.min(part.len()));
+
+    while picked.len() < m - p {
+        let take_db = match (db.first(), eb.first()) {
+            (Some(_), None) => true,
+            (None, Some(_)) | (Some(_), Some(_)) => false,
+            (None, None) => {
+                if let Some((&head, rest)) = pb.split_first() {
+                    picked.push(head);
+                    pb = rest;
+                    continue;
+                }
+                return picked;
+            }
+        };
+        if take_db {
+            let (&head, rest) = db.split_first().expect("checked");
+            picked.push(head);
+            db = rest;
+        } else {
+            let (&head, rest) = eb.split_first().expect("checked");
+            picked.push(head);
+            eb = rest;
+        }
+    }
+
+    while picked.len() < m {
+        let candidates = [db.first(), eb.first(), pb.first()];
+        let best = candidates
+            .into_iter()
+            .flatten()
+            .copied()
+            .min_by(|&a, &b| Pd2.cmp(sys, a, b));
+        let Some(best) = best else { break };
+        if db.first() == Some(&best) {
+            db = &db[1..];
+        } else if eb.first() == Some(&best) {
+            eb = &eb[1..];
+        } else {
+            pb = &pb[1..];
+        }
+        picked.push(best);
+    }
+    picked
+}
+
+/// SFQ/PD^B driver wired to [`select_slot_eb_first`].
+fn simulate_pdb_eb_first(sys: &TaskSystem, m: u32, cost: &mut dyn CostModel) -> Schedule {
+    assert!(m >= 1, "need at least one processor");
+    let total = sys.num_subtasks();
+    let mut placements = Vec::with_capacity(total);
+    let mut slot_of: Vec<Option<i64>> = vec![None; total];
+    let mut cursor: Vec<(u32, u32)> = (0..sys.num_tasks())
+        .map(|k| sys.task_span(TaskId(k as u32)))
+        .collect();
+    let mut placed = 0usize;
+    let mut t = 0i64;
+
+    while placed < total {
+        let mut ready: Vec<SubtaskRef> = Vec::new();
+        let mut next_interesting = i64::MAX;
+        for &(cur, hi) in &cursor {
+            if cur >= hi {
+                continue;
+            }
+            let st = SubtaskRef(cur);
+            let s = sys.subtask(st);
+            let pred_done_at = match s.pred {
+                None => i64::MIN,
+                Some(p) => slot_of[p.idx()].expect("cursor implies pred scheduled") + 1,
+            };
+            let ready_at = s.eligible.max(pred_done_at);
+            if ready_at <= t {
+                ready.push(st);
+            } else {
+                next_interesting = next_interesting.min(ready_at);
+            }
+        }
+        if ready.is_empty() {
+            assert!(next_interesting < i64::MAX, "mutant PD^B driver stuck");
+            assert!(next_interesting > t, "mutant PD^B driver stuck");
+            t = next_interesting;
+            continue;
+        }
+        let readiness: Vec<pdb::Ready> = ready
+            .iter()
+            .map(|&st| pdb::Ready {
+                st,
+                pred_holds_until_t: sys
+                    .subtask(st)
+                    .pred
+                    .is_some_and(|p| slot_of[p.idx()] == Some(t - 1)),
+            })
+            .collect();
+        let part = pdb::classify(sys, t, &readiness);
+        let picked = select_slot_eb_first(sys, m as usize, &part);
+        for (k, &st) in picked.iter().enumerate() {
+            let c = checked_cost(cost.cost(sys, st), st);
+            placements.push(Placement {
+                st,
+                proc: k as u32,
+                start: Rat::int(t),
+                cost: c,
+                holds_until: Rat::int(t + 1),
+            });
+            slot_of[st.idx()] = Some(t);
+            cursor[sys.subtask(st).id.task.idx()].0 += 1;
+            placed += 1;
+        }
+        t += 1;
+    }
+    Schedule::new(sys, QuantumModel::Sfq, m, placements)
+}
+
+/// DVQ driver with the planted bug: a successor activates at
+/// `max(eligible, predecessor start)` instead of
+/// `max(eligible, predecessor completion)` — intra-task precedence is
+/// ignored whenever a processor is free early enough.
+fn simulate_dvq_eager(
+    sys: &TaskSystem,
+    m: u32,
+    order: &dyn PriorityOrder,
+    cost: &mut dyn CostModel,
+) -> Schedule {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+    enum Event {
+        ProcFree(u32),
+        Activate(SubtaskRef),
+    }
+
+    assert!(m >= 1, "need at least one processor");
+    let total = sys.num_subtasks();
+    let mut placements = Vec::with_capacity(total);
+    let mut events: BinaryHeap<Reverse<(Time, Event)>> = BinaryHeap::new();
+    for task in sys.tasks() {
+        if let Some(head) = sys.task_subtask_refs(task.id).next() {
+            let e = sys.subtask(head).eligible;
+            events.push(Reverse((Time::int(e), Event::Activate(head))));
+        }
+    }
+    for k in 0..m {
+        events.push(Reverse((Time::ZERO, Event::ProcFree(k))));
+    }
+
+    let mut free: Vec<u32> = Vec::with_capacity(m as usize);
+    let mut ready: Vec<SubtaskRef> = Vec::new();
+    let mut placed = 0usize;
+
+    while placed < total {
+        let Some(&Reverse((now, _))) = events.peek() else {
+            panic!("mutant DVQ event queue drained with {placed}/{total} placed");
+        };
+        while let Some(&Reverse((t, ev))) = events.peek() {
+            if t != now {
+                break;
+            }
+            events.pop();
+            match ev {
+                Event::ProcFree(k) => free.push(k),
+                Event::Activate(st) => ready.push(st),
+            }
+        }
+        free.sort_unstable();
+
+        while !free.is_empty() && !ready.is_empty() {
+            let (best, _) = ready
+                .iter()
+                .enumerate()
+                .min_by(|(_, &a), (_, &b)| order.cmp(sys, a, b))
+                .expect("ready nonempty");
+            let st = ready.swap_remove(best);
+            let proc = free.remove(0);
+            let c = checked_cost(cost.cost(sys, st), st);
+            let completion = now + c;
+            placements.push(Placement {
+                st,
+                proc,
+                start: now,
+                cost: c,
+                holds_until: completion,
+            });
+            placed += 1;
+            events.push(Reverse((completion, Event::ProcFree(proc))));
+            if let Some(succ) = sys.subtask(st).succ {
+                // BUG: gates on the predecessor's *start*, not completion.
+                let act = Time::int(sys.subtask(succ).eligible).max(now);
+                events.push(Reverse((act, Event::Activate(succ))));
+            }
+        }
+    }
+    Schedule::new(sys, QuantumModel::Dvq, m, placements)
+}
+
+/// DVQ driver with the planted bug: the caller's cost model is discarded
+/// and every quantum is billed as full.
+fn simulate_dvq_cost_blind(
+    sys: &TaskSystem,
+    m: u32,
+    order: &dyn PriorityOrder,
+    _cost: &mut dyn CostModel,
+) -> Schedule {
+    simulate_dvq(sys, m, order, &mut pfair_sim::FullQuantum)
+}

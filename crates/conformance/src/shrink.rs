@@ -1,0 +1,373 @@
+//! Greedy delta-debugging counterexample shrinking.
+//!
+//! Given a failing case and the name of the invariant it violated, the
+//! shrinker repeatedly applies reduction passes — drop whole tasks, erase
+//! IS offsets / early releases / GIS index gaps, truncate subtask chains,
+//! simplify actual costs to full quanta, reduce the processor count — and
+//! keeps a candidate only if it still (a) rebuilds through the validating
+//! builder, (b) is feasible, and (c) fails the *same* invariant. Passes
+//! run to a fixpoint, so the result is 1-minimal with respect to the move
+//! set: no single remaining reduction preserves the failure.
+
+use crate::case::{Case, CaseSpec};
+use crate::engines::Engines;
+use crate::invariant::check_one;
+
+/// Does `spec` still fail the invariant named `invariant`?
+fn fails_same(spec: &CaseSpec, invariant: &str, engines: &Engines) -> bool {
+    if spec.tasks.is_empty() {
+        return false;
+    }
+    let Ok(case) = Case::build(spec.clone()) else {
+        return false;
+    };
+    if !case.is_feasible() {
+        return false;
+    }
+    check_one(invariant, &case, engines).is_err()
+}
+
+/// Drops cost overrides that no longer name an existing subtask.
+fn normalize_costs(spec: &mut CaseSpec) {
+    let tasks = &spec.tasks;
+    spec.costs.retain(|c| {
+        tasks
+            .get(c.task as usize)
+            .is_some_and(|t| t.subtasks.iter().any(|s| s.index == c.index))
+    });
+}
+
+/// Shrinks `spec` while it keeps failing `invariant` under `engines`.
+///
+/// # Panics
+/// If `invariant` is not a known invariant name.
+#[must_use]
+pub fn shrink(spec: &CaseSpec, invariant: &str, engines: &Engines) -> CaseSpec {
+    let mut best = spec.clone();
+    if !fails_same(&best, invariant, engines) {
+        // Not deterministically reproducible from the spec alone (should
+        // not happen: generation and checking are both pure). Leave the
+        // original untouched rather than "shrink" toward a passing case.
+        return best;
+    }
+
+    for _ in 0..8 {
+        let mut changed = false;
+
+        // Pass 1: drop task chunks, ddmin-style — windows of half the
+        // tasks down to single tasks. Violations on high-utilization
+        // cases often need the contention, so every window drop is also
+        // tried with the processor count reduced in the same step:
+        // removing ~one processor's worth of work *and* a processor
+        // preserves the pressure that a lone greedy drop destroys.
+        let mut window = best.tasks.len().div_ceil(2);
+        while window >= 1 {
+            let mut any = false;
+            let mut lo = 0usize;
+            while lo < best.tasks.len() && best.tasks.len() > 1 {
+                let hi = (lo + window).min(best.tasks.len());
+                if hi - lo == best.tasks.len() {
+                    lo += 1;
+                    continue;
+                }
+                let mut adopted = false;
+                // (a) drop the window, optionally shedding processors too.
+                for dm in 0..best.m.min(3) {
+                    let mut cand = best.clone();
+                    cand.tasks.drain(lo..hi);
+                    cand.costs
+                        .retain(|c| !(lo..hi).contains(&(c.task as usize)));
+                    for c in &mut cand.costs {
+                        if c.task as usize >= hi {
+                            c.task -= (hi - lo) as u32;
+                        }
+                    }
+                    cand.m -= dm;
+                    if fails_same(&cand, invariant, engines) {
+                        best = cand;
+                        adopted = true;
+                        any = true;
+                        changed = true;
+                        break;
+                    }
+                }
+                // (b) keep *only* the window (the ddmin complement move),
+                // at every smaller processor count.
+                if !adopted && hi - lo < best.tasks.len() {
+                    'keep: for m in 1..=best.m {
+                        let mut cand = best.clone();
+                        cand.tasks = cand.tasks[lo..hi].to_vec();
+                        cand.costs.retain(|c| (lo..hi).contains(&(c.task as usize)));
+                        for c in &mut cand.costs {
+                            c.task -= lo as u32;
+                        }
+                        cand.m = m;
+                        if fails_same(&cand, invariant, engines) {
+                            best = cand;
+                            adopted = true;
+                            any = true;
+                            changed = true;
+                            break 'keep;
+                        }
+                    }
+                }
+                if !adopted {
+                    lo += 1;
+                }
+            }
+            if !any {
+                window /= 2;
+            } else {
+                window = window.min(best.tasks.len()).max(1);
+            }
+            if window > best.tasks.len() {
+                window = best.tasks.len().div_ceil(2);
+            }
+        }
+
+        // Pass 1b: exhaustive small-subset search. Order-inversion
+        // witnesses (e.g. keyed-vs-comparator processor divergences) can
+        // hinge on one specific *pair* of tasks that is not contiguous in
+        // the spec, which window moves never isolate. With few enough
+        // tasks, trying every 1-, 2- and 3-element subset directly is
+        // cheap and escapes that trap.
+        if best.tasks.len() > 3 && best.tasks.len() <= 16 {
+            'subset: for size in 1..=3usize {
+                let n = best.tasks.len();
+                let mut pick = vec![0usize; size];
+                let mut combos: Vec<Vec<usize>> = Vec::new();
+                fn fill(
+                    combos: &mut Vec<Vec<usize>>,
+                    pick: &mut Vec<usize>,
+                    depth: usize,
+                    lo: usize,
+                    n: usize,
+                ) {
+                    if depth == pick.len() {
+                        combos.push(pick.clone());
+                        return;
+                    }
+                    for i in lo..n {
+                        pick[depth] = i;
+                        fill(combos, pick, depth + 1, i + 1, n);
+                    }
+                }
+                fill(&mut combos, &mut pick, 0, 0, n);
+                for combo in &combos {
+                    for m in 1..=best.m {
+                        let mut cand = best.clone();
+                        cand.tasks = combo.iter().map(|&i| best.tasks[i].clone()).collect();
+                        cand.costs.retain_mut(|c| {
+                            combo
+                                .iter()
+                                .position(|&i| i == c.task as usize)
+                                .is_some_and(|new| {
+                                    c.task = new as u32;
+                                    true
+                                })
+                        });
+                        cand.m = m;
+                        if fails_same(&cand, invariant, engines) {
+                            best = cand;
+                            changed = true;
+                            break 'subset;
+                        }
+                    }
+                }
+            }
+        }
+
+        // Pass 2: canonicalize each task — erase IS offsets, erase early
+        // releases, close GIS index gaps (reindex 1..=len).
+        for i in 0..best.tasks.len() {
+            for kind in 0..3u8 {
+                let mut cand = best.clone();
+                match kind {
+                    0 => cand.tasks[i].subtasks.iter_mut().for_each(|s| s.theta = 0),
+                    1 => cand.tasks[i].subtasks.iter_mut().for_each(|s| s.early = 0),
+                    _ => {
+                        let remap: Vec<(u64, u64)> = cand.tasks[i]
+                            .subtasks
+                            .iter()
+                            .enumerate()
+                            .map(|(k, s)| (s.index, k as u64 + 1))
+                            .collect();
+                        for (k, s) in cand.tasks[i].subtasks.iter_mut().enumerate() {
+                            s.index = k as u64 + 1;
+                        }
+                        for c in cand.costs.iter_mut().filter(|c| c.task as usize == i) {
+                            if let Some(&(_, new)) = remap.iter().find(|&&(old, _)| old == c.index)
+                            {
+                                c.index = new;
+                            }
+                        }
+                    }
+                }
+                if cand != best && fails_same(&cand, invariant, engines) {
+                    best = cand;
+                    changed = true;
+                }
+            }
+        }
+
+        // Pass 2b: global time-prefix truncation — drop every subtask
+        // released at or after a cutoff, shrinking the cutoff while the
+        // failure persists. Schedule divergences at slot `t` rarely need
+        // anything released after `t`, and cutting all tasks at once
+        // preserves the contention that per-task moves destroy.
+        loop {
+            let releases: Vec<i64> = best
+                .tasks
+                .iter()
+                .filter_map(|t| {
+                    let w = pfair_taskmodel::Weight::new(t.e, t.p);
+                    t.subtasks
+                        .iter()
+                        .map(|s| s.theta + pfair_taskmodel::window::release(w, s.index))
+                        .max()
+                })
+                .collect();
+            let Some(&last) = releases.iter().max() else {
+                break;
+            };
+            let mut adopted = false;
+            for cutoff in [last / 2, last] {
+                if cutoff <= 0 {
+                    continue;
+                }
+                let mut cand = best.clone();
+                for t in &mut cand.tasks {
+                    let w = pfair_taskmodel::Weight::new(t.e, t.p);
+                    t.subtasks.retain(|s| {
+                        s.theta + pfair_taskmodel::window::release(w, s.index) < cutoff
+                    });
+                }
+                // Remap cost-override task indices around emptied tasks.
+                let dense: Vec<Option<u32>> = {
+                    let mut next = 0u32;
+                    cand.tasks
+                        .iter()
+                        .map(|t| {
+                            if t.subtasks.is_empty() {
+                                None
+                            } else {
+                                next += 1;
+                                Some(next - 1)
+                            }
+                        })
+                        .collect()
+                };
+                cand.costs.retain_mut(|c| {
+                    dense
+                        .get(c.task as usize)
+                        .copied()
+                        .flatten()
+                        .is_some_and(|new| {
+                            c.task = new;
+                            true
+                        })
+                });
+                cand.tasks.retain(|t| !t.subtasks.is_empty());
+                normalize_costs(&mut cand);
+                if cand != best && fails_same(&cand, invariant, engines) {
+                    best = cand;
+                    adopted = true;
+                    changed = true;
+                    break;
+                }
+            }
+            if !adopted {
+                break;
+            }
+        }
+
+        // Pass 3: truncate subtask chains (halve, then decrement).
+        for i in 0..best.tasks.len() {
+            loop {
+                let len = best.tasks[i].subtasks.len();
+                if len <= 1 {
+                    break;
+                }
+                let mut adopted = false;
+                for target in [len / 2, len - 1] {
+                    if target == 0 || target >= len {
+                        continue;
+                    }
+                    let mut cand = best.clone();
+                    cand.tasks[i].subtasks.truncate(target);
+                    normalize_costs(&mut cand);
+                    if fails_same(&cand, invariant, engines) {
+                        best = cand;
+                        adopted = true;
+                        changed = true;
+                        break;
+                    }
+                }
+                if !adopted {
+                    break;
+                }
+            }
+        }
+
+        // Pass 3b: drop individual subtasks anywhere in a chain (the GIS
+        // model permits index gaps, so any subset of a chain is legal).
+        for i in 0..best.tasks.len() {
+            loop {
+                if best.tasks[i].subtasks.len() <= 1 {
+                    break;
+                }
+                let mut adopted = false;
+                for k in (0..best.tasks[i].subtasks.len()).rev() {
+                    let mut cand = best.clone();
+                    cand.tasks[i].subtasks.remove(k);
+                    normalize_costs(&mut cand);
+                    if fails_same(&cand, invariant, engines) {
+                        best = cand;
+                        adopted = true;
+                        changed = true;
+                        break;
+                    }
+                }
+                if !adopted {
+                    break;
+                }
+            }
+        }
+
+        // Pass 4: simplify yields to full quanta (all overrides at once,
+        // else one by one).
+        if !best.costs.is_empty() {
+            let mut cand = best.clone();
+            cand.costs.clear();
+            if fails_same(&cand, invariant, engines) {
+                best = cand;
+                changed = true;
+            } else {
+                for i in (0..best.costs.len()).rev() {
+                    let mut cand = best.clone();
+                    cand.costs.remove(i);
+                    if fails_same(&cand, invariant, engines) {
+                        best = cand;
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        // Pass 5: reduce the processor count (smallest first).
+        for m in 1..best.m {
+            let mut cand = best.clone();
+            cand.m = m;
+            if fails_same(&cand, invariant, engines) {
+                best = cand;
+                changed = true;
+                break;
+            }
+        }
+
+        if !changed {
+            break;
+        }
+    }
+    best
+}

@@ -50,11 +50,13 @@
 //! | [`workload`] | random task systems, stochastic costs, sweep harness |
 //! | [`trace`] | ASCII Gantt / window diagrams, JSON export |
 //! | [`online`] | online heap-based PD² scheduler (sporadic arrivals) |
+//! | [`conformance`] | differential fuzzing: invariant bank, campaigns, shrinking |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use pfair_analysis as analysis;
+pub use pfair_conformance as conformance;
 pub use pfair_core as core;
 pub use pfair_numeric as numeric;
 pub use pfair_online as online;

@@ -9,6 +9,15 @@
 //! assertion message only), and the input stream is this crate's own
 //! deterministic splitmix64 sequence seeded from the test's module path, so
 //! every run explores the same cases.
+//!
+//! A failing case panics with the per-test seed and the draw number that
+//! produced it. Setting the `PFAIR_PROPTEST_SEED` environment variable
+//! overrides the per-test seed for *every* property test in the run, which
+//! replays a reported failure:
+//!
+//! ```text
+//! PFAIR_PROPTEST_SEED=12345 cargo test -p pfair-analysis some_property
+//! ```
 
 #![forbid(unsafe_code)]
 
@@ -46,6 +55,21 @@ pub fn fnv1a(s: &str) -> u64 {
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
     h
+}
+
+/// The seed a property test should run with: the `PFAIR_PROPTEST_SEED`
+/// environment variable when set (and parseable as `u64`), otherwise the
+/// test's own path-derived default. A set-but-unparseable value panics
+/// rather than silently exploring the wrong cases.
+#[must_use]
+pub fn resolve_seed(path_default: u64) -> u64 {
+    match std::env::var("PFAIR_PROPTEST_SEED") {
+        Ok(s) => s
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("PFAIR_PROPTEST_SEED is not a u64: {s:?}")),
+        Err(_) => path_default,
+    }
 }
 
 /// Why a single test case did not pass.
@@ -263,7 +287,11 @@ macro_rules! __proptest_impl {
         $(#[$meta])*
         fn $name() {
             let config: $crate::ProptestConfig = $cfg;
-            let seed = $crate::fnv1a(concat!(module_path!(), "::", stringify!($name)));
+            let seed = $crate::resolve_seed($crate::fnv1a(concat!(
+                module_path!(),
+                "::",
+                stringify!($name)
+            )));
             let mut accepted: u32 = 0;
             let mut draws: u32 = 0;
             while accepted < config.cases {
@@ -288,9 +316,13 @@ macro_rules! __proptest_impl {
                     ::core::result::Result::Err($crate::TestCaseError::Reject) => {}
                     ::core::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
                         panic!(
-                            "proptest case {} of {} failed: {}",
+                            "proptest case {} of {} failed (seed {}, draw {}; replay with \
+                             PFAIR_PROPTEST_SEED={}): {}",
                             accepted + 1,
                             stringify!($name),
+                            seed,
+                            draws,
+                            seed,
                             msg
                         );
                     }

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! pfairsim --m 2 --model dvq --alg pd2 --cost 7/8 --horizon 12 1/6 1/6 1/6 1/2 1/2 1/2
+//! pfairsim fuzz --trials 5000 --seed 1 --threads 4
 //! ```
 //!
 //! Positional arguments are task weights (`e/p`); options:
@@ -15,7 +16,18 @@
 //! * `--json`         emit the trace bundle as JSON instead of text
 //!
 //! Exit code 0 always; scheduling outcomes are printed, not judged.
+//!
+//! The `fuzz` subcommand runs a differential conformance campaign against
+//! the reference engines (see `pfair::conformance`) and exits non-zero if
+//! any invariant is violated:
+//!
+//! * `--trials <n>`   number of generated cases (default 1000)
+//! * `--seconds <s>`  wall-clock budget; stops early when exceeded
+//! * `--seed <s>`     base seed; trial `k` uses seed `s + k` (default 1)
+//! * `--threads <t>`  worker threads (default: available parallelism)
+//! * `--no-shrink`    report violations without minimizing them
 
+use pfair::conformance::{run_campaign, CampaignConfig, GenConfig, REFERENCE};
 use pfair::core::Algorithm;
 use pfair::prelude::*;
 
@@ -27,12 +39,101 @@ fn usage() -> ! {
     eprintln!(
         "usage: pfairsim [--m N] [--model sfq|dvq|staggered|pdb] [--alg epdf|pd2|pf|pd]\n\
          \u{20}               [--cost R] [--horizon N] [--res N] [--json] WEIGHT [WEIGHT ...]\n\
+         \u{20}      pfairsim fuzz [--trials N] [--seconds S] [--seed S] [--threads T] [--no-shrink]\n\
          example: pfairsim --m 2 --model dvq --cost 7/8 1/6 1/6 1/6 1/2 1/2 1/2"
     );
     std::process::exit(2)
 }
 
+/// The `fuzz` subcommand: a seeded differential conformance campaign
+/// against the reference engines. Exits 1 on any invariant violation,
+/// 0 on a clean run, 2 on bad arguments.
+fn fuzz(mut args: std::env::Args) -> ! {
+    let mut cfg = CampaignConfig {
+        trials: 1000,
+        base_seed: 1,
+        threads: std::thread::available_parallelism().map_or(1, usize::from),
+        gen: GenConfig::default(),
+        time_limit: None,
+        shrink: true,
+        stop_on_first: false,
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--trials" => {
+                cfg.trials = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--seconds" => {
+                let secs: u64 = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                cfg.time_limit = Some(std::time::Duration::from_secs(secs));
+            }
+            "--seed" => {
+                cfg.base_seed = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--threads" => {
+                cfg.threads = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--no-shrink" => cfg.shrink = false,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    println!(
+        "fuzz: {} trials from seed {} on {} threads (shrink: {})",
+        cfg.trials, cfg.base_seed, cfg.threads, cfg.shrink
+    );
+    let outcome = run_campaign(&cfg, &REFERENCE);
+    println!("ran {} trials", outcome.trials_run);
+    if outcome.clean() {
+        println!("no violations");
+        std::process::exit(0);
+    }
+    for v in &outcome.violations {
+        println!(
+            "violation at seed {}: {} — {}",
+            v.seed, v.invariant, v.detail
+        );
+        let spec = v.shrunk.as_ref().unwrap_or(&v.original);
+        match serde_json::to_string(spec) {
+            Ok(json) => println!(
+                "  {} repro: {json}",
+                if v.shrunk.is_some() {
+                    "shrunk"
+                } else {
+                    "original"
+                }
+            ),
+            Err(e) => println!("  (repro serialization failed: {e})"),
+        }
+        println!("  replay: pfairsim fuzz --seed {} --trials 1", v.seed);
+    }
+    eprintln!("{} violation(s) found", outcome.violations.len());
+    std::process::exit(1)
+}
+
 fn main() {
+    let mut argv = std::env::args();
+    let _ = argv.next();
+    // Peek for the subcommand before falling back to weight parsing.
+    let rest: Vec<String> = argv.collect();
+    if rest.first().map(String::as_str) == Some("fuzz") {
+        let mut args = std::env::args();
+        let _ = args.next();
+        let _ = args.next();
+        fuzz(args);
+    }
     let mut m: u32 = 2;
     let mut model = "sfq".to_string();
     let mut alg = Algorithm::Pd2;

@@ -57,6 +57,42 @@ fn deep_subtask_indices() {
 }
 
 #[test]
+fn two_thousand_tasks_dvq_full_utilization_adversarial_yields() {
+    // A fully-utilized 640-processor machine packed with ~2000+ light
+    // tasks, every subtask yielding δ early with 60% probability: the
+    // largest DVQ instance in the suite. Theorem 3's tardiness bound and
+    // exact allocation conservation must both survive the scale.
+    let cfg = TaskGenConfig {
+        target_util: Rat::int(640),
+        max_period: 12,
+        dist: WeightDist::Light,
+        fill_exact: true,
+    };
+    let ws = random_weights(&cfg, 20_260_806);
+    let sys = releasegen::generate(&ws, &ReleaseConfig::periodic(12), 20_260_806);
+    assert!(sys.num_tasks() >= 2000, "only {} tasks", sys.num_tasks());
+    assert!(sys.is_feasible(640));
+
+    // Materialize the stochastic yields up front so the exact per-subtask
+    // costs are known for the conservation check afterwards.
+    let mut adversarial = AdversarialYield::new(Rat::new(1, 16), 60, 0xFEED);
+    let mut fixed = FixedCosts::new(Rat::ONE);
+    for (st, s) in sys.iter_refs() {
+        fixed = fixed.with(s.id.task, s.id.index, adversarial.cost(&sys, st));
+    }
+    let mut costs = fixed.clone();
+    let sched = simulate_dvq(&sys, 640, &Pd2, &mut costs);
+
+    let stats = tardiness_stats(&sys, &sched);
+    assert!(stats.max <= Rat::ONE, "Theorem 3 violated: {}", stats.max);
+    for (st, _) in sys.iter_refs() {
+        let pl = sched.placement(st);
+        assert_eq!(pl.cost, fixed.cost(&sys, st), "allocation not conserved");
+    }
+    assert!(check_structural(&sys, &sched).is_empty());
+}
+
+#[test]
 fn online_scheduler_scales() {
     let mut s = OnlineDvq::new(8);
     let ws = random_weights(&TaskGenConfig::full(8, 10), 321);
