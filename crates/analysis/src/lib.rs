@@ -62,11 +62,12 @@ pub use compliance::{k_compliant_system, ranks};
 pub use demand::{dbf, find_overload, OverloadWitness};
 pub use displacement::{displacement, displacement_stats, DisplacementStats};
 pub use jobs::{all_jobs, jobs_of, Job};
+pub use lag::{ideal_allocation, max_lag_over_slots, received_allocation, task_lag, total_lag};
 pub use lemmas::{check_lemma1, Lemma1Violation};
 pub use overhead::{contention_profile, migration_stats, peak_simultaneous_starts, MigrationStats};
 pub use report::{schedule_report, ScheduleReport};
 pub use response::{response_stats, subtask_response, ResponseStats};
 pub use schedulability::{flow_schedulable, FlowSchedule, WindowMode};
-pub use tardiness::{subtask_tardiness, tardiness_stats, TardinessStats};
+pub use tardiness::{subtask_tardiness, tardiness_histogram, tardiness_stats, TardinessStats};
 pub use validity::{check_structural, check_window_containment, ValidityError};
 pub use waste::{waste_stats, WasteStats};

@@ -7,8 +7,10 @@
 
 use pfair_core::priority::PriorityOrder;
 use pfair_core::Pd2;
+use pfair_obs::{BlockingObserver, BlockingRecord};
 use pfair_sim::{
-    simulate_dvq, simulate_sfq, simulate_sfq_pdb, simulate_staggered, CostModel, Schedule,
+    simulate_dvq, simulate_dvq_observed, simulate_sfq, simulate_sfq_pdb, simulate_staggered,
+    CostModel, Schedule,
 };
 use pfair_taskmodel::TaskSystem;
 
@@ -17,6 +19,11 @@ pub type SimFn = fn(&TaskSystem, u32, &dyn PriorityOrder, &mut dyn CostModel) ->
 
 /// A PD^B simulator entry point (the selection procedure is built in).
 pub type PdbFn = fn(&TaskSystem, u32, &mut dyn CostModel) -> Schedule;
+
+/// A DVQ run with a streaming blocking detector attached: the schedule
+/// plus the inversion records the stream produced, sorted by victim.
+pub type ObservedDvqFn =
+    fn(&TaskSystem, u32, &dyn PriorityOrder, &mut dyn CostModel) -> (Schedule, Vec<BlockingRecord>);
 
 /// The engines and priority orders one campaign checks against each other.
 #[derive(Clone, Copy, Debug)]
@@ -38,6 +45,22 @@ pub struct Engines {
     pub staggered: SimFn,
     /// SFQ/PD^B simulator.
     pub pdb: PdbFn,
+    /// DVQ simulator with the streaming blocking detector attached.
+    pub streaming_blocking: ObservedDvqFn,
+}
+
+/// The production streaming hook: the real observed DVQ driver with a
+/// [`BlockingObserver`] listening.
+fn dvq_streaming_blocking(
+    sys: &TaskSystem,
+    m: u32,
+    order: &dyn PriorityOrder,
+    cost: &mut dyn CostModel,
+) -> (Schedule, Vec<BlockingRecord>) {
+    let mut obs = BlockingObserver::new(sys, order);
+    let sched = simulate_dvq_observed(sys, m, order, cost, &mut obs);
+    let (records, _) = obs.into_parts();
+    (sched, records)
 }
 
 /// The production engine set: PD² everywhere, the real simulators.
@@ -50,4 +73,5 @@ pub const REFERENCE: Engines = Engines {
     dvq: simulate_dvq,
     staggered: simulate_staggered,
     pdb: simulate_sfq_pdb,
+    streaming_blocking: dvq_streaming_blocking,
 };

@@ -10,14 +10,16 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use pfair_analysis::{
-    check_structural, check_window_containment, flow_schedulable, tardiness_stats, WindowMode,
+    check_structural, check_window_containment, detect_blocking, flow_schedulable,
+    max_lag_over_slots, tardiness_histogram, tardiness_stats, total_lag, BlockingKind, WindowMode,
 };
 use pfair_core::pdb;
 use pfair_core::priority::ComparatorOnly;
 use pfair_core::KeyDispatch;
 use pfair_numeric::Rat;
+use pfair_obs::{InversionKind, LagObserver, MetricsObserver, DEFAULT_BUCKETS};
 use pfair_online::OnlineDvq;
-use pfair_sim::{FullQuantum, Schedule};
+use pfair_sim::{simulate_dvq_observed, simulate_sfq_observed, FullQuantum, Schedule};
 use pfair_taskmodel::hyperperiod::{hyperperiod_of_weights, subtasks_per_hyperperiod};
 use pfair_taskmodel::{SubtaskRef, TaskSystem};
 use pfair_workload::{releasegen, ReleaseConfig};
@@ -108,7 +110,7 @@ pub fn check_one(name: &str, case: &Case, engines: &Engines) -> Result<(), Failu
 /// first, expensive cross-engine comparisons last).
 #[must_use]
 pub fn bank() -> &'static [&'static dyn Invariant] {
-    static BANK: [&dyn Invariant; 11] = [
+    static BANK: [&dyn Invariant; 12] = [
         &StructuralValidity,
         &AllocationConservation,
         &SfqZeroTardiness,
@@ -120,6 +122,7 @@ pub fn bank() -> &'static [&'static dyn Invariant] {
         &PdbTable1Conformance,
         &OnlineOfflineEquivalence,
         &HyperperiodPeriodicity,
+        &StreamingPosthocAgreement,
     ];
     &BANK
 }
@@ -562,6 +565,172 @@ impl Invariant for OnlineOfflineEquivalence {
             }
         }
         Ok(())
+    }
+}
+
+/// Streaming observability must agree exactly with post-hoc analysis on
+/// the same run: the engine's streaming blocking detector against
+/// `detect_blocking`, and the streaming lag/metrics observers against
+/// `total_lag` / `max_lag_over_slots` / `tardiness_stats` /
+/// `tardiness_histogram` — rational equality throughout, no tolerance.
+#[derive(Debug)]
+struct StreamingPosthocAgreement;
+
+impl StreamingPosthocAgreement {
+    fn check_blocking(&self, case: &Case, engines: &Engines) -> Result<(), String> {
+        let sys = &case.sys;
+        let (sched, records) = (engines.streaming_blocking)(
+            sys,
+            case.spec.m,
+            engines.keyed_order,
+            &mut case.cost_model(),
+        );
+        let posthoc = detect_blocking(sys, &sched, engines.keyed_order);
+        if records.len() != posthoc.len() {
+            return Err(format!(
+                "streaming blocking found {} inversions, post-hoc found {} (victims {:?} vs {:?})",
+                records.len(),
+                posthoc.len(),
+                records.iter().map(|r| r.victim).collect::<Vec<_>>(),
+                posthoc.iter().map(|e| e.victim).collect::<Vec<_>>(),
+            ));
+        }
+        for (r, e) in records.iter().zip(&posthoc) {
+            let kinds_agree = matches!(
+                (r.kind, e.kind),
+                (InversionKind::Eligibility, BlockingKind::Eligibility)
+                    | (InversionKind::Predecessor, BlockingKind::Predecessor)
+            );
+            if r.victim != e.victim
+                || r.ready_at != e.ready_at
+                || r.scheduled_at != e.scheduled_at
+                || !kinds_agree
+                || r.blockers != e.blockers
+            {
+                return Err(format!(
+                    "blocking record diverges for {}: streaming (ready {:?}, at {:?}, {:?}, blockers {:?}) vs post-hoc (ready {:?}, at {:?}, {:?}, blockers {:?})",
+                    describe(sys, e.victim),
+                    r.ready_at,
+                    r.scheduled_at,
+                    r.kind,
+                    r.blockers,
+                    e.ready_at,
+                    e.scheduled_at,
+                    e.kind,
+                    e.blockers,
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn check_lag_and_metrics(&self, case: &Case, engines: &Engines) -> Result<(), String> {
+        let sys = &case.sys;
+        let m = case.spec.m;
+        let h = sys.horizon();
+        // Lag involves the division `(t − start) / cost`, whose exact-
+        // rational denominators grow multiplicatively in the cost
+        // denominators — on the generator's GRID-resolution (720720) cost
+        // models both the streaming observer *and* the post-hoc
+        // `received_allocation` overflow `Rat`. Compare lag only where the
+        // arithmetic is representable; the tardiness/metrics comparison
+        // below stays on the 1/GRID time grid and is always safe.
+        let lag_safe = case.spec.costs.iter().all(|c| c.cost.den() <= 32);
+        for (label, sfq) in [("sfq", true), ("dvq", false)] {
+            let mut pair = (LagObserver::new(sys), MetricsObserver::new(m));
+            let mut metrics_only = MetricsObserver::new(m);
+            let sched = match (sfq, lag_safe) {
+                (true, true) => simulate_sfq_observed(
+                    sys,
+                    m,
+                    engines.keyed_order,
+                    &mut case.cost_model(),
+                    &mut pair,
+                ),
+                (false, true) => simulate_dvq_observed(
+                    sys,
+                    m,
+                    engines.keyed_order,
+                    &mut case.cost_model(),
+                    &mut pair,
+                ),
+                (true, false) => simulate_sfq_observed(
+                    sys,
+                    m,
+                    engines.keyed_order,
+                    &mut case.cost_model(),
+                    &mut metrics_only,
+                ),
+                (false, false) => simulate_dvq_observed(
+                    sys,
+                    m,
+                    engines.keyed_order,
+                    &mut case.cost_model(),
+                    &mut metrics_only,
+                ),
+            };
+            let (mut lag, metrics) = if lag_safe {
+                pair
+            } else {
+                (LagObserver::new(sys), metrics_only)
+            };
+            if lag_safe {
+                lag.finish(h);
+                for &(t, l) in lag.series() {
+                    let want = total_lag(sys, &sched, Rat::int(t));
+                    if l != want {
+                        return Err(format!(
+                            "{label}: streaming LAG({t}) = {l:?}, post-hoc = {want:?}"
+                        ));
+                    }
+                }
+                let want_max = max_lag_over_slots(sys, &sched, h);
+                if lag.max_lag() != want_max {
+                    return Err(format!(
+                        "{label}: streaming max LAG {:?} vs post-hoc {want_max:?}",
+                        lag.max_lag()
+                    ));
+                }
+            }
+            let stats = tardiness_stats(sys, &sched);
+            let worst_id = stats.worst.map(|st| sys.subtask(st).id);
+            if metrics.deadline_misses() != stats.misses as u64
+                || metrics.total_tardiness() != stats.total
+                || metrics.max_tardiness() != stats.max
+                || metrics.worst() != worst_id
+            {
+                return Err(format!(
+                    "{label}: streaming tardiness (misses {}, total {:?}, max {:?}, worst {:?}) vs post-hoc (misses {}, total {:?}, max {:?}, worst {:?})",
+                    metrics.deadline_misses(),
+                    metrics.total_tardiness(),
+                    metrics.max_tardiness(),
+                    metrics.worst(),
+                    stats.misses,
+                    stats.total,
+                    stats.max,
+                    worst_id,
+                ));
+            }
+            let want_hist = tardiness_histogram(sys, &sched, DEFAULT_BUCKETS);
+            let got_hist: Vec<usize> = metrics.histogram().iter().map(|&c| c as usize).collect();
+            if got_hist != want_hist {
+                return Err(format!(
+                    "{label}: streaming histogram {got_hist:?} vs post-hoc {want_hist:?}"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Invariant for StreamingPosthocAgreement {
+    fn name(&self) -> &'static str {
+        "streaming-posthoc-agreement"
+    }
+
+    fn check(&self, case: &Case, engines: &Engines) -> Result<(), String> {
+        self.check_blocking(case, engines)?;
+        self.check_lag_and_metrics(case, engines)
     }
 }
 

@@ -14,8 +14,11 @@ use pfair_core::pdb;
 use pfair_core::priority::PriorityOrder;
 use pfair_core::{Pd2, Pd2NoGroupDeadline};
 use pfair_numeric::{Rat, Time};
+use pfair_obs::{BlockingObserver, BlockingRecord};
 use pfair_sim::cost::checked_cost;
-use pfair_sim::{simulate_dvq, CostModel, Placement, QuantumModel, Schedule};
+use pfair_sim::{
+    simulate_dvq, simulate_dvq_observed, CostModel, Placement, QuantumModel, Schedule,
+};
 use pfair_taskmodel::{SubtaskRef, TaskId, TaskSystem};
 
 use crate::engines::{Engines, REFERENCE};
@@ -95,6 +98,15 @@ pub fn mutants() -> Vec<Mutant> {
             engines: Engines {
                 name: "dvq-cost-blind",
                 dvq: simulate_dvq_cost_blind,
+                ..REFERENCE
+            },
+        },
+        Mutant {
+            name: "obs-drops-fractional-blocking",
+            description: "streaming blocking detector that silently drops inversions dispatched at non-integral times",
+            engines: Engines {
+                name: "obs-drops-fractional-blocking",
+                streaming_blocking: streaming_blocking_integral_only,
                 ..REFERENCE
             },
         },
@@ -367,6 +379,23 @@ fn simulate_dvq_eager(
         }
     }
     Schedule::new(sys, QuantumModel::Dvq, m, placements)
+}
+
+/// Streaming blocking hook with the planted bug: inversions whose victim
+/// was dispatched at a non-integral time are silently dropped — exactly
+/// the fractional-time events that distinguish DVQ from SFQ, so a purely
+/// slot-aligned test diet would never notice.
+fn streaming_blocking_integral_only(
+    sys: &TaskSystem,
+    m: u32,
+    order: &dyn PriorityOrder,
+    cost: &mut dyn CostModel,
+) -> (Schedule, Vec<BlockingRecord>) {
+    let mut obs = BlockingObserver::new(sys, order);
+    let sched = simulate_dvq_observed(sys, m, order, cost, &mut obs);
+    let (mut records, _) = obs.into_parts();
+    records.retain(|r| r.scheduled_at.den() == 1);
+    (sched, records)
 }
 
 /// DVQ driver with the planted bug: the caller's cost model is discarded

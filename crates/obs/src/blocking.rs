@@ -1,0 +1,184 @@
+//! Online replication of `pfair-analysis::blocking::detect_blocking`.
+
+use crate::{InversionKind, NoopObserver, Observer, SchedEvent};
+use pfair_core::PriorityOrder;
+use pfair_numeric::{Rat, Time};
+use pfair_taskmodel::{SubtaskRef, TaskSystem};
+
+/// One detected priority inversion, in `SubtaskRef` terms for direct
+/// comparison with the post-hoc `BlockingEvent`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlockingRecord {
+    /// The blocked subtask.
+    pub victim: SubtaskRef,
+    /// When it became ready (`max(eligibility, predecessor completion)`).
+    pub ready_at: Time,
+    /// When it was dispatched.
+    pub scheduled_at: Time,
+    /// Eligibility (EB) or predecessor (PB) blocking.
+    pub kind: InversionKind,
+    /// Lower-priority subtasks whose quanta overlap the wait, in
+    /// `(start, proc)` order.
+    pub blockers: Vec<SubtaskRef>,
+}
+
+impl BlockingRecord {
+    /// How long the victim waited past its ready time.
+    #[must_use]
+    pub fn duration(&self) -> Rat {
+        self.scheduled_at - self.ready_at
+    }
+}
+
+/// Detects eligibility/predecessor blocking (§3 of the paper) online, at
+/// each dispatch, using the same predicate as the post-hoc
+/// `detect_blocking`: the victim was dispatched strictly after its ready
+/// time while strictly-lower-priority quanta that started earlier were
+/// still running past that ready time.
+///
+/// Wraps an inner observer; every event is forwarded, and a
+/// [`SchedEvent::Blocked`] is *generated* for the inner observer whenever
+/// an inversion is found (this is how [`crate::MetricsObserver`] learns its
+/// blocking counts). Placement history is retained for the whole run — the
+/// post-hoc predicate may reach arbitrarily far back — so memory is
+/// O(placements), like the schedule itself.
+///
+/// Must observe a run from its beginning: predecessor completions are
+/// learned from their `QuantumStart` events.
+pub struct BlockingObserver<'a, Inner: Observer = NoopObserver> {
+    sys: &'a TaskSystem,
+    order: &'a dyn PriorityOrder,
+    inner: Inner,
+    completion_of: Vec<Option<Time>>,
+    /// `(start, proc, subtask, completion)` for every quantum seen.
+    placements: Vec<(Time, u32, SubtaskRef, Time)>,
+    records: Vec<BlockingRecord>,
+}
+
+impl<'a> BlockingObserver<'a, NoopObserver> {
+    /// A standalone blocking detector for `sys` under `order`.
+    #[must_use]
+    pub fn new(sys: &'a TaskSystem, order: &'a dyn PriorityOrder) -> Self {
+        Self::with_inner(sys, order, NoopObserver)
+    }
+}
+
+impl<'a, Inner: Observer> BlockingObserver<'a, Inner> {
+    /// A blocking detector that forwards all events (plus generated
+    /// `Blocked` events) to `inner`.
+    #[must_use]
+    pub fn with_inner(sys: &'a TaskSystem, order: &'a dyn PriorityOrder, inner: Inner) -> Self {
+        BlockingObserver {
+            sys,
+            order,
+            inner,
+            completion_of: vec![None; sys.num_subtasks()],
+            placements: Vec::new(),
+            records: Vec::new(),
+        }
+    }
+
+    /// The inversions recorded so far, in dispatch order.
+    #[must_use]
+    pub fn records(&self) -> &[BlockingRecord] {
+        &self.records
+    }
+
+    /// The wrapped observer.
+    #[must_use]
+    pub fn inner(&self) -> &Inner {
+        &self.inner
+    }
+
+    /// Consumes the detector, returning the records sorted by victim (the
+    /// order `detect_blocking` reports, since each subtask is dispatched
+    /// once) and the inner observer.
+    #[must_use]
+    pub fn into_parts(self) -> (Vec<BlockingRecord>, Inner) {
+        let mut records = self.records;
+        records.sort_by_key(|r| r.victim.idx());
+        (records, self.inner)
+    }
+}
+
+impl<Inner: Observer> Observer for BlockingObserver<'_, Inner> {
+    fn on_event(&mut self, ev: &SchedEvent) {
+        if Inner::ENABLED {
+            self.inner.on_event(ev);
+        }
+        let SchedEvent::QuantumStart {
+            id,
+            proc,
+            start,
+            cost,
+            ..
+        } = ev
+        else {
+            return;
+        };
+        let st = self
+            .sys
+            .find(*id)
+            .expect("BlockingObserver saw a subtask outside its system");
+        let sub = self.sys.subtask(st);
+        let scheduled_at = *start;
+        let completion = *start + *cost;
+        let eligible = Rat::int(sub.eligible);
+        let ready_at = match sub.pred {
+            Some(p) => self.completion_of[p.idx()]
+                .expect("predecessor dispatched before the observer attached")
+                .max(eligible),
+            None => eligible,
+        };
+        self.completion_of[st.idx()] = Some(completion);
+        if scheduled_at > ready_at {
+            // Same predicate as detect_blocking. Event times are
+            // nondecreasing, so every quantum with an earlier start is
+            // already in `placements`; same-instant starts are excluded by
+            // the strict `<` either way.
+            let mut blockers: Vec<(Time, u32, SubtaskRef)> = self
+                .placements
+                .iter()
+                .filter(|&&(p_start, _, p_st, p_completion)| {
+                    p_st != st
+                        && p_start < scheduled_at
+                        && p_completion > ready_at
+                        && self.order.precedes(self.sys, st, p_st)
+                })
+                .map(|&(p_start, p_proc, p_st, _)| (p_start, p_proc, p_st))
+                .collect();
+            if !blockers.is_empty() {
+                // detect_blocking walks placements in (start, proc) order;
+                // our event order can interleave processors within a batch.
+                blockers.sort_unstable_by_key(|&(s, p, _)| (s, p));
+                let kind = if ready_at == eligible {
+                    InversionKind::Eligibility
+                } else {
+                    InversionKind::Predecessor
+                };
+                let blocker_refs: Vec<SubtaskRef> =
+                    blockers.iter().map(|&(_, _, p_st)| p_st).collect();
+                if Inner::ENABLED {
+                    self.inner.on_event(&SchedEvent::Blocked {
+                        victim: *id,
+                        ready_at,
+                        scheduled_at,
+                        kind,
+                        blockers: blocker_refs
+                            .iter()
+                            .map(|&r| self.sys.subtask(r).id)
+                            .collect(),
+                    });
+                }
+                self.records.push(BlockingRecord {
+                    victim: st,
+                    ready_at,
+                    scheduled_at,
+                    kind,
+                    blockers: blocker_refs,
+                });
+            }
+        }
+        self.placements.push((scheduled_at, *proc, st, completion));
+    }
+}

@@ -1,0 +1,285 @@
+//! The structured scheduler event vocabulary.
+//!
+//! Every simulator hook emits [`SchedEvent`]s keyed by [`SubtaskId`] (not
+//! `SubtaskRef`), so online schedulers — which have no `TaskSystem` in hand —
+//! share the same vocabulary as the offline drivers.
+//!
+//! ## Time ordering
+//!
+//! Emitters guarantee that event times ([`SchedEvent::time`]) are globally
+//! nondecreasing over the stream, with one exception: [`SchedEvent::Released`]
+//! is an *input-side* event (a job arrival handed to an online scheduler) and
+//! is exempt — its `time()` is `None`. Streaming observers such as the exact
+//! lag accountant rely on this ordering to evaluate each integral slot once
+//! all events at or before it have been applied.
+
+use pfair_numeric::{Rat, Time};
+use pfair_taskmodel::SubtaskId;
+use serde::{Serialize, Value};
+
+/// Why a subtask became ready (available for dispatch) at a given instant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum ReadyCause {
+    /// Its eligibility time arrived (the predecessor, if any, was already
+    /// complete): readiness was gated by `e(T_i)`.
+    Eligibility,
+    /// Its predecessor completed after the eligibility time: readiness was
+    /// gated by the chain.
+    Predecessor,
+}
+
+/// The kind of priority inversion behind a `Blocked` event, mirroring
+/// `pfair-analysis::BlockingKind` (which the obs crate cannot depend on
+/// without a cycle: analysis sits above sim, which sits above obs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+pub enum InversionKind {
+    /// The victim was eligible (predecessor done) and still waited on
+    /// lower-priority work (EB blocking, §3 of the paper).
+    Eligibility,
+    /// The victim's wait began at its predecessor's completion (PB blocking).
+    Predecessor,
+}
+
+/// A structured scheduler event.
+///
+/// Variants cover the full vocabulary of the paper's per-slot reasoning:
+/// scheduling instants, dispatch decisions together with their PD² priority
+/// key components, quantum completions with deadline verdicts, readiness,
+/// idle capacity, and detected priority inversions.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SchedEvent {
+    /// A scheduling instant: a visited SFQ slot boundary, a DVQ event-batch
+    /// time, or a staggered boundary batch.
+    Tick {
+        /// The instant (integral for SFQ, possibly fractional for DVQ).
+        at: Time,
+    },
+    /// A subtask entered the scheduler's horizon (online job submission).
+    /// Input-side: exempt from the stream's time ordering.
+    Released {
+        /// The subtask.
+        id: SubtaskId,
+        /// Its (integral) release time.
+        at: i64,
+    },
+    /// A subtask became available for dispatch.
+    Ready {
+        /// The subtask.
+        id: SubtaskId,
+        /// When it became ready.
+        at: Time,
+        /// Whether eligibility or the predecessor chain gated readiness.
+        cause: ReadyCause,
+    },
+    /// A dispatch decision: the subtask starts a quantum. Carries the PD²
+    /// priority key components (`deadline`, `bbit`, `group_deadline`) the
+    /// decision was made with.
+    QuantumStart {
+        /// The subtask.
+        id: SubtaskId,
+        /// The processor it runs on.
+        proc: u32,
+        /// Quantum start time.
+        start: Time,
+        /// Actual execution cost in `(0, 1]` quanta.
+        cost: Rat,
+        /// How long the processor is held (end of slot under SFQ/staggered,
+        /// `start + cost` under DVQ).
+        holds_until: Time,
+        /// The subtask's (integral) Pfair deadline `d(T_i)`.
+        deadline: i64,
+        /// The PD² successor bit `b(T_i)`.
+        bbit: bool,
+        /// The PD² group deadline `D(T_i)`.
+        group_deadline: i64,
+    },
+    /// A quantum completed and its processor is (logically) released.
+    QuantumEnd {
+        /// The subtask.
+        id: SubtaskId,
+        /// The processor it ran on.
+        proc: u32,
+        /// Completion time (`start + cost`).
+        completion: Time,
+        /// The subtask's (integral) Pfair deadline.
+        deadline: i64,
+        /// Capacity wasted by the quantum model (`holds_until - start - cost`;
+        /// zero under DVQ, the early-yield remainder under SFQ/staggered).
+        waste: Rat,
+    },
+    /// A subtask completed by its deadline.
+    DeadlineHit {
+        /// The subtask.
+        id: SubtaskId,
+        /// Completion time.
+        completion: Time,
+        /// The deadline it met.
+        deadline: i64,
+    },
+    /// A subtask completed after its deadline.
+    DeadlineMiss {
+        /// The subtask.
+        id: SubtaskId,
+        /// Completion time.
+        completion: Time,
+        /// The deadline it missed.
+        deadline: i64,
+        /// `completion - deadline` (positive).
+        tardiness: Rat,
+    },
+    /// Processors were left idle at a scheduling instant.
+    Idle {
+        /// The instant.
+        at: Time,
+        /// How many processors had no work.
+        procs: u32,
+    },
+    /// A priority inversion was detected at dispatch time: the victim waited
+    /// past its ready time while lower-priority subtasks held processors.
+    Blocked {
+        /// The blocked (victim) subtask.
+        victim: SubtaskId,
+        /// When it became ready.
+        ready_at: Time,
+        /// When it was finally dispatched.
+        scheduled_at: Time,
+        /// Eligibility (EB) or predecessor (PB) blocking.
+        kind: InversionKind,
+        /// The lower-priority subtasks overlapping its wait, in schedule
+        /// order.
+        blockers: Vec<SubtaskId>,
+    },
+}
+
+impl SchedEvent {
+    /// The instant this event is anchored to in the stream's global time
+    /// order, or `None` for input-side events (`Released`).
+    #[must_use]
+    pub fn time(&self) -> Option<Time> {
+        match self {
+            SchedEvent::Released { .. } => None,
+            SchedEvent::Tick { at } | SchedEvent::Idle { at, .. } => Some(*at),
+            SchedEvent::Ready { at, .. } => Some(*at),
+            SchedEvent::QuantumStart { start, .. } => Some(*start),
+            SchedEvent::QuantumEnd { completion, .. }
+            | SchedEvent::DeadlineHit { completion, .. }
+            | SchedEvent::DeadlineMiss { completion, .. } => Some(*completion),
+            SchedEvent::Blocked { scheduled_at, .. } => Some(*scheduled_at),
+        }
+    }
+}
+
+fn tagged(tag: &str, fields: Vec<(String, Value)>) -> Value {
+    Value::Map(vec![(tag.to_owned(), Value::Map(fields))])
+}
+
+fn f(name: &str, v: Value) -> (String, Value) {
+    (name.to_owned(), v)
+}
+
+// The serde shim's derive handles only plain structs, newtype structs, and
+// fieldless enums, so this struct-variant enum serializes by hand, in the
+// externally-tagged layout real serde would produce.
+impl Serialize for SchedEvent {
+    fn to_value(&self) -> Value {
+        match self {
+            SchedEvent::Tick { at } => tagged("Tick", vec![f("at", at.to_value())]),
+            SchedEvent::Released { id, at } => tagged(
+                "Released",
+                vec![f("id", id.to_value()), f("at", at.to_value())],
+            ),
+            SchedEvent::Ready { id, at, cause } => tagged(
+                "Ready",
+                vec![
+                    f("id", id.to_value()),
+                    f("at", at.to_value()),
+                    f("cause", cause.to_value()),
+                ],
+            ),
+            SchedEvent::QuantumStart {
+                id,
+                proc,
+                start,
+                cost,
+                holds_until,
+                deadline,
+                bbit,
+                group_deadline,
+            } => tagged(
+                "QuantumStart",
+                vec![
+                    f("id", id.to_value()),
+                    f("proc", proc.to_value()),
+                    f("start", start.to_value()),
+                    f("cost", cost.to_value()),
+                    f("holds_until", holds_until.to_value()),
+                    f("deadline", deadline.to_value()),
+                    f("bbit", bbit.to_value()),
+                    f("group_deadline", group_deadline.to_value()),
+                ],
+            ),
+            SchedEvent::QuantumEnd {
+                id,
+                proc,
+                completion,
+                deadline,
+                waste,
+            } => tagged(
+                "QuantumEnd",
+                vec![
+                    f("id", id.to_value()),
+                    f("proc", proc.to_value()),
+                    f("completion", completion.to_value()),
+                    f("deadline", deadline.to_value()),
+                    f("waste", waste.to_value()),
+                ],
+            ),
+            SchedEvent::DeadlineHit {
+                id,
+                completion,
+                deadline,
+            } => tagged(
+                "DeadlineHit",
+                vec![
+                    f("id", id.to_value()),
+                    f("completion", completion.to_value()),
+                    f("deadline", deadline.to_value()),
+                ],
+            ),
+            SchedEvent::DeadlineMiss {
+                id,
+                completion,
+                deadline,
+                tardiness,
+            } => tagged(
+                "DeadlineMiss",
+                vec![
+                    f("id", id.to_value()),
+                    f("completion", completion.to_value()),
+                    f("deadline", deadline.to_value()),
+                    f("tardiness", tardiness.to_value()),
+                ],
+            ),
+            SchedEvent::Idle { at, procs } => tagged(
+                "Idle",
+                vec![f("at", at.to_value()), f("procs", procs.to_value())],
+            ),
+            SchedEvent::Blocked {
+                victim,
+                ready_at,
+                scheduled_at,
+                kind,
+                blockers,
+            } => tagged(
+                "Blocked",
+                vec![
+                    f("victim", victim.to_value()),
+                    f("ready_at", ready_at.to_value()),
+                    f("scheduled_at", scheduled_at.to_value()),
+                    f("kind", kind.to_value()),
+                    f("blockers", blockers.to_value()),
+                ],
+            ),
+        }
+    }
+}

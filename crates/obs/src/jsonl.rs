@@ -1,0 +1,49 @@
+//! Event export: one JSON object per event, newline-delimited.
+
+use crate::{Observer, SchedEvent};
+
+/// Serializes every event eagerly to a JSON line (externally tagged, e.g.
+/// `{"Tick":{"at":[3,1]}}`), for `pfairsim run --events <path>` and
+/// `pfair-trace::export::events_to_jsonl`.
+#[derive(Clone, Debug, Default)]
+pub struct JsonlObserver {
+    lines: Vec<String>,
+}
+
+impl JsonlObserver {
+    /// An empty exporter.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The serialized events, one JSON object per entry.
+    #[must_use]
+    pub fn lines(&self) -> &[String] {
+        &self.lines
+    }
+
+    /// Consumes the exporter, returning the lines.
+    #[must_use]
+    pub fn into_lines(self) -> Vec<String> {
+        self.lines
+    }
+
+    /// All lines joined into one newline-terminated JSONL document.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for line in &self.lines {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Observer for JsonlObserver {
+    fn on_event(&mut self, ev: &SchedEvent) {
+        self.lines
+            .push(serde_json::to_string(ev).expect("scheduler events always serialize"));
+    }
+}

@@ -1,0 +1,301 @@
+//! Counter/histogram metrics reconstructed from the event stream.
+
+use crate::{InversionKind, Observer, SchedEvent};
+use pfair_numeric::{Rat, Time};
+use pfair_taskmodel::{SubtaskId, TaskId};
+
+/// Default number of tardiness-histogram buckets (bucket 0 is "on time";
+/// the rest split `(0, 1]` quanta evenly, with the last bucket open-ended).
+pub const DEFAULT_BUCKETS: usize = 8;
+
+/// Streaming counters and histograms: tardiness statistics, blocking counts
+/// by kind, per-processor busy/idle/waste time, and context switches.
+///
+/// The tardiness fields replicate `pfair-analysis::tardiness_stats` exactly
+/// (rational arithmetic, same worst-subtask tie-break: the smallest
+/// [`SubtaskId`] attaining the maximum), and the histogram replicates
+/// `tardiness_histogram` bucket for bucket; `tests/observer_equivalence.rs`
+/// holds both to rational equality against the post-hoc analyses.
+///
+/// Blocking counts are populated from [`SchedEvent::Blocked`] events, which
+/// only [`crate::BlockingObserver`] generates — wrap this observer inside one
+/// to light them up.
+#[derive(Clone, Debug)]
+pub struct MetricsObserver {
+    buckets: usize,
+    ticks: u64,
+    released: u64,
+    ready: u64,
+    started: u64,
+    completed: u64,
+    hits: u64,
+    misses: u64,
+    total_tardiness: Rat,
+    max_tardiness: Rat,
+    worst: Option<SubtaskId>,
+    histogram: Vec<u64>,
+    busy: Vec<Rat>,
+    waste: Vec<Rat>,
+    switches: Vec<u64>,
+    last_task: Vec<Option<TaskId>>,
+    eligibility_blocking: u64,
+    predecessor_blocking: u64,
+    idle_proc_instants: u64,
+    end: Time,
+}
+
+impl MetricsObserver {
+    /// A metrics collector for an `m`-processor run, with
+    /// [`DEFAULT_BUCKETS`] tardiness buckets.
+    #[must_use]
+    pub fn new(m: u32) -> Self {
+        Self::with_buckets(m, DEFAULT_BUCKETS)
+    }
+
+    /// A metrics collector with an explicit tardiness-histogram resolution
+    /// (same convention as `pfair-analysis::tardiness_histogram`).
+    ///
+    /// # Panics
+    /// If `buckets < 2`.
+    #[must_use]
+    pub fn with_buckets(m: u32, buckets: usize) -> Self {
+        assert!(buckets >= 2, "need at least an on-time and a late bucket");
+        let m = m as usize;
+        MetricsObserver {
+            buckets,
+            ticks: 0,
+            released: 0,
+            ready: 0,
+            started: 0,
+            completed: 0,
+            hits: 0,
+            misses: 0,
+            total_tardiness: Rat::ZERO,
+            max_tardiness: Rat::ZERO,
+            worst: None,
+            histogram: vec![0; buckets],
+            busy: vec![Rat::ZERO; m],
+            waste: vec![Rat::ZERO; m],
+            switches: vec![0; m],
+            last_task: vec![None; m],
+            eligibility_blocking: 0,
+            predecessor_blocking: 0,
+            idle_proc_instants: 0,
+            end: Time::ZERO,
+        }
+    }
+
+    fn bucket_of(&self, t: Rat) -> usize {
+        if t.is_zero() {
+            0
+        } else {
+            let width = Rat::new(1, (self.buckets - 1) as i64);
+            ((t / width).ceil() as usize).min(self.buckets - 1)
+        }
+    }
+
+    /// Quanta dispatched so far.
+    #[must_use]
+    pub fn started(&self) -> u64 {
+        self.started
+    }
+
+    /// Quanta completed so far.
+    #[must_use]
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Subtasks that completed by their deadline.
+    #[must_use]
+    pub fn deadline_hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Subtasks that completed after their deadline.
+    #[must_use]
+    pub fn deadline_misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Sum of all positive tardiness values.
+    #[must_use]
+    pub fn total_tardiness(&self) -> Rat {
+        self.total_tardiness
+    }
+
+    /// The largest tardiness seen (zero if no miss).
+    #[must_use]
+    pub fn max_tardiness(&self) -> Rat {
+        self.max_tardiness
+    }
+
+    /// The smallest [`SubtaskId`] attaining [`Self::max_tardiness`] — the
+    /// same subtask `tardiness_stats` reports as `worst`.
+    #[must_use]
+    pub fn worst(&self) -> Option<SubtaskId> {
+        self.worst
+    }
+
+    /// Tardiness histogram: bucket 0 counts on-time completions, later
+    /// buckets split `(0, 1]` evenly with the last bucket open-ended.
+    #[must_use]
+    pub fn histogram(&self) -> &[u64] {
+        &self.histogram
+    }
+
+    /// Blocking events seen, as `(eligibility, predecessor)` counts.
+    #[must_use]
+    pub fn blocking_counts(&self) -> (u64, u64) {
+        (self.eligibility_blocking, self.predecessor_blocking)
+    }
+
+    /// Per-processor busy time (sum of actual costs).
+    #[must_use]
+    pub fn busy(&self) -> &[Rat] {
+        &self.busy
+    }
+
+    /// Per-processor wasted time (held past the cost by the quantum model).
+    #[must_use]
+    pub fn waste(&self) -> &[Rat] {
+        &self.waste
+    }
+
+    /// Per-processor context switches (task changes between consecutive
+    /// quanta on the same processor; the first quantum is not a switch).
+    #[must_use]
+    pub fn switches(&self) -> &[u64] {
+        &self.switches
+    }
+
+    /// Per-processor idle time over `[0, end]`, where `end` is the latest
+    /// hold/completion instant seen: whatever is neither busy nor waste.
+    #[must_use]
+    pub fn idle(&self) -> Vec<Rat> {
+        self.busy
+            .iter()
+            .zip(&self.waste)
+            .map(|(&b, &w)| self.end - b - w)
+            .collect()
+    }
+
+    /// The latest instant any processor was held to.
+    #[must_use]
+    pub fn end(&self) -> Time {
+        self.end
+    }
+
+    /// A deterministic multi-line summary, used by `pfairsim run --metrics`
+    /// and diffed against a checked-in snapshot in CI.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "quanta: {} started, {} completed over {} ticks (end {})",
+            self.started, self.completed, self.ticks, self.end
+        );
+        let _ = writeln!(
+            out,
+            "deadlines: {} hit, {} missed (total tardiness {}, max {}{})",
+            self.hits,
+            self.misses,
+            self.total_tardiness,
+            self.max_tardiness,
+            match self.worst {
+                Some(id) => format!(" at {id:?}"),
+                None => String::new(),
+            }
+        );
+        let _ = writeln!(
+            out,
+            "blocking: {} eligibility, {} predecessor",
+            self.eligibility_blocking, self.predecessor_blocking
+        );
+        let _ = writeln!(
+            out,
+            "histogram: {:?} (bucket 0 = on time, width 1/{})",
+            self.histogram,
+            self.buckets - 1
+        );
+        let idle = self.idle();
+        for (k, ((&b, &w), (&sw, &id))) in self
+            .busy
+            .iter()
+            .zip(&self.waste)
+            .zip(self.switches.iter().zip(&idle))
+            .enumerate()
+        {
+            let _ = writeln!(
+                out,
+                "proc {k}: busy {b}, idle {id}, waste {w}, {sw} switches"
+            );
+        }
+        out
+    }
+}
+
+impl Observer for MetricsObserver {
+    fn on_event(&mut self, ev: &SchedEvent) {
+        match ev {
+            SchedEvent::Tick { .. } => self.ticks += 1,
+            SchedEvent::Released { .. } => self.released += 1,
+            SchedEvent::Ready { .. } => self.ready += 1,
+            SchedEvent::QuantumStart {
+                id,
+                proc,
+                cost,
+                holds_until,
+                ..
+            } => {
+                self.started += 1;
+                let k = *proc as usize;
+                self.busy[k] += *cost;
+                if let Some(prev) = self.last_task[k] {
+                    if prev != id.task {
+                        self.switches[k] += 1;
+                    }
+                }
+                self.last_task[k] = Some(id.task);
+                self.end = self.end.max(*holds_until);
+            }
+            SchedEvent::QuantumEnd {
+                proc,
+                completion,
+                waste,
+                ..
+            } => {
+                self.completed += 1;
+                let k = *proc as usize;
+                self.waste[k] += *waste;
+                self.end = self.end.max(*completion);
+            }
+            SchedEvent::DeadlineHit { .. } => {
+                self.hits += 1;
+                self.histogram[0] += 1;
+            }
+            SchedEvent::DeadlineMiss { id, tardiness, .. } => {
+                self.misses += 1;
+                self.total_tardiness += *tardiness;
+                // Replicates tardiness_stats' strict-> update over task-major
+                // iteration: the reported worst subtask is the smallest id
+                // attaining the maximum.
+                if *tardiness > self.max_tardiness {
+                    self.max_tardiness = *tardiness;
+                    self.worst = Some(*id);
+                } else if *tardiness == self.max_tardiness && self.worst.is_some_and(|w| *id < w) {
+                    self.worst = Some(*id);
+                }
+                let b = self.bucket_of(*tardiness);
+                self.histogram[b] += 1;
+            }
+            SchedEvent::Idle { procs, .. } => self.idle_proc_instants += u64::from(*procs),
+            SchedEvent::Blocked { kind, .. } => match kind {
+                InversionKind::Eligibility => self.eligibility_blocking += 1,
+                InversionKind::Predecessor => self.predecessor_blocking += 1,
+            },
+        }
+    }
+}

@@ -19,6 +19,12 @@
 //!   sporadic job submissions and a caller-supplied cost source, emitting
 //!   the resulting quantum assignments.
 //!
+//! Both schedulers also come in `*_observed` variants that stream
+//! [`pfair_obs::SchedEvent`]s to a [`pfair_obs::Observer`] — see
+//! [`OnlineDvq::run_until_observed`] and [`OnlineSfq::tick_observed`]. The
+//! unobserved entry points delegate with [`pfair_obs::NoopObserver`] and
+//! compile to the same code.
+//!
 //! The headline guarantee carries over unchanged: as long as the submitted
 //! workload is feasible (`Σ wt ≤ M`, job separations ≥ periods), every
 //! subtask completes within one quantum of its Pfair pseudo-deadline

@@ -30,6 +30,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
 use pfair_numeric::{Rat, Time};
+use pfair_obs::{NoopObserver, Observer, ReadyCause, SchedEvent};
 use pfair_taskmodel::window;
 use pfair_taskmodel::{SubtaskId, TaskId, Weight};
 
@@ -130,6 +131,10 @@ enum Ev {
     Activate(TaskId),
 }
 
+/// The quantum currently occupying a processor, kept so its end can be
+/// announced to an observer: `(subtask, completion, deadline)`.
+type RunningQuantum = (SubtaskId, Time, i64);
+
 /// An online, heap-based PD² scheduler for the DVQ model.
 #[derive(Debug)]
 pub struct OnlineDvq {
@@ -142,6 +147,9 @@ pub struct OnlineDvq {
     ready_spec: Vec<Option<SubSpec>>,
     events: BinaryHeap<Reverse<(Time, Ev)>>,
     free: Vec<u32>,
+    /// Per-processor in-flight quantum. Maintained unconditionally so
+    /// observed and unobserved `run_until` calls can be interleaved.
+    running: Vec<Option<RunningQuantum>>,
     log: Vec<OnlineAssignment>,
 }
 
@@ -161,6 +169,7 @@ impl OnlineDvq {
             ready_spec: Vec::new(),
             events: BinaryHeap::new(),
             free: (0..m).collect(),
+            running: vec![None; m as usize],
             log: Vec::new(),
         }
     }
@@ -201,6 +210,22 @@ impl OnlineDvq {
     /// # Errors
     /// [`OnlineError`] on separation/past/unknown-task violations.
     pub fn submit_job(&mut self, task: TaskId, at: i64) -> Result<(), OnlineError> {
+        self.submit_job_observed(task, at, &mut NoopObserver)
+    }
+
+    /// [`Self::submit_job`] with a streaming [`Observer`] attached: emits a
+    /// [`SchedEvent::Released`] for every subtask the job contributes
+    /// (release events are input-side and exempt from the stream's time
+    /// ordering).
+    ///
+    /// # Errors
+    /// [`OnlineError`] on separation/past/unknown-task violations.
+    pub fn submit_job_observed<O: Observer>(
+        &mut self,
+        task: TaskId,
+        at: i64,
+        obs: &mut O,
+    ) -> Result<(), OnlineError> {
         let state = self
             .tasks
             .get_mut(task.idx())
@@ -232,6 +257,12 @@ impl OnlineDvq {
                 deadline: theta + window::deadline(w, index),
                 key: Pd2Key::of(w, SubtaskId { task, index }, index, theta),
             };
+            if O::ENABLED {
+                obs.on_event(&SchedEvent::Released {
+                    id: SubtaskId { task, index },
+                    at: r,
+                });
+            }
             state.queue.push_back(spec);
         }
         state.jobs += 1;
@@ -263,12 +294,39 @@ impl OnlineDvq {
         horizon: Time,
         cost: &mut dyn FnMut(TaskId, u64) -> Rat,
     ) -> Vec<OnlineAssignment> {
+        self.run_until_impl(horizon, cost, &mut NoopObserver)
+    }
+
+    /// [`Self::run_until`] with a streaming [`Observer`] attached. With
+    /// [`NoopObserver`] this monomorphizes to exactly [`Self::run_until`]'s
+    /// code (every emission site is gated by the compile-time
+    /// `O::ENABLED`). Quanta still in flight at `horizon` announce their
+    /// [`SchedEvent::QuantumEnd`] in whichever later call processes their
+    /// completion.
+    pub fn run_until_observed<O: Observer>(
+        &mut self,
+        horizon: Time,
+        cost: &mut dyn FnMut(TaskId, u64) -> Rat,
+        obs: &mut O,
+    ) -> Vec<OnlineAssignment> {
+        self.run_until_impl(horizon, cost, obs)
+    }
+
+    fn run_until_impl<O: Observer>(
+        &mut self,
+        horizon: Time,
+        cost: &mut dyn FnMut(TaskId, u64) -> Rat,
+        obs: &mut O,
+    ) -> Vec<OnlineAssignment> {
         let log_start = self.log.len();
         while let Some(&Reverse((t, _))) = self.events.peek() {
             if t > horizon {
                 break;
             }
             self.now = t;
+            if O::ENABLED {
+                obs.on_event(&SchedEvent::Tick { at: t });
+            }
             // Drain the batch at time t.
             while let Some(&Reverse((t2, ev))) = self.events.peek() {
                 if t2 != t {
@@ -277,6 +335,33 @@ impl OnlineDvq {
                 self.events.pop();
                 match ev {
                     Ev::ProcFree(proc, task) => {
+                        let finished = self.running[proc as usize].take();
+                        if O::ENABLED {
+                            let (id, completion, deadline) =
+                                finished.expect("a freed processor was running a quantum");
+                            obs.on_event(&SchedEvent::QuantumEnd {
+                                id,
+                                proc,
+                                completion,
+                                deadline,
+                                waste: Rat::ZERO,
+                            });
+                            let d = Rat::int(deadline);
+                            if completion > d {
+                                obs.on_event(&SchedEvent::DeadlineMiss {
+                                    id,
+                                    completion,
+                                    deadline,
+                                    tardiness: completion - d,
+                                });
+                            } else {
+                                obs.on_event(&SchedEvent::DeadlineHit {
+                                    id,
+                                    completion,
+                                    deadline,
+                                });
+                            }
+                        }
                         self.free.push(proc);
                         let state = &mut self.tasks[task.idx()];
                         state.chain_busy = false;
@@ -290,6 +375,21 @@ impl OnlineDvq {
                         }
                         if let Some(spec) = state.queue.pop_front() {
                             state.chain_busy = true;
+                            if O::ENABLED {
+                                let cause = if t == Rat::int(spec.eligible) {
+                                    ReadyCause::Eligibility
+                                } else {
+                                    ReadyCause::Predecessor
+                                };
+                                obs.on_event(&SchedEvent::Ready {
+                                    id: SubtaskId {
+                                        task,
+                                        index: spec.index,
+                                    },
+                                    at: t,
+                                    cause,
+                                });
+                            }
                             self.ready.push(Reverse((spec.key, task.0)));
                             self.ready_spec[task.idx()] = Some(spec);
                         }
@@ -313,6 +413,23 @@ impl OnlineDvq {
                     spec.index
                 );
                 let completion = self.now + c;
+                let id = SubtaskId {
+                    task,
+                    index: spec.index,
+                };
+                if O::ENABLED {
+                    obs.on_event(&SchedEvent::QuantumStart {
+                        id,
+                        proc,
+                        start: self.now,
+                        cost: c,
+                        holds_until: completion,
+                        deadline: spec.deadline,
+                        bbit: spec.key.bbit,
+                        group_deadline: spec.key.group_deadline,
+                    });
+                }
+                self.running[proc as usize] = Some((id, completion, spec.deadline));
                 self.log.push(OnlineAssignment {
                     task,
                     index: spec.index,
@@ -324,6 +441,12 @@ impl OnlineDvq {
                 self.tasks[task.idx()].pred_completion = completion;
                 self.events
                     .push(Reverse((completion, Ev::ProcFree(proc, task))));
+            }
+            if O::ENABLED && !self.free.is_empty() {
+                obs.on_event(&SchedEvent::Idle {
+                    at: t,
+                    procs: self.free.len() as u32,
+                });
             }
         }
         if self.now < horizon {
@@ -342,6 +465,19 @@ impl OnlineDvq {
         // terminates exactly when the system drains.
         let far = Rat::int(i64::MAX / 2);
         self.run_until(far, cost)
+    }
+
+    /// [`Self::run_until_idle`] with a streaming [`Observer`] attached.
+    /// Because the system drains completely, every dispatched quantum's
+    /// [`SchedEvent::QuantumEnd`] (and deadline verdict) is emitted before
+    /// this returns.
+    pub fn run_until_idle_observed<O: Observer>(
+        &mut self,
+        cost: &mut dyn FnMut(TaskId, u64) -> Rat,
+        obs: &mut O,
+    ) -> Vec<OnlineAssignment> {
+        let far = Rat::int(i64::MAX / 2);
+        self.run_until_impl(far, cost, obs)
     }
 
     /// Every assignment made since construction.

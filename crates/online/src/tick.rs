@@ -17,6 +17,8 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
+use pfair_numeric::Rat;
+use pfair_obs::{NoopObserver, Observer, ReadyCause, SchedEvent};
 use pfair_taskmodel::window;
 use pfair_taskmodel::{SubtaskId, TaskId, Weight};
 
@@ -53,6 +55,9 @@ struct TaskState {
     /// Slot in which the task's most recent subtask ran (`None` if idle);
     /// the successor is ready from the *next* slot on.
     running_slot: Option<i64>,
+    /// `true` once the current chain head's readiness has been announced
+    /// to an observer (reset when the head is dispatched).
+    head_announced: bool,
 }
 
 /// Tick-driven online SFQ scheduler (PD² priorities).
@@ -88,6 +93,7 @@ impl OnlineSfq {
             last_release: None,
             queue: VecDeque::new(),
             running_slot: None,
+            head_announced: false,
         });
         id
     }
@@ -104,6 +110,20 @@ impl OnlineSfq {
     /// # Errors
     /// [`OnlineError`] on separation/past/unknown-task violations.
     pub fn submit_job(&mut self, task: TaskId, at: i64) -> Result<(), OnlineError> {
+        self.submit_job_observed(task, at, &mut NoopObserver)
+    }
+
+    /// [`Self::submit_job`] with a streaming [`Observer`] attached: emits a
+    /// [`SchedEvent::Released`] for every subtask the job contributes.
+    ///
+    /// # Errors
+    /// [`OnlineError`] on separation/past/unknown-task violations.
+    pub fn submit_job_observed<O: Observer>(
+        &mut self,
+        task: TaskId,
+        at: i64,
+        obs: &mut O,
+    ) -> Result<(), OnlineError> {
         let state = self
             .tasks
             .get_mut(task.idx())
@@ -127,9 +147,16 @@ impl OnlineSfq {
         let theta = at - i64::try_from(state.jobs).expect("job count") * w.p();
         let first = state.jobs * w.e() as u64 + 1;
         for index in first..first + w.e() as u64 {
+            let r = theta + window::release(w, index);
+            if O::ENABLED {
+                obs.on_event(&SchedEvent::Released {
+                    id: SubtaskId { task, index },
+                    at: r,
+                });
+            }
             state.queue.push_back(SubSpec {
                 index,
-                eligible: theta + window::release(w, index),
+                eligible: r,
                 deadline: theta + window::deadline(w, index),
                 key: Pd2Key::of(w, SubtaskId { task, index }, index, theta),
             });
@@ -142,16 +169,46 @@ impl OnlineSfq {
     /// The timer interrupt: decides slot `self.next_slot()` and returns
     /// the ≤ M subtasks to run, in decision (processor) order.
     pub fn tick(&mut self) -> Vec<TickAssignment> {
+        self.tick_observed(&mut NoopObserver)
+    }
+
+    /// [`Self::tick`] with a streaming [`Observer`] attached. With
+    /// [`NoopObserver`] this monomorphizes to exactly [`Self::tick`]'s code
+    /// (every emission site is gated by the compile-time `O::ENABLED`).
+    /// Each dispatched quantum's end and deadline verdict are emitted
+    /// within the same tick — under the SFQ model the quantum provably
+    /// holds its processor to the boundary at `t + 1`, so nothing about it
+    /// remains unknown at decision time.
+    pub fn tick_observed<O: Observer>(&mut self, obs: &mut O) -> Vec<TickAssignment> {
         let t = self.next_slot;
         self.next_slot += 1;
+        if O::ENABLED {
+            obs.on_event(&SchedEvent::Tick { at: Rat::int(t) });
+        }
         // Gather the (≤ 1 per task) ready heads.
         let mut heap: BinaryHeap<Reverse<(Pd2Key, u32)>> = BinaryHeap::new();
-        for (k, state) in self.tasks.iter().enumerate() {
+        for (k, state) in self.tasks.iter_mut().enumerate() {
             let Some(head) = state.queue.front() else {
                 continue;
             };
             let pred_done = state.running_slot.is_none_or(|s| s < t);
             if head.eligible <= t && pred_done {
+                if O::ENABLED && !state.head_announced {
+                    state.head_announced = true;
+                    // First slot at which both gates open: eligibility if
+                    // that is the binding one, otherwise the predecessor's
+                    // boundary.
+                    let cause = if t == head.eligible {
+                        ReadyCause::Eligibility
+                    } else {
+                        ReadyCause::Predecessor
+                    };
+                    obs.on_event(&SchedEvent::Ready {
+                        id: head.key.id,
+                        at: Rat::int(t),
+                        cause,
+                    });
+                }
                 heap.push(Reverse((head.key, k as u32)));
             }
         }
@@ -163,12 +220,63 @@ impl OnlineSfq {
             let state = &mut self.tasks[task_raw as usize];
             let spec = state.queue.pop_front().expect("head present");
             state.running_slot = Some(t);
+            state.head_announced = false;
+            if O::ENABLED {
+                obs.on_event(&SchedEvent::QuantumStart {
+                    id: spec.key.id,
+                    proc,
+                    start: Rat::int(t),
+                    cost: Rat::ONE,
+                    holds_until: Rat::int(t + 1),
+                    deadline: spec.deadline,
+                    bbit: spec.key.bbit,
+                    group_deadline: spec.key.group_deadline,
+                });
+            }
             out.push(TickAssignment {
                 task: TaskId(task_raw),
                 index: spec.index,
                 proc,
                 deadline: spec.deadline,
             });
+        }
+        if O::ENABLED {
+            let idle = self.m - out.len() as u32;
+            if idle > 0 {
+                obs.on_event(&SchedEvent::Idle {
+                    at: Rat::int(t),
+                    procs: idle,
+                });
+            }
+            // Quantum ends at the boundary t + 1, before the next Tick.
+            for a in &out {
+                let id = SubtaskId {
+                    task: a.task,
+                    index: a.index,
+                };
+                let completion = Rat::int(t + 1);
+                obs.on_event(&SchedEvent::QuantumEnd {
+                    id,
+                    proc: a.proc,
+                    completion,
+                    deadline: a.deadline,
+                    waste: Rat::ZERO,
+                });
+                if completion > Rat::int(a.deadline) {
+                    obs.on_event(&SchedEvent::DeadlineMiss {
+                        id,
+                        completion,
+                        deadline: a.deadline,
+                        tardiness: completion - Rat::int(a.deadline),
+                    });
+                } else {
+                    obs.on_event(&SchedEvent::DeadlineHit {
+                        id,
+                        completion,
+                        deadline: a.deadline,
+                    });
+                }
+            }
         }
         out
     }

@@ -46,6 +46,7 @@
 //! | [`taskmodel`] | periodic/IS/GIS tasks, windows, b-bits, group deadlines |
 //! | [`core`] | EPDF, PD², PF, PD, PD^B priorities |
 //! | [`sim`] | SFQ / DVQ / staggered simulators, cost models |
+//! | [`obs`] | streaming observers: metrics, exact lag, blocking, JSONL export |
 //! | [`analysis`] | tardiness, validity, lag, blocking, waste |
 //! | [`workload`] | random task systems, stochastic costs, sweep harness |
 //! | [`trace`] | ASCII Gantt / window diagrams, JSON export |
@@ -59,6 +60,7 @@ pub use pfair_analysis as analysis;
 pub use pfair_conformance as conformance;
 pub use pfair_core as core;
 pub use pfair_numeric as numeric;
+pub use pfair_obs as obs;
 pub use pfair_online as online;
 pub use pfair_sim as sim;
 pub use pfair_taskmodel as taskmodel;
@@ -80,14 +82,19 @@ pub mod prelude {
         PriorityOrder, SubtaskKey,
     };
     pub use pfair_numeric::{QuantumScale, Rat, Time};
+    pub use pfair_obs::{
+        BlockingObserver, BlockingRecord, InversionKind, JsonlObserver, LagObserver,
+        MetricsObserver, NoopObserver, Observer, ReadyCause, SchedEvent,
+    };
     pub use pfair_online::{
         OnlineAssignment, OnlineDvq, OnlineError, OnlineSfq, Pd2Key, TickAssignment,
     };
     pub use pfair_sim::{
-        simulate_dvq, simulate_sfq, simulate_sfq_affine, simulate_sfq_pdb,
-        simulate_sfq_pdb_instrumented, simulate_sfq_pdb_with, simulate_staggered, CostModel,
-        FixedCosts, FullQuantum, PdbSlotStats, Placement, QuantumModel, ScaledCost, Schedule,
-        SfqPolicy,
+        simulate_dvq, simulate_dvq_observed, simulate_sfq, simulate_sfq_affine,
+        simulate_sfq_affine_observed, simulate_sfq_observed, simulate_sfq_pdb,
+        simulate_sfq_pdb_instrumented, simulate_sfq_pdb_observed, simulate_sfq_pdb_with,
+        simulate_staggered, simulate_staggered_observed, CostModel, FixedCosts, FullQuantum,
+        PdbSlotStats, Placement, QuantumModel, ScaledCost, Schedule, SfqPolicy,
     };
     pub use pfair_taskmodel::{
         release, ModelError, Subtask, SubtaskId, SubtaskRef, Task, TaskId, TaskSystem,

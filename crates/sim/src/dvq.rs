@@ -33,10 +33,12 @@ use std::collections::BinaryHeap;
 
 use pfair_core::key::{EpdfKey, KeyCache, KeyDispatch, Pd2Key, PdKey, SubtaskKey};
 use pfair_core::priority::PriorityOrder;
-use pfair_numeric::Time;
+use pfair_numeric::{Rat, Time};
+use pfair_obs::{NoopObserver, Observer, ReadyCause, SchedEvent};
 use pfair_taskmodel::{SubtaskRef, TaskSystem};
 
 use crate::cost::{checked_cost, CostModel};
+use crate::emit::{emit_end, flush_ends};
 use crate::schedule::{Placement, QuantumModel, Schedule};
 
 /// Event payloads, ordered so simultaneous batches drain deterministically.
@@ -133,27 +135,42 @@ pub fn simulate_dvq(
     order: &dyn PriorityOrder,
     cost: &mut dyn CostModel,
 ) -> Schedule {
+    simulate_dvq_observed(sys, m, order, cost, &mut NoopObserver)
+}
+
+/// [`simulate_dvq`] with a streaming [`Observer`] attached. With
+/// [`NoopObserver`] this monomorphizes to exactly [`simulate_dvq`]'s code
+/// (every emission site is gated by the compile-time `O::ENABLED`).
+#[must_use]
+pub fn simulate_dvq_observed<O: Observer>(
+    sys: &TaskSystem,
+    m: u32,
+    order: &dyn PriorityOrder,
+    cost: &mut dyn CostModel,
+    obs: &mut O,
+) -> Schedule {
     match order.key_dispatch() {
-        KeyDispatch::Pd2 => run_dvq(sys, m, KeyedReady::<Pd2Key>::new(sys), cost),
-        KeyDispatch::Epdf => run_dvq(sys, m, KeyedReady::<EpdfKey>::new(sys), cost),
-        KeyDispatch::Pd => run_dvq(sys, m, KeyedReady::<PdKey>::new(sys), cost),
+        KeyDispatch::Pd2 => run_dvq(sys, m, KeyedReady::<Pd2Key>::new(sys), cost, obs),
+        KeyDispatch::Epdf => run_dvq(sys, m, KeyedReady::<EpdfKey>::new(sys), cost, obs),
+        KeyDispatch::Pd => run_dvq(sys, m, KeyedReady::<PdKey>::new(sys), cost, obs),
         KeyDispatch::Comparator => {
             let ready = ComparatorReady {
                 sys,
                 order,
                 items: Vec::with_capacity(sys.num_tasks()),
             };
-            run_dvq(sys, m, ready, cost)
+            run_dvq(sys, m, ready, cost, obs)
         }
     }
 }
 
 /// The shared DVQ event loop, generic over the ready-set implementation.
-fn run_dvq<R: ReadySet>(
+fn run_dvq<R: ReadySet, O: Observer>(
     sys: &TaskSystem,
     m: u32,
     mut ready: R,
     cost: &mut dyn CostModel,
+    obs: &mut O,
 ) -> Schedule {
     assert!(m >= 1, "need at least one processor");
     let total = sys.num_subtasks();
@@ -175,6 +192,13 @@ fn run_dvq<R: ReadySet>(
 
     let mut free: Vec<u32> = Vec::with_capacity(m as usize);
     let mut placed = 0usize;
+    // Observability state: the in-flight quantum on each processor
+    // `(subtask, completion)`, for `QuantumEnd` emission at its `ProcFree`.
+    let mut running: Vec<Option<(SubtaskRef, Time)>> = if O::ENABLED {
+        vec![None; m as usize]
+    } else {
+        Vec::new()
+    };
 
     while placed < total {
         let Some(&Reverse((now, _))) = events.peek() else {
@@ -188,15 +212,42 @@ fn run_dvq<R: ReadySet>(
                  an Activate/ProcFree event was lost (broken successor chain?)"
             );
         };
-        // Drain the batch at `now`.
+        if O::ENABLED {
+            obs.on_event(&SchedEvent::Tick { at: now });
+        }
+        // Drain the batch at `now`. The event ordering (ProcFree ascending
+        // by processor, then Activate) makes the emitted stream
+        // deterministic too.
         while let Some(&Reverse((t, ev))) = events.peek() {
             if t != now {
                 break;
             }
             events.pop();
             match ev {
-                Event::ProcFree(k) => free.push(k),
-                Event::Activate(st) => ready.push(st),
+                Event::ProcFree(k) => {
+                    if O::ENABLED {
+                        if let Some((st, completion)) = running[k as usize].take() {
+                            emit_end(sys, st, k, completion, Rat::ZERO, obs);
+                        }
+                    }
+                    free.push(k);
+                }
+                Event::Activate(st) => {
+                    if O::ENABLED {
+                        let s = sys.subtask(st);
+                        let cause = if now == Time::int(s.eligible) {
+                            ReadyCause::Eligibility
+                        } else {
+                            ReadyCause::Predecessor
+                        };
+                        obs.on_event(&SchedEvent::Ready {
+                            id: s.id,
+                            at: now,
+                            cause,
+                        });
+                    }
+                    ready.push(st);
+                }
             }
         }
         free.sort_unstable();
@@ -215,6 +266,20 @@ fn run_dvq<R: ReadySet>(
                 holds_until: completion,
             });
             placed += 1;
+            if O::ENABLED {
+                let s = sys.subtask(st);
+                obs.on_event(&SchedEvent::QuantumStart {
+                    id: s.id,
+                    proc,
+                    start: now,
+                    cost: c,
+                    holds_until: completion,
+                    deadline: s.deadline,
+                    bbit: s.bbit,
+                    group_deadline: s.group_deadline,
+                });
+                running[proc as usize] = Some((st, completion));
+            }
             events.push(Reverse((completion, Event::ProcFree(proc))));
             // The successor becomes ready once both eligible and its
             // predecessor (this subtask) has completed.
@@ -223,6 +288,26 @@ fn run_dvq<R: ReadySet>(
                 events.push(Reverse((act, Event::Activate(succ))));
             }
         }
+        if O::ENABLED && !free.is_empty() {
+            obs.on_event(&SchedEvent::Idle {
+                at: now,
+                procs: free.len() as u32,
+            });
+        }
+    }
+
+    if O::ENABLED {
+        // Quanta still in flight when the last subtask was placed: announce
+        // their ends in completion order.
+        let mut pending: Vec<crate::emit::PendingEnd> = running
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(k, slot)| {
+                slot.take()
+                    .map(|(st, completion)| (completion, k as u32, st, Rat::ZERO))
+            })
+            .collect();
+        flush_ends(sys, &mut pending, obs);
     }
 
     Schedule::new(sys, QuantumModel::Dvq, m, placements)

@@ -33,15 +33,17 @@
 
 pub mod cost;
 pub mod dvq;
+mod emit;
 pub mod schedule;
 pub mod sfq;
 pub mod staggered;
 
 pub use cost::{CostModel, FixedCosts, FullQuantum, ScaledCost};
-pub use dvq::simulate_dvq;
+pub use dvq::{simulate_dvq, simulate_dvq_observed};
 pub use schedule::{Placement, QuantumModel, Schedule};
 pub use sfq::{
-    simulate_sfq, simulate_sfq_affine, simulate_sfq_pdb, simulate_sfq_pdb_instrumented,
-    simulate_sfq_pdb_with, AffinityMode, PdbSlotStats, SfqPolicy,
+    run_sfq_observed, simulate_sfq, simulate_sfq_affine, simulate_sfq_affine_observed,
+    simulate_sfq_observed, simulate_sfq_pdb, simulate_sfq_pdb_instrumented,
+    simulate_sfq_pdb_observed, simulate_sfq_pdb_with, AffinityMode, PdbSlotStats, SfqPolicy,
 };
-pub use staggered::simulate_staggered;
+pub use staggered::{simulate_staggered, simulate_staggered_observed};

@@ -23,9 +23,11 @@ use pfair_core::key::{EpdfKey, KeyCache, KeyDispatch, Pd2Key, PdKey, SubtaskKey}
 use pfair_core::pdb;
 use pfair_core::priority::{sort_by_priority, PriorityOrder};
 use pfair_numeric::Rat;
+use pfair_obs::{NoopObserver, Observer, ReadyCause, SchedEvent};
 use pfair_taskmodel::{SubtaskRef, TaskSystem};
 
 use crate::cost::{checked_cost, CostModel};
+use crate::emit::{flush_ends, PendingEnd};
 use crate::schedule::{Placement, QuantumModel, Schedule};
 
 /// Which selection rule an SFQ run uses.
@@ -59,6 +61,28 @@ pub fn simulate_sfq(
     run_sfq(sys, m, SfqPolicy::Priority(order), cost)
 }
 
+/// [`simulate_sfq`] with a streaming [`Observer`] attached. With
+/// [`NoopObserver`] this monomorphizes to exactly [`simulate_sfq`]'s code
+/// (every emission site is gated by the compile-time `O::ENABLED`).
+#[must_use]
+pub fn simulate_sfq_observed<O: Observer>(
+    sys: &TaskSystem,
+    m: u32,
+    order: &dyn PriorityOrder,
+    cost: &mut dyn CostModel,
+    obs: &mut O,
+) -> Schedule {
+    run_sfq_impl(
+        sys,
+        m,
+        SfqPolicy::Priority(order),
+        cost,
+        None,
+        AffinityMode::ByDecision,
+        obs,
+    )
+}
+
 /// Simulates `sys` on `m` processors under the SFQ model with the PD^B
 /// selection procedure.
 #[must_use]
@@ -68,6 +92,25 @@ pub fn simulate_sfq_pdb(sys: &TaskSystem, m: u32, cost: &mut dyn CostModel) -> S
         m,
         SfqPolicy::PdB(pdb::PdbLinearization::MaxBlocking),
         cost,
+    )
+}
+
+/// [`simulate_sfq_pdb`] with a streaming [`Observer`] attached.
+#[must_use]
+pub fn simulate_sfq_pdb_observed<O: Observer>(
+    sys: &TaskSystem,
+    m: u32,
+    cost: &mut dyn CostModel,
+    obs: &mut O,
+) -> Schedule {
+    run_sfq_impl(
+        sys,
+        m,
+        SfqPolicy::PdB(pdb::PdbLinearization::MaxBlocking),
+        cost,
+        None,
+        AffinityMode::ByDecision,
+        obs,
     )
 }
 
@@ -114,6 +157,7 @@ pub fn simulate_sfq_pdb_instrumented(
         cost,
         Some(&mut stats),
         AffinityMode::ByDecision,
+        &mut NoopObserver,
     );
     (sched, stats)
 }
@@ -141,7 +185,27 @@ pub fn run_sfq(
     policy: SfqPolicy<'_>,
     cost: &mut dyn CostModel,
 ) -> Schedule {
-    run_sfq_impl(sys, m, policy, cost, None, AffinityMode::ByDecision)
+    run_sfq_impl(
+        sys,
+        m,
+        policy,
+        cost,
+        None,
+        AffinityMode::ByDecision,
+        &mut NoopObserver,
+    )
+}
+
+/// [`run_sfq`] with a streaming [`Observer`] attached.
+#[must_use]
+pub fn run_sfq_observed<O: Observer>(
+    sys: &TaskSystem,
+    m: u32,
+    policy: SfqPolicy<'_>,
+    cost: &mut dyn CostModel,
+    obs: &mut O,
+) -> Schedule {
+    run_sfq_impl(sys, m, policy, cost, None, AffinityMode::ByDecision, obs)
 }
 
 /// [`simulate_sfq`] with sticky processor affinity.
@@ -159,6 +223,27 @@ pub fn simulate_sfq_affine(
         cost,
         None,
         AffinityMode::Sticky,
+        &mut NoopObserver,
+    )
+}
+
+/// [`simulate_sfq_affine`] with a streaming [`Observer`] attached.
+#[must_use]
+pub fn simulate_sfq_affine_observed<O: Observer>(
+    sys: &TaskSystem,
+    m: u32,
+    order: &dyn PriorityOrder,
+    cost: &mut dyn CostModel,
+    obs: &mut O,
+) -> Schedule {
+    run_sfq_impl(
+        sys,
+        m,
+        SfqPolicy::Priority(order),
+        cost,
+        None,
+        AffinityMode::Sticky,
+        obs,
     )
 }
 
@@ -223,13 +308,14 @@ fn select_keyed<K: SubtaskKey>(
     ready.extend(scratch.iter().map(|&(_, st)| st));
 }
 
-fn run_sfq_impl(
+fn run_sfq_impl<O: Observer>(
     sys: &TaskSystem,
     m: u32,
     policy: SfqPolicy<'_>,
     cost: &mut dyn CostModel,
     mut pdb_stats: Option<&mut Vec<PdbSlotStats>>,
     affinity: AffinityMode,
+    obs: &mut O,
 ) -> Schedule {
     assert!(m >= 1, "need at least one processor");
     let mut selector = match policy {
@@ -249,8 +335,25 @@ fn run_sfq_impl(
     let mut ready: Vec<SubtaskRef> = Vec::with_capacity(sys.num_tasks());
     // Per task: last processor used (for sticky affinity).
     let mut last_proc: Vec<Option<u32>> = vec![None; sys.num_tasks()];
+    // Observability state: quanta whose ends are still unannounced, which
+    // subtasks already got a `Ready`, and this slot's fresh ready set. The
+    // first gather that sees a subtask runs at exactly its ready slot (the
+    // driver never jumps past a readiness time), so `Ready.at` is the slot.
+    let mut pending_ends: Vec<PendingEnd> = Vec::new();
+    let mut ready_emitted: Vec<bool> = if O::ENABLED {
+        vec![false; total]
+    } else {
+        Vec::new()
+    };
+    let mut fresh_ready: Vec<(SubtaskRef, i64, ReadyCause)> = Vec::new();
 
     while placed < total {
+        // All quanta from earlier slots completed at or before `t`:
+        // announce them before this slot emits anything.
+        if O::ENABLED {
+            flush_ends(sys, &mut pending_ends, obs);
+            fresh_ready.clear();
+        }
         // Gather the (≤ one per task) ready subtasks.
         ready.clear();
         let mut next_interesting = i64::MAX;
@@ -267,6 +370,15 @@ fn run_sfq_impl(
             let ready_at = s.eligible.max(pred_done_at);
             if ready_at <= t {
                 ready.push(st);
+                if O::ENABLED && !ready_emitted[st.idx()] {
+                    ready_emitted[st.idx()] = true;
+                    let cause = if pred_done_at > s.eligible {
+                        ReadyCause::Predecessor
+                    } else {
+                        ReadyCause::Eligibility
+                    };
+                    fresh_ready.push((st, ready_at, cause));
+                }
             } else {
                 next_interesting = next_interesting.min(ready_at);
             }
@@ -291,6 +403,17 @@ fn run_sfq_impl(
             );
             t = next_interesting;
             continue;
+        }
+
+        if O::ENABLED {
+            obs.on_event(&SchedEvent::Tick { at: Rat::int(t) });
+            for &(st, ready_at, cause) in &fresh_ready {
+                obs.on_event(&SchedEvent::Ready {
+                    id: sys.subtask(st).id,
+                    at: Rat::int(ready_at),
+                    cause,
+                });
+            }
         }
 
         let picked: Vec<SubtaskRef> = match policy {
@@ -339,12 +462,36 @@ fn run_sfq_impl(
                 holds_until: Rat::int(t + 1),
             });
             slot_of[st.idx()] = Some(t);
-            let task = sys.subtask(st).id.task;
+            let s = sys.subtask(st);
+            let task = s.id.task;
+            if O::ENABLED {
+                obs.on_event(&SchedEvent::QuantumStart {
+                    id: s.id,
+                    proc,
+                    start: Rat::int(t),
+                    cost: c,
+                    holds_until: Rat::int(t + 1),
+                    deadline: s.deadline,
+                    bbit: s.bbit,
+                    group_deadline: s.group_deadline,
+                });
+                pending_ends.push((Rat::int(t) + c, proc, st, Rat::ONE - c));
+            }
             last_proc[task.idx()] = Some(proc);
             cursor[task.idx()].0 += 1;
             placed += 1;
         }
+        if O::ENABLED && picked.len() < m as usize {
+            obs.on_event(&SchedEvent::Idle {
+                at: Rat::int(t),
+                procs: m - picked.len() as u32,
+            });
+        }
         t += 1;
+    }
+
+    if O::ENABLED {
+        flush_ends(sys, &mut pending_ends, obs);
     }
 
     Schedule::new(sys, QuantumModel::Sfq, m, placements)

@@ -18,9 +18,11 @@ use std::collections::BinaryHeap;
 
 use pfair_core::priority::PriorityOrder;
 use pfair_numeric::{Rat, Time};
+use pfair_obs::{NoopObserver, Observer, ReadyCause, SchedEvent};
 use pfair_taskmodel::{SubtaskRef, TaskSystem};
 
 use crate::cost::{checked_cost, CostModel};
+use crate::emit::{flush_due, flush_ends, PendingEnd};
 use crate::schedule::{Placement, QuantumModel, Schedule};
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -42,15 +44,50 @@ pub fn simulate_staggered(
     order: &dyn PriorityOrder,
     cost: &mut dyn CostModel,
 ) -> Schedule {
+    simulate_staggered_observed(sys, m, order, cost, &mut NoopObserver)
+}
+
+/// Hard liveness check at the end of each batch: with nothing ready and no
+/// activation in flight, the boundary events would respin forever without
+/// placing anything — a lost-event bug this driver must surface loudly
+/// (also in release builds) rather than hang on.
+fn check_liveness(
+    now: Time,
+    ready_len: usize,
+    pending_activates: usize,
+    placed: usize,
+    total: usize,
+) {
+    assert!(
+        ready_len > 0 || pending_activates > 0 || placed >= total,
+        "staggered driver stuck at {now}: nothing is ready, no activation is \
+         pending, yet only {placed}/{total} subtasks are placed (lost \
+         readiness: broken predecessor chain or eligible time?)"
+    );
+}
+
+/// [`simulate_staggered`] with a streaming [`Observer`] attached. With
+/// [`NoopObserver`] this monomorphizes to exactly [`simulate_staggered`]'s
+/// code (every emission site is gated by the compile-time `O::ENABLED`).
+#[must_use]
+pub fn simulate_staggered_observed<O: Observer>(
+    sys: &TaskSystem,
+    m: u32,
+    order: &dyn PriorityOrder,
+    cost: &mut dyn CostModel,
+    obs: &mut O,
+) -> Schedule {
     assert!(m >= 1, "need at least one processor");
     let total = sys.num_subtasks();
     let mut placements = Vec::with_capacity(total);
 
     let mut events: BinaryHeap<Reverse<(Time, Event)>> = BinaryHeap::new();
+    let mut pending_activates = 0usize;
     for task in sys.tasks() {
         if let Some(head) = sys.task_subtask_refs(task.id).next() {
             let e = sys.subtask(head).eligible;
             events.push(Reverse((Time::int(e), Event::Activate(head))));
+            pending_activates += 1;
         }
     }
     for k in 0..m {
@@ -62,11 +99,24 @@ pub fn simulate_staggered(
 
     let mut ready: Vec<SubtaskRef> = Vec::with_capacity(sys.num_tasks());
     let mut placed = 0usize;
+    // Observability state: quanta whose ends are still unannounced.
+    let mut pending_ends: Vec<PendingEnd> = Vec::new();
 
     while placed < total {
         let Some(&Reverse((now, _))) = events.peek() else {
-            unreachable!("event queue drained with {placed}/{total} subtasks placed");
+            // Boundary events re-arm themselves while work remains, so the
+            // queue can only drain if this driver lost one — abort loudly
+            // (also in release builds) rather than looping forever on
+            // `placed < total`.
+            panic!(
+                "staggered event queue drained with only {placed}/{total} subtasks \
+                 placed: a Boundary/Activate event was lost"
+            );
         };
+        if O::ENABLED {
+            flush_due(sys, &mut pending_ends, now, obs);
+            obs.on_event(&SchedEvent::Tick { at: now });
+        }
         let mut boundaries: Vec<u32> = Vec::new();
         while let Some(&Reverse((t, ev))) = events.peek() {
             if t != now {
@@ -75,11 +125,28 @@ pub fn simulate_staggered(
             events.pop();
             match ev {
                 Event::Boundary(k) => boundaries.push(k),
-                Event::Activate(st) => ready.push(st),
+                Event::Activate(st) => {
+                    pending_activates -= 1;
+                    if O::ENABLED {
+                        let s = sys.subtask(st);
+                        let cause = if now == Time::int(s.eligible) {
+                            ReadyCause::Eligibility
+                        } else {
+                            ReadyCause::Predecessor
+                        };
+                        obs.on_event(&SchedEvent::Ready {
+                            id: s.id,
+                            at: now,
+                            cause,
+                        });
+                    }
+                    ready.push(st);
+                }
             }
         }
         boundaries.sort_unstable();
 
+        let mut idle_procs = 0u32;
         for proc in boundaries {
             if let Some((pos, _)) = ready
                 .iter()
@@ -97,10 +164,27 @@ pub fn simulate_staggered(
                     holds_until: next_boundary,
                 });
                 placed += 1;
+                if O::ENABLED {
+                    let s = sys.subtask(st);
+                    obs.on_event(&SchedEvent::QuantumStart {
+                        id: s.id,
+                        proc,
+                        start: now,
+                        cost: c,
+                        holds_until: next_boundary,
+                        deadline: s.deadline,
+                        bbit: s.bbit,
+                        group_deadline: s.group_deadline,
+                    });
+                    pending_ends.push((now + c, proc, st, Rat::ONE - c));
+                }
                 if let Some(succ) = sys.subtask(st).succ {
                     let act = Time::int(sys.subtask(succ).eligible).max(now + c);
                     events.push(Reverse((act, Event::Activate(succ))));
+                    pending_activates += 1;
                 }
+            } else {
+                idle_procs += 1;
             }
             // The processor re-examines the world at its next boundary
             // whether or not it scheduled anything.
@@ -108,6 +192,17 @@ pub fn simulate_staggered(
                 events.push(Reverse((now + Rat::ONE, Event::Boundary(proc))));
             }
         }
+        if O::ENABLED && idle_procs > 0 {
+            obs.on_event(&SchedEvent::Idle {
+                at: now,
+                procs: idle_procs,
+            });
+        }
+        check_liveness(now, ready.len(), pending_activates, placed, total);
+    }
+
+    if O::ENABLED {
+        flush_ends(sys, &mut pending_ends, obs);
     }
 
     Schedule::new(sys, QuantumModel::Staggered, m, placements)
@@ -176,5 +271,37 @@ mod tests {
         let sys = release::periodic(&[(1, 3), (2, 5), (1, 2)], 30);
         let sched = simulate_staggered(&sys, 2, &Pd2, &mut FullQuantum);
         assert_eq!(sched.placements().len(), sys.num_subtasks());
+    }
+
+    #[test]
+    fn stuck_scheduler_panics_with_diagnostics() {
+        // The liveness check must fire — with a diagnosable message — on
+        // the state a lost Activate event would leave behind: nothing
+        // ready, nothing pending, subtasks unplaced. (The public API cannot
+        // reach this state precisely because the check guards every batch.)
+        let err = std::panic::catch_unwind(|| {
+            check_liveness(Rat::new(7, 2), 0, 0, 3, 5);
+        })
+        .expect_err("stuck state must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("stuck at 7/2"), "got: {msg}");
+        assert!(msg.contains("3/5 subtasks"), "got: {msg}");
+    }
+
+    #[test]
+    fn liveness_check_accepts_live_states() {
+        // Ready work, a pending activation, or completion each keep the
+        // driver alive; idle gaps between releases must not trip it.
+        check_liveness(Rat::int(4), 1, 0, 3, 5);
+        check_liveness(Rat::int(4), 0, 2, 3, 5);
+        check_liveness(Rat::int(4), 0, 0, 5, 5);
+        // End-to-end: a release gap (subtasks at r = 0 and r = 6) makes
+        // every intermediate batch boundary-only; the run must still
+        // complete rather than being misdiagnosed as stuck.
+        let sys = release::periodic(&[(1, 6)], 12);
+        let sched = simulate_staggered(&sys, 2, &Pd2, &mut FullQuantum);
+        assert_eq!(sched.placements().len(), 2);
+        let starts: Vec<i64> = sched.placements().iter().map(|p| p.start.floor()).collect();
+        assert_eq!(starts, vec![0, 6]);
     }
 }

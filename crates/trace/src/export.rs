@@ -3,8 +3,12 @@
 //! A [`TraceBundle`] packages a task system, its schedule, and headline
 //! statistics into one serde-serializable value; [`TraceBundle::to_json`]
 //! emits it for downstream tooling (plotting, regression archives).
+//! [`events_to_jsonl`] is the streaming counterpart: it renders a captured
+//! [`pfair_obs::SchedEvent`] stream as newline-delimited JSON, one event
+//! per line (the format `pfairsim run --events <path>` writes).
 
 use pfair_numeric::Rat;
+use pfair_obs::{JsonlObserver, Observer, SchedEvent};
 use pfair_sim::{QuantumModel, Schedule};
 use pfair_taskmodel::TaskSystem;
 use serde::{Deserialize, Serialize};
@@ -65,6 +69,32 @@ impl TraceBundle {
     }
 }
 
+/// Renders an event stream as newline-delimited JSON (one externally
+/// tagged object per line, e.g. `{"Tick":{"at":[3,1]}}`), by replaying it
+/// through a [`JsonlObserver`]. To export a live run, attach a
+/// [`JsonlObserver`] to one of the simulators' `*_observed` entry points
+/// instead:
+///
+/// ```
+/// use pfair_core::Pd2;
+/// use pfair_obs::JsonlObserver;
+/// use pfair_sim::{simulate_sfq_observed, FullQuantum};
+/// use pfair_taskmodel::release;
+///
+/// let sys = release::periodic(&[(1, 2)], 2);
+/// let mut jsonl = JsonlObserver::new();
+/// let _ = simulate_sfq_observed(&sys, 1, &Pd2, &mut FullQuantum, &mut jsonl);
+/// assert!(jsonl.to_jsonl().starts_with("{\"Tick\":{\"at\":[0,1]}}\n"));
+/// ```
+#[must_use]
+pub fn events_to_jsonl(events: &[SchedEvent]) -> String {
+    let mut obs = JsonlObserver::new();
+    for ev in events {
+        obs.on_event(ev);
+    }
+    obs.to_jsonl()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,5 +139,32 @@ mod tests {
         assert_eq!(bundle.max_tardiness, Rat::ONE - delta);
         assert_eq!(bundle.model, QuantumModel::Dvq);
         assert!(bundle.to_json().contains("\"misses\": 1"));
+    }
+
+    #[test]
+    fn jsonl_matches_live_capture() {
+        // Replaying a recorded event list must produce the same document a
+        // live JsonlObserver would have written.
+        let sys = release::periodic(&[(1, 2), (1, 3)], 6);
+        let mut live = JsonlObserver::new();
+        let _ = pfair_sim::simulate_sfq_observed(&sys, 1, &Pd2, &mut FullQuantum, &mut live);
+        let recorded: Vec<SchedEvent> = {
+            // Re-run, collecting the raw events this time.
+            struct Collect(Vec<SchedEvent>);
+            impl Observer for Collect {
+                fn on_event(&mut self, ev: &SchedEvent) {
+                    self.0.push(ev.clone());
+                }
+            }
+            let mut c = Collect(Vec::new());
+            let _ = pfair_sim::simulate_sfq_observed(&sys, 1, &Pd2, &mut FullQuantum, &mut c);
+            c.0
+        };
+        assert!(!recorded.is_empty());
+        assert_eq!(events_to_jsonl(&recorded), live.to_jsonl());
+        // One JSON object per line, each externally tagged.
+        for line in live.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
     }
 }

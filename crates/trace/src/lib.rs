@@ -6,8 +6,8 @@
 //!   starting at `2 − δ`) are visible, as in Figs. 2–4;
 //! * [`windows`] — Pfair window diagrams of a task system (one row per
 //!   subtask, `[≡≡≡)` spans), as in Fig. 1;
-//! * [`export`] — JSON bundles (system + schedule + stats) for downstream
-//!   tooling;
+//! * [`export`] — JSON bundles (system + schedule + stats) and
+//!   newline-delimited event streams for downstream tooling;
 //! * [`svg`] — standalone SVG renderings of schedules (publication-style
 //!   figure artifacts, no drawing dependencies);
 //! * [`csv`] — flat-file export for spreadsheet/plotting pipelines.
@@ -22,7 +22,7 @@ pub mod svg;
 pub mod windows;
 
 pub use csv::{rows_to_csv, schedule_to_csv};
-pub use export::{trace_bundle, TraceBundle};
+pub use export::{events_to_jsonl, trace_bundle, TraceBundle};
 pub use gantt::{render_gantt, GanttOptions};
 pub use svg::{render_svg, SvgOptions};
 pub use windows::{render_system_windows, render_windows};

@@ -2,10 +2,12 @@
 //!
 //! ```text
 //! pfairsim --m 2 --model dvq --alg pd2 --cost 7/8 --horizon 12 1/6 1/6 1/6 1/2 1/2 1/2
+//! pfairsim run --metrics --events trace.jsonl 1/6 1/6 1/6 1/2 1/2 1/2
 //! pfairsim fuzz --trials 5000 --seed 1 --threads 4
 //! ```
 //!
-//! Positional arguments are task weights (`e/p`); options:
+//! Positional arguments are task weights (`e/p`); `run` names the default
+//! mode explicitly. Options:
 //!
 //! * `--m <n>`        processors (default 2)
 //! * `--model <x>`    `sfq` | `dvq` | `staggered` | `pdb` (default `sfq`)
@@ -14,6 +16,8 @@
 //! * `--horizon <n>`  generate subtasks while `r < horizon` (default one hyperperiod-ish 24)
 //! * `--res <n>`      Gantt cells per slot (default 4)
 //! * `--json`         emit the trace bundle as JSON instead of text
+//! * `--metrics`      attach the streaming observers and print their summary
+//! * `--events <p>`   write the streamed event log to `p` as JSON Lines
 //!
 //! Exit code 0 always; scheduling outcomes are printed, not judged.
 //!
@@ -27,7 +31,7 @@
 //! * `--threads <t>`  worker threads (default: available parallelism)
 //! * `--no-shrink`    report violations without minimizing them
 
-use pfair::conformance::{run_campaign, CampaignConfig, GenConfig, REFERENCE};
+use pfair::conformance::{generate_case, run_campaign, CampaignConfig, Case, GenConfig, REFERENCE};
 use pfair::core::Algorithm;
 use pfair::prelude::*;
 
@@ -37,8 +41,9 @@ fn parse_rat(s: &str) -> Option<Rat> {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: pfairsim [--m N] [--model sfq|dvq|staggered|pdb] [--alg epdf|pd2|pf|pd]\n\
-         \u{20}               [--cost R] [--horizon N] [--res N] [--json] WEIGHT [WEIGHT ...]\n\
+        "usage: pfairsim [run] [--m N] [--model sfq|dvq|staggered|pdb] [--alg epdf|pd2|pf|pd]\n\
+         \u{20}               [--cost R] [--horizon N] [--res N] [--json]\n\
+         \u{20}               [--metrics] [--events PATH] WEIGHT [WEIGHT ...]\n\
          \u{20}      pfairsim fuzz [--trials N] [--seconds S] [--seed S] [--threads T] [--no-shrink]\n\
          example: pfairsim --m 2 --model dvq --cost 7/8 1/6 1/6 1/6 1/2 1/2 1/2"
     );
@@ -96,6 +101,37 @@ fn fuzz(mut args: std::env::Args) -> ! {
     );
     let outcome = run_campaign(&cfg, &REFERENCE);
     println!("ran {} trials", outcome.trials_run);
+    // One streamed-metrics line over a fixed sample of the campaign's own
+    // seeds: live counters from the observers, not post-hoc analysis.
+    let sample = cfg.trials.min(100);
+    let (mut quanta, mut misses, mut inversions) = (0u64, 0u64, 0u64);
+    let mut max_tardiness = Rat::ZERO;
+    for k in 0..sample {
+        let spec = generate_case(&cfg.gen, cfg.base_seed + k as u64);
+        let Ok(case) = Case::build(spec) else {
+            continue;
+        };
+        let mut obs =
+            BlockingObserver::with_inner(&case.sys, &Pd2, MetricsObserver::new(case.spec.m));
+        let _ = simulate_dvq_observed(
+            &case.sys,
+            case.spec.m,
+            &Pd2,
+            &mut case.cost_model(),
+            &mut obs,
+        );
+        let (records, metrics) = obs.into_parts();
+        quanta += metrics.started();
+        misses += metrics.deadline_misses();
+        if metrics.max_tardiness() > max_tardiness {
+            max_tardiness = metrics.max_tardiness();
+        }
+        inversions += records.len() as u64;
+    }
+    println!(
+        "metrics[dvq, first {sample} seeds]: {quanta} quanta, {misses} deadline misses \
+         (max tardiness {max_tardiness}), {inversions} inversions"
+    );
     if outcome.clean() {
         println!("no violations");
         std::process::exit(0);
@@ -141,9 +177,13 @@ fn main() {
     let mut horizon: i64 = 24;
     let mut res: u32 = 4;
     let mut json = false;
+    let mut metrics = false;
+    let mut events_path: Option<String> = None;
     let mut weights: Vec<(i64, i64)> = Vec::new();
 
-    let mut args = std::env::args().skip(1);
+    // `run` is the optional explicit name of the default mode.
+    let skip = 1 + usize::from(rest.first().map(String::as_str) == Some("run"));
+    let mut args = std::env::args().skip(skip);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--m" => {
@@ -178,6 +218,8 @@ fn main() {
                     .unwrap_or_else(|| usage())
             }
             "--json" => json = true,
+            "--metrics" => metrics = true,
+            "--events" => events_path = Some(args.next().unwrap_or_else(|| usage())),
             "--help" | "-h" => usage(),
             w => {
                 let r = parse_rat(w).unwrap_or_else(|| usage());
@@ -206,17 +248,46 @@ fn main() {
     );
 
     let mut costs = ScaledCost(cost);
-    let sched = match model.as_str() {
-        "sfq" => simulate_sfq(&sys, m, alg.order(), &mut costs),
-        "dvq" => simulate_dvq(&sys, m, alg.order(), &mut costs),
-        "staggered" => simulate_staggered(&sys, m, alg.order(), &mut costs),
-        "pdb" => simulate_sfq_pdb(&sys, m, &mut costs),
-        other => {
-            eprintln!("unknown model {other:?}");
-            std::process::exit(2);
+    let order = alg.order();
+    let observe = metrics || events_path.is_some();
+    let mut jsonl = JsonlObserver::new();
+    let mut tracked = BlockingObserver::with_inner(&sys, order, MetricsObserver::new(m));
+    let sched = if observe {
+        let mut obs = (&mut tracked, &mut jsonl);
+        match model.as_str() {
+            "sfq" => simulate_sfq_observed(&sys, m, order, &mut costs, &mut obs),
+            "dvq" => simulate_dvq_observed(&sys, m, order, &mut costs, &mut obs),
+            "staggered" => simulate_staggered_observed(&sys, m, order, &mut costs, &mut obs),
+            "pdb" => simulate_sfq_pdb_observed(&sys, m, &mut costs, &mut obs),
+            other => {
+                eprintln!("unknown model {other:?}");
+                std::process::exit(2);
+            }
+        }
+    } else {
+        match model.as_str() {
+            "sfq" => simulate_sfq(&sys, m, order, &mut costs),
+            "dvq" => simulate_dvq(&sys, m, order, &mut costs),
+            "staggered" => simulate_staggered(&sys, m, order, &mut costs),
+            "pdb" => simulate_sfq_pdb(&sys, m, &mut costs),
+            other => {
+                eprintln!("unknown model {other:?}");
+                std::process::exit(2);
+            }
         }
     };
 
+    if let Some(path) = &events_path {
+        if let Err(e) = std::fs::write(path, jsonl.to_jsonl()) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        println!("events: {} records -> {path}", jsonl.lines().len());
+    }
+    if metrics {
+        let (_, streamed) = tracked.into_parts();
+        print!("metrics:\n{}", streamed.summary());
+    }
     if json {
         println!("{}", trace_bundle(&sys, &sched).to_json());
         return;

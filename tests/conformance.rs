@@ -30,7 +30,7 @@ fn mutant_campaign(trials: usize) -> CampaignConfig {
 #[test]
 fn every_planted_mutant_is_caught_and_shrunk() {
     let roster = mutants();
-    assert!(roster.len() >= 6, "mutation suite needs ≥ 6 planted bugs");
+    assert!(roster.len() >= 8, "mutation suite needs ≥ 8 planted bugs");
     for mutant in &roster {
         let outcome = run_campaign(&mutant_campaign(1000), &mutant.engines);
         let v = outcome.violations.first().unwrap_or_else(|| {
@@ -85,6 +85,26 @@ fn every_planted_mutant_is_caught_and_shrunk() {
         );
         assert_eq!(replay.violations[0].invariant, v.invariant);
     }
+}
+
+/// The observability mutant must be caught by the streaming-vs-post-hoc
+/// invariant specifically (not by an accidental side effect elsewhere):
+/// dropping blocking events detected at non-integral dispatch times leaves
+/// every schedule untouched, so only the differential observer check can
+/// see it.
+#[test]
+fn observer_mutant_caught_by_streaming_invariant() {
+    let roster = mutants();
+    let mutant = roster
+        .iter()
+        .find(|m| m.name == "obs-drops-fractional-blocking")
+        .expect("observer mutant is planted");
+    let outcome = run_campaign(&mutant_campaign(1000), &mutant.engines);
+    let v = outcome
+        .violations
+        .first()
+        .expect("observer mutant survived a 1000-case campaign");
+    assert_eq!(v.invariant, "streaming-posthoc-agreement");
 }
 
 #[test]

@@ -439,6 +439,80 @@ fn fig6c_k_compliant_systems_all_schedulable() {
     }
 }
 
+// ------------------------------------- Streaming (observer) golden metrics
+
+/// Fig. 2(a) under streaming observation: the metrics summary produced
+/// *during* the SFQ run is snapshot-tested verbatim. The same text (plus
+/// the CLI header) is what `pfairsim run --metrics` prints, and CI diffs
+/// that against a checked-in snapshot.
+#[test]
+fn fig2_streaming_metrics_golden_snapshot() {
+    let sys = fig2_system();
+    let mut obs = BlockingObserver::with_inner(&sys, &Pd2, MetricsObserver::new(2));
+    let _ = simulate_sfq_observed(&sys, 2, &Pd2, &mut FullQuantum, &mut obs);
+    let (records, metrics) = obs.into_parts();
+    assert!(records.is_empty(), "SFQ full quanta admit no inversions");
+    let golden = "\
+quanta: 12 started, 12 completed over 6 ticks (end 6)
+deadlines: 12 hit, 0 missed (total tardiness 0, max 0)
+blocking: 0 eligibility, 0 predecessor
+histogram: [12, 0, 0, 0, 0, 0, 0, 0] (bucket 0 = on time, width 1/7)
+proc 0: busy 6, idle 0, waste 0, 5 switches
+proc 1: busy 6, idle 0, waste 0, 5 switches
+";
+    assert_eq!(metrics.summary(), golden);
+}
+
+/// Fig. 3 under streaming observation: the run emits exactly one
+/// predecessor-blocking record — B₂, ready at t = 3 behind its
+/// predecessor, blocked by the lower-priority A₁.
+#[test]
+fn fig3_streaming_blocking_golden() {
+    let sys = fig3_system();
+    let delta = Rat::new(1, 4);
+    let mut costs = FixedCosts::new(Rat::ONE)
+        .with(TaskId(4), 2, Rat::ONE - delta)
+        .with(TaskId(5), 3, Rat::ONE - delta);
+    let mut obs = BlockingObserver::new(&sys, &Pd2);
+    let _ = simulate_dvq_observed(&sys, 3, &Pd2, &mut costs, &mut obs);
+    let (records, _) = obs.into_parts();
+    let pred: Vec<&BlockingRecord> = records
+        .iter()
+        .filter(|r| r.kind == InversionKind::Predecessor)
+        .collect();
+    assert_eq!(
+        pred.len(),
+        1,
+        "exactly one predecessor inversion: {records:?}"
+    );
+    let b2 = find(&sys, 1, 2);
+    let a1 = find(&sys, 0, 1);
+    assert_eq!(pred[0].victim, b2);
+    assert_eq!(pred[0].ready_at, Rat::int(3));
+    assert!(pred[0].scheduled_at > Rat::int(3));
+    assert!(pred[0].blockers.contains(&a1));
+}
+
+/// Fig. 6(a) under streaming observation: PD^B's single miss — F₂, by
+/// exactly one quantum — is visible live in the metrics stream.
+#[test]
+fn fig6_streaming_f2_misses_by_one_quantum() {
+    let sys = fig2_system();
+    let mut metrics = MetricsObserver::new(2);
+    let _ = simulate_sfq_pdb_observed(&sys, 2, &mut FullQuantum, &mut metrics);
+    assert_eq!(metrics.deadline_misses(), 1);
+    assert_eq!(metrics.max_tardiness(), Rat::ONE);
+    assert_eq!(metrics.total_tardiness(), Rat::ONE);
+    assert_eq!(
+        metrics.worst(),
+        Some(SubtaskId {
+            task: TaskId(5),
+            index: 2
+        })
+    );
+    assert_eq!(metrics.deadline_hits(), 11);
+}
+
 // ------------------------------------------------- Gantt renderings exist
 
 #[test]

@@ -1,0 +1,156 @@
+//! Differential equivalence of the streaming observers and the post-hoc
+//! analyses: over hundreds of seeded random task systems (periodic,
+//! sporadic, intra-sporadic and GIS releases alike), under both
+//! simulators and several actual-cost regimes, the metrics produced
+//! *during* the run by [`LagObserver`], [`MetricsObserver`] and
+//! [`BlockingObserver`] must agree — by exact rational equality, never a
+//! tolerance — with `pfair-analysis` recomputing the same quantities from
+//! the finished [`Schedule`].
+//!
+//! The cost regimes are chosen with small denominators (≤ 8) so the exact
+//! per-slot lag arithmetic stays representable in `Rat`; the generator's
+//! GRID-resolution models are exercised by the conformance campaign's
+//! `streaming-posthoc-agreement` invariant instead, which compares the
+//! division-free quantities there.
+
+use pfair::analysis::{max_lag_over_slots, tardiness_histogram, total_lag};
+use pfair::conformance::{generate_case, Case, GenConfig};
+use pfair::obs::DEFAULT_BUCKETS;
+use pfair::prelude::*;
+
+/// Seeded systems per engine sweep. Together with three cost regimes each
+/// this crosses well over the 500-system floor the suite promises.
+const SYSTEMS: u64 = 600;
+
+/// The actual-cost regimes each system runs under. All denominators are
+/// ≤ 8, keeping exact lag arithmetic far from `Rat` overflow.
+fn regimes(seed: u64) -> Vec<(&'static str, Box<dyn CostModel>)> {
+    vec![
+        ("full-quantum", Box::new(FullQuantum)),
+        ("scaled-5/8", Box::new(ScaledCost(Rat::new(5, 8)))),
+        (
+            "adversarial-1/8",
+            Box::new(AdversarialYield::new(
+                Rat::new(1, 8),
+                60,
+                seed ^ 0x0b5e_711e,
+            )),
+        ),
+    ]
+}
+
+fn system_for(seed: u64) -> (TaskSystem, u32) {
+    let spec = generate_case(&GenConfig::default(), seed);
+    let m = spec.m;
+    (Case::build(spec).expect("generated spec builds").sys, m)
+}
+
+/// Checks every streaming-vs-post-hoc relation for one finished run.
+fn assert_run_agrees(
+    ctx: &str,
+    sys: &TaskSystem,
+    sched: &Schedule,
+    mut lag: LagObserver,
+    metrics: &MetricsObserver,
+    blocking: Option<Vec<BlockingRecord>>,
+) {
+    let h = sys.horizon();
+    lag.finish(h);
+    assert_eq!(
+        lag.series().len(),
+        usize::try_from(h + 1).unwrap(),
+        "{ctx}: lag series covers slots 0..={h}"
+    );
+    for &(t, l) in lag.series() {
+        assert_eq!(
+            l,
+            total_lag(sys, sched, Rat::int(t)),
+            "{ctx}: streaming LAG at slot {t}"
+        );
+    }
+    assert_eq!(
+        lag.max_lag(),
+        max_lag_over_slots(sys, sched, h),
+        "{ctx}: streaming max LAG"
+    );
+
+    let stats = tardiness_stats(sys, sched);
+    assert_eq!(
+        metrics.deadline_misses(),
+        stats.misses as u64,
+        "{ctx}: miss count"
+    );
+    assert_eq!(
+        metrics.total_tardiness(),
+        stats.total,
+        "{ctx}: total tardiness"
+    );
+    assert_eq!(metrics.max_tardiness(), stats.max, "{ctx}: max tardiness");
+    assert_eq!(
+        metrics.worst(),
+        stats.worst.map(|st| sys.subtask(st).id),
+        "{ctx}: worst subtask"
+    );
+    let want_hist = tardiness_histogram(sys, sched, DEFAULT_BUCKETS);
+    let got_hist: Vec<usize> = metrics.histogram().iter().map(|&c| c as usize).collect();
+    assert_eq!(got_hist, want_hist, "{ctx}: tardiness histogram");
+
+    if let Some(records) = blocking {
+        let posthoc = detect_blocking(sys, sched, &Pd2);
+        assert_eq!(
+            records.len(),
+            posthoc.len(),
+            "{ctx}: inversion count (streaming victims {:?}, post-hoc {:?})",
+            records.iter().map(|r| r.victim).collect::<Vec<_>>(),
+            posthoc.iter().map(|e| e.victim).collect::<Vec<_>>(),
+        );
+        for (r, e) in records.iter().zip(&posthoc) {
+            assert_eq!(r.victim, e.victim, "{ctx}: inversion victim");
+            assert_eq!(r.ready_at, e.ready_at, "{ctx}: ready time");
+            assert_eq!(r.scheduled_at, e.scheduled_at, "{ctx}: dispatch time");
+            assert!(
+                matches!(
+                    (r.kind, e.kind),
+                    (InversionKind::Eligibility, BlockingKind::Eligibility)
+                        | (InversionKind::Predecessor, BlockingKind::Predecessor)
+                ),
+                "{ctx}: inversion kind {:?} vs {:?}",
+                r.kind,
+                e.kind
+            );
+            assert_eq!(r.blockers, e.blockers, "{ctx}: blocker set");
+        }
+    }
+}
+
+#[test]
+fn sfq_streaming_observers_match_posthoc_analysis() {
+    for seed in 0..SYSTEMS {
+        let (sys, m) = system_for(seed);
+        for (regime, mut cost) in regimes(seed) {
+            let mut obs = (LagObserver::new(&sys), MetricsObserver::new(m));
+            let sched = simulate_sfq_observed(&sys, m, &Pd2, cost.as_mut(), &mut obs);
+            let (lag, metrics) = obs;
+            let ctx = format!("seed {seed} / sfq / {regime}");
+            assert_run_agrees(&ctx, &sys, &sched, lag, &metrics, None);
+        }
+    }
+}
+
+#[test]
+fn dvq_streaming_observers_match_posthoc_analysis() {
+    for seed in 0..SYSTEMS {
+        let (sys, m) = system_for(seed);
+        for (regime, mut cost) in regimes(seed ^ 0xd5c0) {
+            let mut obs = (
+                LagObserver::new(&sys),
+                (MetricsObserver::new(m), BlockingObserver::new(&sys, &Pd2)),
+            );
+            let sched = simulate_dvq_observed(&sys, m, &Pd2, cost.as_mut(), &mut obs);
+            let (lag, (metrics, blocking)) = obs;
+            let (records, _) = blocking.into_parts();
+            let ctx = format!("seed {seed} / dvq / {regime}");
+            assert_run_agrees(&ctx, &sys, &sched, lag, &metrics, Some(records));
+        }
+    }
+}
