@@ -29,7 +29,8 @@ pub fn scheduled_in_slot(sys: &TaskSystem, sched: &Schedule, task: TaskId, t: i6
 /// toward the slot containing them.
 #[must_use]
 pub fn allocation_matrix(sys: &TaskSystem, sched: &Schedule, horizon: i64) -> Vec<Vec<bool>> {
-    let mut matrix = vec![vec![false; horizon.max(0) as usize]; sys.num_tasks()];
+    let slots = usize::try_from(horizon.max(0)).expect("horizon fits usize");
+    let mut matrix = vec![vec![false; slots]; sys.num_tasks()];
     for p in sched.placements() {
         let t = p.start.floor();
         if (0..horizon).contains(&t) {

@@ -95,8 +95,10 @@ pub fn tardiness_histogram(sys: &TaskSystem, sched: &Schedule, buckets: usize) -
         let bin = if t.is_zero() {
             0
         } else {
-            // Tardiness in (0, 1] maps to bins 1..buckets.
-            ((t / width).ceil() as usize).min(buckets - 1)
+            // Tardiness in (0, 1] maps to bins 1..buckets; anything beyond
+            // the scale (including an out-of-usize ceiling) lands in the
+            // last bin.
+            usize::try_from((t / width).ceil()).map_or(buckets - 1, |bin| bin.min(buckets - 1))
         };
         hist[bin] += 1;
     }
@@ -116,7 +118,7 @@ pub fn tardiness_histogram(sys: &TaskSystem, sched: &Schedule, buckets: usize) -
 pub fn max_job_tardiness(sys: &TaskSystem, sched: &Schedule) -> Rat {
     let mut max = Rat::ZERO;
     for task in sys.tasks() {
-        let e = task.weight.e() as u64;
+        let e = u64::try_from(task.weight.e()).expect("execution numerator is positive");
         for s in sys.task_subtasks(task.id) {
             // Last subtask of its job ⇔ index ≡ 0 (mod e).
             if s.id.index % e == 0 {

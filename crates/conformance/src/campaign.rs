@@ -132,6 +132,7 @@ pub fn check_seed(gen: &GenConfig, seed: u64, engines: &Engines) -> Result<(), B
 /// Runs a campaign against `engines`.
 #[must_use]
 pub fn run_campaign(cfg: &CampaignConfig, engines: &Engines) -> CampaignOutcome {
+    // pfair-lint: allow(no-nondeterminism): wall-clock reads bound the campaign's CPU budget only; which seeds run is deterministic, and every violation replays from its seed.
     let deadline = cfg.time_limit.map(|d| Instant::now() + d);
     let threads = cfg.threads.max(1);
     // Outer Option: trial not started. Inner: the trial's violation.
@@ -143,6 +144,7 @@ pub fn run_campaign(cfg: &CampaignConfig, engines: &Engines) -> CampaignOutcome 
         crossbeam::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|_| loop {
+                    // pfair-lint: allow(no-nondeterminism): budget check only — a timed-out campaign reports fewer trials, never different results for a given seed.
                     if stop.load(Ordering::Relaxed) || deadline.is_some_and(|d| Instant::now() >= d)
                     {
                         break;

@@ -7,10 +7,11 @@
 
 use pfair_core::priority::PriorityOrder;
 use pfair_core::Pd2;
-use pfair_obs::{BlockingObserver, BlockingRecord};
+use pfair_numeric::Rat;
+use pfair_obs::{BlockingObserver, BlockingRecord, LagObserver};
 use pfair_sim::{
-    simulate_dvq, simulate_dvq_observed, simulate_sfq, simulate_sfq_pdb, simulate_staggered,
-    CostModel, Schedule,
+    simulate_dvq, simulate_dvq_observed, simulate_sfq, simulate_sfq_observed, simulate_sfq_pdb,
+    simulate_staggered, CostModel, Schedule,
 };
 use pfair_taskmodel::TaskSystem;
 
@@ -24,6 +25,26 @@ pub type PdbFn = fn(&TaskSystem, u32, &mut dyn CostModel) -> Schedule;
 /// plus the inversion records the stream produced, sorted by victim.
 pub type ObservedDvqFn =
     fn(&TaskSystem, u32, &dyn PriorityOrder, &mut dyn CostModel) -> (Schedule, Vec<BlockingRecord>);
+
+/// Which simulator shape a lag probe drives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProbeSim {
+    /// Synchronized fixed quanta.
+    Sfq,
+    /// Desynchronized variable quanta.
+    Dvq,
+}
+
+/// An observed run with a streaming LAG accountant attached: the schedule
+/// plus the streamed per-slot series `(t, LAG(τ, t))` through the system
+/// horizon and its maximum.
+pub type LagProbeFn = fn(
+    &TaskSystem,
+    u32,
+    &dyn PriorityOrder,
+    &mut dyn CostModel,
+    ProbeSim,
+) -> (Schedule, Vec<(i64, Rat)>, Rat);
 
 /// The engines and priority orders one campaign checks against each other.
 #[derive(Clone, Copy, Debug)]
@@ -47,6 +68,8 @@ pub struct Engines {
     pub pdb: PdbFn,
     /// DVQ simulator with the streaming blocking detector attached.
     pub streaming_blocking: ObservedDvqFn,
+    /// Observed run with the streaming LAG accountant attached.
+    pub lag_probe: LagProbeFn,
 }
 
 /// The production streaming hook: the real observed DVQ driver with a
@@ -63,6 +86,25 @@ fn dvq_streaming_blocking(
     (sched, records)
 }
 
+/// The production lag probe: the real observed drivers with a
+/// [`LagObserver`] listening, finished through the system horizon.
+fn streaming_lag_probe(
+    sys: &TaskSystem,
+    m: u32,
+    order: &dyn PriorityOrder,
+    cost: &mut dyn CostModel,
+    sim: ProbeSim,
+) -> (Schedule, Vec<(i64, Rat)>, Rat) {
+    let mut lag = LagObserver::new(sys);
+    let sched = match sim {
+        ProbeSim::Sfq => simulate_sfq_observed(sys, m, order, cost, &mut lag),
+        ProbeSim::Dvq => simulate_dvq_observed(sys, m, order, cost, &mut lag),
+    };
+    lag.finish(sys.horizon());
+    let max = lag.max_lag();
+    (sched, lag.series().to_vec(), max)
+}
+
 /// The production engine set: PD² everywhere, the real simulators.
 pub const REFERENCE: Engines = Engines {
     name: "reference",
@@ -74,4 +116,5 @@ pub const REFERENCE: Engines = Engines {
     staggered: simulate_staggered,
     pdb: simulate_sfq_pdb,
     streaming_blocking: dvq_streaming_blocking,
+    lag_probe: streaming_lag_probe,
 };

@@ -17,7 +17,7 @@ use pfair_core::pdb;
 use pfair_core::priority::ComparatorOnly;
 use pfair_core::KeyDispatch;
 use pfair_numeric::Rat;
-use pfair_obs::{InversionKind, LagObserver, MetricsObserver, DEFAULT_BUCKETS};
+use pfair_obs::{InversionKind, MetricsObserver, DEFAULT_BUCKETS};
 use pfair_online::OnlineDvq;
 use pfair_sim::{simulate_dvq_observed, simulate_sfq_observed, FullQuantum, Schedule};
 use pfair_taskmodel::hyperperiod::{hyperperiod_of_weights, subtasks_per_hyperperiod};
@@ -25,7 +25,7 @@ use pfair_taskmodel::{SubtaskRef, TaskSystem};
 use pfair_workload::{releasegen, ReleaseConfig};
 
 use crate::case::Case;
-use crate::engines::Engines;
+use crate::engines::{Engines, ProbeSim};
 
 /// One checkable law drawn from the paper's theorems (or from an
 /// implementation-level agreement the repo guarantees).
@@ -147,7 +147,7 @@ fn slot_of(sched: &Schedule) -> Vec<(SubtaskRef, i64)> {
                 "expected integral slot start, got {:?}",
                 pl.start
             );
-            (pl.st, pl.start.num())
+            (pl.st, pl.start.num_i64())
         })
         .collect()
 }
@@ -630,68 +630,47 @@ impl StreamingPosthocAgreement {
         let h = sys.horizon();
         // Lag involves the division `(t − start) / cost`, whose exact-
         // rational denominators grow multiplicatively in the cost
-        // denominators — on the generator's GRID-resolution (720720) cost
-        // models both the streaming observer *and* the post-hoc
-        // `received_allocation` overflow `Rat`. Compare lag only where the
-        // arithmetic is representable; the tardiness/metrics comparison
-        // below stays on the 1/GRID time grid and is always safe.
-        let lag_safe = case.spec.costs.iter().all(|c| c.cost.den() <= 32);
-        for (label, sfq) in [("sfq", true), ("dvq", false)] {
-            let mut pair = (LagObserver::new(sys), MetricsObserver::new(m));
-            let mut metrics_only = MetricsObserver::new(m);
-            let sched = match (sfq, lag_safe) {
-                (true, true) => simulate_sfq_observed(
-                    sys,
-                    m,
-                    engines.keyed_order,
-                    &mut case.cost_model(),
-                    &mut pair,
-                ),
-                (false, true) => simulate_dvq_observed(
-                    sys,
-                    m,
-                    engines.keyed_order,
-                    &mut case.cost_model(),
-                    &mut pair,
-                ),
-                (true, false) => simulate_sfq_observed(
-                    sys,
-                    m,
-                    engines.keyed_order,
-                    &mut case.cost_model(),
-                    &mut metrics_only,
-                ),
-                (false, false) => simulate_dvq_observed(
-                    sys,
-                    m,
-                    engines.keyed_order,
-                    &mut case.cost_model(),
-                    &mut metrics_only,
-                ),
-            };
-            let (mut lag, metrics) = if lag_safe {
-                pair
-            } else {
-                (LagObserver::new(sys), metrics_only)
-            };
-            if lag_safe {
-                lag.finish(h);
-                for &(t, l) in lag.series() {
-                    let want = total_lag(sys, &sched, Rat::int(t));
-                    if l != want {
-                        return Err(format!(
-                            "{label}: streaming LAG({t}) = {l:?}, post-hoc = {want:?}"
-                        ));
-                    }
-                }
-                let want_max = max_lag_over_slots(sys, &sched, h);
-                if lag.max_lag() != want_max {
+        // denominators; on the generator's GRID-resolution (720720) cost
+        // models the reduced sums exceed i64 but stay far inside the
+        // i128-backed `Rat`, so every generated case is compared — no
+        // representability carve-out.
+        for (label, probe) in [("sfq", ProbeSim::Sfq), ("dvq", ProbeSim::Dvq)] {
+            let (sched, series, max) =
+                (engines.lag_probe)(sys, m, engines.keyed_order, &mut case.cost_model(), probe);
+            for &(t, l) in &series {
+                let want = total_lag(sys, &sched, Rat::int(t));
+                if l != want {
                     return Err(format!(
-                        "{label}: streaming max LAG {:?} vs post-hoc {want_max:?}",
-                        lag.max_lag()
+                        "{label}: streaming LAG({t}) = {l:?}, post-hoc = {want:?}"
                     ));
                 }
             }
+            let want_max = max_lag_over_slots(sys, &sched, h);
+            if max != want_max {
+                return Err(format!(
+                    "{label}: streaming max LAG {max:?} vs post-hoc {want_max:?}"
+                ));
+            }
+            // Metrics ride a separate observed run of the same
+            // deterministic engine (the probe already carries its own
+            // observer).
+            let mut metrics = MetricsObserver::new(m);
+            let sched = match probe {
+                ProbeSim::Sfq => simulate_sfq_observed(
+                    sys,
+                    m,
+                    engines.keyed_order,
+                    &mut case.cost_model(),
+                    &mut metrics,
+                ),
+                ProbeSim::Dvq => simulate_dvq_observed(
+                    sys,
+                    m,
+                    engines.keyed_order,
+                    &mut case.cost_model(),
+                    &mut metrics,
+                ),
+            };
             let stats = tardiness_stats(sys, &sched);
             let worst_id = stats.worst.map(|st| sys.subtask(st).id);
             if metrics.deadline_misses() != stats.misses as u64
@@ -756,7 +735,8 @@ impl Invariant for HyperperiodPeriodicity {
         let periodic = releasegen::generate(&weights, &ReleaseConfig::periodic(2 * h), 0);
         let sched = (engines.sfq)(&periodic, case.spec.m, engines.sfq_order, &mut FullQuantum);
         for (task, &w) in periodic.tasks().iter().zip(&weights) {
-            let k = subtasks_per_hyperperiod(w, h) as usize;
+            let k = usize::try_from(subtasks_per_hyperperiod(w, h))
+                .expect("subtasks per hyperperiod is positive and small");
             let refs: Vec<SubtaskRef> = periodic.task_subtask_refs(task.id).collect();
             for i in 0..refs.len().saturating_sub(k) {
                 let a = sched.start(refs[i]);

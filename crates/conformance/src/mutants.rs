@@ -17,11 +17,11 @@ use pfair_numeric::{Rat, Time};
 use pfair_obs::{BlockingObserver, BlockingRecord};
 use pfair_sim::cost::checked_cost;
 use pfair_sim::{
-    simulate_dvq, simulate_dvq_observed, CostModel, Placement, QuantumModel, Schedule,
+    simulate_dvq, simulate_dvq_observed, simulate_sfq, CostModel, Placement, QuantumModel, Schedule,
 };
 use pfair_taskmodel::{SubtaskRef, TaskId, TaskSystem};
 
-use crate::engines::{Engines, REFERENCE};
+use crate::engines::{Engines, ProbeSim, REFERENCE};
 
 /// One deliberately broken engine set.
 #[derive(Clone, Copy, Debug)]
@@ -107,6 +107,15 @@ pub fn mutants() -> Vec<Mutant> {
             engines: Engines {
                 name: "obs-drops-fractional-blocking",
                 streaming_blocking: streaming_blocking_integral_only,
+                ..REFERENCE
+            },
+        },
+        Mutant {
+            name: "rat-wraps-on-overflow",
+            description: "lag accountant whose rational arithmetic silently wraps at i64 instead of widening to i128",
+            engines: Engines {
+                name: "rat-wraps-on-overflow",
+                lag_probe: wrapping_lag_probe,
                 ..REFERENCE
             },
         },
@@ -396,6 +405,111 @@ fn streaming_blocking_integral_only(
     let (mut records, _) = obs.into_parts();
     records.retain(|r| r.scheduled_at.den() == 1);
     (sched, records)
+}
+
+/// An i64-backed rational that silently wraps on overflow — the
+/// arithmetic bug the full-range streaming-vs-post-hoc lag comparison
+/// exists to catch. The classic naive implementation: no i128
+/// intermediates, no gcd reduction, no checks. Numerators and
+/// denominators just multiply and wrap, so it agrees exactly with
+/// [`Rat`] while every product fits i64 and corrupts silently once a
+/// GRID-resolution (720720) cost denominator enters a lag sum.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct WrapRat {
+    num: i64,
+    den: i64,
+}
+
+impl WrapRat {
+    fn int(v: i64) -> WrapRat {
+        WrapRat { num: v, den: 1 }
+    }
+
+    fn from_rat(r: Rat) -> WrapRat {
+        WrapRat {
+            num: r.num() as i64, // pfair-lint: allow(no-lossy-cast): the planted truncation is the point of this mutant.
+            den: r.den() as i64, // pfair-lint: allow(no-lossy-cast): ditto — the mutant must stay in wrapping i64.
+        }
+    }
+
+    fn add(self, o: WrapRat) -> WrapRat {
+        WrapRat {
+            num: self
+                .num
+                .wrapping_mul(o.den)
+                .wrapping_add(o.num.wrapping_mul(self.den)),
+            den: self.den.wrapping_mul(o.den),
+        }
+    }
+
+    fn sub(self, o: WrapRat) -> WrapRat {
+        self.add(WrapRat {
+            num: o.num.wrapping_neg(),
+            den: o.den,
+        })
+    }
+
+    fn div(self, o: WrapRat) -> WrapRat {
+        WrapRat {
+            num: self.num.wrapping_mul(o.den),
+            den: self.den.wrapping_mul(o.num),
+        }
+    }
+
+    fn to_rat(self) -> Rat {
+        Rat::new(self.num, if self.den == 0 { 1 } else { self.den })
+    }
+}
+
+/// `LAG(τ, t)` recomputed in [`WrapRat`] arithmetic — the same fluid
+/// formulas as `pfair_analysis::total_lag`, minus the overflow safety.
+fn wrap_total_lag(sys: &TaskSystem, sched: &Schedule, t: i64) -> WrapRat {
+    let t_rat = Rat::int(t);
+    let mut total = WrapRat::int(0);
+    for task in sys.tasks() {
+        for s in sys.task_subtasks(task.id) {
+            if t <= s.release {
+                break;
+            }
+            if t >= s.deadline {
+                total = total.add(WrapRat::int(1));
+            } else {
+                total = total
+                    .add(WrapRat::int(t - s.release).div(WrapRat::int(s.deadline - s.release)));
+            }
+        }
+        for st in sys.task_subtask_refs(task.id) {
+            let p = sched.placement(st);
+            if t_rat >= p.completion() {
+                total = total.sub(WrapRat::int(1));
+            } else if t_rat > p.start {
+                total =
+                    total.sub(WrapRat::from_rat(t_rat - p.start).div(WrapRat::from_rat(p.cost)));
+            }
+        }
+    }
+    total
+}
+
+/// Lag probe with the planted bug: the schedule is the real one, but the
+/// per-slot LAG series is accounted in [`WrapRat`], whose i64 arithmetic
+/// wraps silently where the widened [`Rat`] reduces or panics.
+fn wrapping_lag_probe(
+    sys: &TaskSystem,
+    m: u32,
+    order: &dyn PriorityOrder,
+    cost: &mut dyn CostModel,
+    sim: ProbeSim,
+) -> (Schedule, Vec<(i64, Rat)>, Rat) {
+    let sched = match sim {
+        ProbeSim::Sfq => simulate_sfq(sys, m, order, cost),
+        ProbeSim::Dvq => simulate_dvq(sys, m, order, cost),
+    };
+    let series: Vec<(i64, Rat)> = (0..=sys.horizon())
+        .map(|t| (t, wrap_total_lag(sys, &sched, t).to_rat()))
+        .collect();
+    let max = series.iter().map(|&(_, l)| l).max().unwrap_or(Rat::ZERO);
+    (sched, series, max)
 }
 
 /// DVQ driver with the planted bug: the caller's cost model is discarded

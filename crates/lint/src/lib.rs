@@ -1,0 +1,196 @@
+//! `pfair-lint` — the workspace-native invariant linter.
+//!
+//! The Pfair reproduction rests on properties no general-purpose tool
+//! checks: exact rational time (no floats, no silent narrowing),
+//! seed-replayable determinism (no wall clocks, no hash-order iteration),
+//! diagnostic panics in scheduler hot paths, compile-time-gated observer
+//! emission, and vendored shims that cover exactly the API surface the
+//! workspace uses. This crate is a small static-analysis pass over the
+//! workspace's Rust sources that enforces those policies with
+//! `file:line` diagnostics.
+//!
+//! ## Rules
+//!
+//! | rule | policy |
+//! |------|--------|
+//! | `no-float-time` | no `f32`/`f64` in the exact-arithmetic crates |
+//! | `no-lossy-cast` | no `as` narrowing on time/lag/weight values |
+//! | `panic-policy` | no bare `unwrap`/`expect("")`/`unreachable!()` in hot paths |
+//! | `no-nondeterminism` | no `Instant::now`/`SystemTime`/`HashMap` in replayable code |
+//! | `observer-gating` | every `on_event` emission gated on `O::ENABLED` |
+//! | `shim-drift` | shims export nothing the workspace does not use |
+//!
+//! ## Suppression
+//!
+//! A finding is suppressed by a comment on the same line or the line
+//! directly above:
+//!
+//! ```text
+//! // pfair-lint: allow(no-float-time): the one sanctioned float exit, for reports only.
+//! ```
+//!
+//! The justification after the `:` is mandatory; a suppression without
+//! one, naming an unknown rule, or suppressing nothing is itself a
+//! finding (rule `suppression`), so allows cannot rot in place.
+//!
+//! The linter is lexical by design — it masks comments and strings,
+//! tracks brace-block contexts (`#[cfg(test)]` regions are exempt
+//! everywhere), and needs no network, no `rustc` internals and no
+//! third-party crates, so it runs first in CI on a bare toolchain.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+pub mod rules;
+pub mod scan;
+
+pub use rules::{scope_of, Scope, RULE_NAMES};
+pub use scan::{scan, ScannedFile};
+
+/// One finding, pointing at a workspace-relative `file:line`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The rule that fired.
+    pub rule: &'static str,
+    /// Workspace-relative path (forward slashes).
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// What is wrong and what to do instead.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Lints a set of `(workspace-relative path, contents)` pairs: runs every
+/// per-file rule plus the cross-file shim-drift rule, then applies and
+/// polices suppressions. Diagnostics come back sorted by `(path, line)`.
+#[must_use]
+pub fn lint_files(files: &[(String, String)]) -> Vec<Diagnostic> {
+    let scanned: Vec<ScannedFile> = files.iter().map(|(p, s)| scan(p, s)).collect();
+
+    let mut raw: Vec<Diagnostic> = scanned.iter().flat_map(rules::per_file_findings).collect();
+    raw.extend(rules::shim_drift(&scanned));
+
+    // Apply suppressions: an allow on the finding's line or the line
+    // directly above covers it.
+    let mut used: BTreeSet<(String, usize, String)> = BTreeSet::new();
+    let mut out: Vec<Diagnostic> = Vec::new();
+    for d in raw {
+        let Some(f) = scanned.iter().find(|f| f.path == d.path) else {
+            out.push(d);
+            continue;
+        };
+        let here = d.line - 1;
+        let covering = [Some(here), here.checked_sub(1)]
+            .into_iter()
+            .flatten()
+            .find(|&l| {
+                f.allows
+                    .get(l)
+                    .is_some_and(|a| a.iter().any(|a| a.rule == d.rule))
+            });
+        match covering {
+            Some(l) => {
+                used.insert((d.path.clone(), l, d.rule.to_string()));
+            }
+            None => out.push(d),
+        }
+    }
+
+    // Police the suppressions themselves.
+    for f in &scanned {
+        for (l, allows) in f.allows.iter().enumerate() {
+            for a in allows {
+                if !RULE_NAMES.contains(&a.rule.as_str()) {
+                    out.push(Diagnostic {
+                        rule: "suppression",
+                        path: f.path.clone(),
+                        line: l + 1,
+                        message: format!("allow names unknown rule `{}`", a.rule),
+                    });
+                    continue;
+                }
+                if !a.justified {
+                    out.push(Diagnostic {
+                        rule: "suppression",
+                        path: f.path.clone(),
+                        line: l + 1,
+                        message: format!(
+                            "allow({}) lacks a justification; write `allow({}): <why this site is sound>`",
+                            a.rule, a.rule
+                        ),
+                    });
+                }
+                if !used.contains(&(f.path.clone(), l, a.rule.clone())) {
+                    out.push(Diagnostic {
+                        rule: "suppression",
+                        path: f.path.clone(),
+                        line: l + 1,
+                        message: format!(
+                            "allow({}) suppresses nothing on this or the next line; remove it",
+                            a.rule
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    out.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    out
+}
+
+/// Collects the workspace's lintable sources under `root`: `crates/`,
+/// `shims/`, the root package's `src/`, and `tests/`. Skips `target/`
+/// and anything hidden.
+///
+/// # Errors
+/// Propagates I/O errors from directory walking or file reads.
+pub fn collect_workspace_files(root: &Path) -> std::io::Result<Vec<(String, String)>> {
+    let mut out = Vec::new();
+    for top in ["crates", "shims", "src", "tests"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, root, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn walk(dir: &Path, root: &Path, out: &mut Vec<(String, String)>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<Result<_, _>>()?;
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if name.starts_with('.') || name == "target" {
+            continue;
+        }
+        if path.is_dir() {
+            walk(&path, root, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push((rel, std::fs::read_to_string(&path)?));
+        }
+    }
+    Ok(())
+}

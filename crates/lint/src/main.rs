@@ -1,0 +1,72 @@
+//! CLI entry point: `cargo run -p pfair-lint [-- --root <path>]`.
+//!
+//! Lints the workspace sources and exits nonzero if any finding remains
+//! after suppressions. Output is one `file:line: [rule] message` per
+//! finding, sorted, so CI logs diff cleanly.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use pfair_lint::{collect_workspace_files, lint_files};
+
+/// Walks upward from `start` to the directory whose `Cargo.toml` declares
+/// the workspace.
+fn find_workspace_root(start: PathBuf) -> PathBuf {
+    let mut dir = start.clone();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return dir;
+                }
+            }
+        }
+        if !dir.pop() {
+            return start;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let mut root: Option<PathBuf> = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                println!("pfair-lint: workspace invariant linter\n\nUSAGE: pfair-lint [--root <workspace-root>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("pfair-lint: unknown argument `{other}` (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let root = root.unwrap_or_else(|| {
+        find_workspace_root(std::env::current_dir().expect("pfair-lint needs a working directory"))
+    });
+
+    let files = match collect_workspace_files(&root) {
+        Ok(files) => files,
+        Err(e) => {
+            eprintln!(
+                "pfair-lint: cannot read workspace under {}: {e}",
+                root.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let diags = lint_files(&files);
+    for d in &diags {
+        println!("{d}");
+    }
+    if diags.is_empty() {
+        println!("pfair-lint: clean ({} files)", files.len());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("pfair-lint: {} finding(s)", diags.len());
+        ExitCode::FAILURE
+    }
+}

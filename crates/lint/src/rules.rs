@@ -1,0 +1,422 @@
+//! The rule set.
+//!
+//! Each rule is a pure function over the scanned source model; scoping is
+//! by workspace-relative path. Test modules (`#[cfg(test)]` regions) are
+//! exempt everywhere: they assert behavior, including the float exit and
+//! panic paths the production rules forbid.
+
+use crate::scan::ScannedFile;
+use crate::Diagnostic;
+
+/// The rules the engine knows, in reporting order.
+pub const RULE_NAMES: [&str; 7] = [
+    "no-float-time",
+    "no-lossy-cast",
+    "panic-policy",
+    "no-nondeterminism",
+    "observer-gating",
+    "shim-drift",
+    "suppression",
+];
+
+/// Where a file sits in the workspace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Scope {
+    /// `crates/<name>/…`.
+    Crate(String),
+    /// The root package's `src/`.
+    RootSrc,
+    /// Workspace-level integration tests (`tests/`).
+    Tests,
+    /// `shims/<name>/…`.
+    Shim(String),
+    /// Anything else (benches, xtask-style helpers).
+    Other,
+}
+
+/// Classifies a workspace-relative path.
+#[must_use]
+pub fn scope_of(path: &str) -> Scope {
+    let mut parts = path.split('/');
+    match parts.next() {
+        Some("crates") => parts
+            .next()
+            .map_or(Scope::Other, |c| Scope::Crate(c.to_string())),
+        Some("shims") => parts
+            .next()
+            .map_or(Scope::Other, |s| Scope::Shim(s.to_string())),
+        Some("src") => Scope::RootSrc,
+        Some("tests") => Scope::Tests,
+        _ => Scope::Other,
+    }
+}
+
+fn in_crates(scope: &Scope, names: &[&str]) -> bool {
+    matches!(scope, Scope::Crate(c) if names.iter().any(|n| n == c))
+}
+
+/// Exact-time crates where `f32`/`f64` may not appear: every boundary
+/// comparison in the paper's analysis is exact, and one float corrupts
+/// all of them. Bench/report crates (`bench`, `trace`) are excluded.
+const FLOAT_FREE: [&str; 7] = [
+    "numeric",
+    "core",
+    "sim",
+    "online",
+    "obs",
+    "conformance",
+    "pfair",
+];
+
+/// Crates whose values carry times, lags and weights — `as` narrowing on
+/// those must go through `try_from` with a diagnostic.
+const VALUE_CRATES: [&str; 11] = [
+    "numeric",
+    "core",
+    "sim",
+    "online",
+    "obs",
+    "conformance",
+    "analysis",
+    "taskmodel",
+    "workload",
+    "maxflow",
+    "pfair",
+];
+
+/// Scheduler hot paths: a bare panic here aborts a simulation with no
+/// clue which subtask or slot was involved.
+const HOT_PATHS: [&str; 3] = ["core", "sim", "online"];
+
+/// Scheduling and campaign code must be bit-for-bit deterministic:
+/// violations replay from a seed, so wall clocks and hash-order iteration
+/// are banned.
+const DETERMINISTIC: [&str; 5] = ["core", "sim", "online", "conformance", "workload"];
+
+/// Crates that emit or forward [`SchedEvent`]s.
+const OBSERVED: [&str; 3] = ["sim", "online", "obs"];
+
+/// Integer cast targets that can narrow the workspace's value types
+/// (`i64` slots/quanta, `i128` rational components).
+const NARROWING_TARGETS: [&str; 10] = [
+    "i8", "i16", "i32", "i64", "u8", "u16", "u32", "u64", "usize", "isize",
+];
+
+/// Method-call markers that identify a time/lag/weight-typed expression.
+const VALUE_METHODS: [&str; 6] = [
+    ".num()",
+    ".den()",
+    ".floor()",
+    ".ceil()",
+    ".num_i64()",
+    ".den_i64()",
+];
+
+/// Identifier fragments that identify a time/lag/weight-typed expression.
+const VALUE_WORDS: [&str; 14] = [
+    "lag",
+    "time",
+    "cost",
+    "weight",
+    "start",
+    "deadline",
+    "release",
+    "tardiness",
+    "theta",
+    "horizon",
+    "completion",
+    "period",
+    "slack",
+    "waste",
+];
+
+fn is_word_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Finds `word` in `line` at word boundaries; returns byte offsets.
+fn find_words(line: &str, word: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = line[from..].find(word) {
+        let pos = from + rel;
+        let before_ok = line[..pos]
+            .chars()
+            .next_back()
+            .is_none_or(|c| !is_word_char(c));
+        let after_ok = line[pos + word.len()..]
+            .chars()
+            .next()
+            .is_none_or(|c| !is_word_char(c));
+        if before_ok && after_ok {
+            out.push(pos);
+        }
+        from = pos + word.len();
+    }
+    out
+}
+
+/// The expression tail immediately preceding an `as` cast: the trailing
+/// identifier/field/call chain, with balanced `(…)`/`[…]` groups included.
+fn expr_tail(s: &str) -> String {
+    let b: Vec<char> = s.trim_end().chars().collect();
+    let mut i = b.len();
+    while i > 0 {
+        let c = b[i - 1];
+        if c == ')' || c == ']' {
+            let (open, close) = if c == ')' { ('(', ')') } else { ('[', ']') };
+            let mut depth = 0;
+            while i > 0 {
+                let ch = b[i - 1];
+                if ch == close {
+                    depth += 1;
+                } else if ch == open {
+                    depth -= 1;
+                    if depth == 0 {
+                        i -= 1;
+                        break;
+                    }
+                }
+                i -= 1;
+            }
+            continue;
+        }
+        if is_word_char(c) || c == '.' {
+            i -= 1;
+            continue;
+        }
+        break;
+    }
+    b[i..].iter().collect()
+}
+
+/// Does `tail` read as a time/lag/weight value?
+fn is_value_expr(tail: &str) -> bool {
+    if VALUE_METHODS.iter().any(|m| tail.contains(m)) {
+        return true;
+    }
+    tail.split(|c: char| !is_word_char(c))
+        .filter(|w| !w.is_empty())
+        .any(|w| {
+            let lw = w.to_ascii_lowercase();
+            VALUE_WORDS.iter().any(|v| lw.contains(v))
+        })
+}
+
+/// Runs every per-file rule on one scanned file (suppressions are applied
+/// later by the engine).
+#[must_use]
+pub fn per_file_findings(f: &ScannedFile) -> Vec<Diagnostic> {
+    let scope = scope_of(&f.path);
+    let mut out = Vec::new();
+    let mut diag = |rule: &'static str, line: usize, message: String| {
+        out.push(Diagnostic {
+            rule,
+            path: f.path.clone(),
+            line: line + 1,
+            message,
+        });
+    };
+
+    for (i, line) in f.masked.iter().enumerate() {
+        let ctx = f.ctx.get(i).copied().unwrap_or_default();
+        if ctx.in_test {
+            continue;
+        }
+
+        if in_crates(&scope, &FLOAT_FREE) {
+            for ty in ["f32", "f64"] {
+                if !find_words(line, ty).is_empty() {
+                    diag(
+                        "no-float-time",
+                        i,
+                        format!("`{ty}` in an exact-arithmetic crate: all times, lags and weights are exact rationals; floats break boundary comparisons"),
+                    );
+                }
+            }
+        }
+
+        if in_crates(&scope, &VALUE_CRATES) || scope == Scope::RootSrc {
+            for pos in find_words(line, "as") {
+                let Some(target) = line[pos + 2..].split_whitespace().next() else {
+                    continue;
+                };
+                let target: String = target.chars().take_while(|&c| is_word_char(c)).collect();
+                if !NARROWING_TARGETS.contains(&target.as_str()) {
+                    continue;
+                }
+                let tail = expr_tail(&line[..pos]);
+                if is_value_expr(&tail) {
+                    diag(
+                        "no-lossy-cast",
+                        i,
+                        format!("`{} as {target}` narrows a time/lag/weight value silently; use `try_from` (or the `num_i64`/`den_i64` accessors) so overflow panics with a diagnostic", tail.trim()),
+                    );
+                }
+            }
+        }
+
+        if in_crates(&scope, &HOT_PATHS) {
+            if line.contains(".unwrap()") {
+                diag(
+                    "panic-policy",
+                    i,
+                    "bare `.unwrap()` in a scheduler hot path: use `.expect(\"<what invariant held and broke>\")`".to_string(),
+                );
+            }
+            if line.contains(".expect(\"\")") {
+                diag(
+                    "panic-policy",
+                    i,
+                    "`.expect(\"\")` carries no diagnostic; state the invariant that failed"
+                        .to_string(),
+                );
+            }
+            for bare in ["unreachable!()", "panic!()", "todo!(", "unimplemented!("] {
+                if line.contains(bare) {
+                    diag(
+                        "panic-policy",
+                        i,
+                        format!("`{bare}…` without a message in a scheduler hot path; every panic must say which invariant broke"),
+                    );
+                }
+            }
+        }
+
+        if in_crates(&scope, &DETERMINISTIC) {
+            for ty in ["HashMap", "HashSet"] {
+                if !find_words(line, ty).is_empty() {
+                    diag(
+                        "no-nondeterminism",
+                        i,
+                        format!("`{ty}` in scheduling/campaign code: iteration order varies across runs, breaking seed replay; use `BTreeMap`/`BTreeSet` or index by dense ids"),
+                    );
+                }
+            }
+            for pat in ["Instant::now", "SystemTime", "thread_rng", "from_entropy"] {
+                if line.contains(pat) {
+                    diag(
+                        "no-nondeterminism",
+                        i,
+                        format!("`{pat}` injects wall-clock/entropy nondeterminism into code that must replay from a seed"),
+                    );
+                }
+            }
+        }
+
+        if in_crates(&scope, &OBSERVED) {
+            if let Some(pos) = line.find(".on_event(") {
+                let gated = ctx.enabled_gated
+                    || ctx.in_on_event_fn
+                    || line[..pos].contains("ENABLED")
+                    || line.contains("fn on_event");
+                if !gated {
+                    diag(
+                        "observer-gating",
+                        i,
+                        "observer emission not gated on `O::ENABLED`: ungated sites pay event-construction cost even under `NoopObserver`".to_string(),
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Shim-drift: every public top-level item a shim exports must be
+/// referenced somewhere else in the workspace. Shims exist to cover
+/// exactly the API surface the crates use; surface beyond that drifts
+/// away from the real dependency unreviewed. Shim sources themselves
+/// count as usage (minus the defining line) so helpers reached through
+/// macro expansions — `$crate::…` paths in a `macro_rules!` body — are
+/// not false positives.
+#[must_use]
+pub fn shim_drift(files: &[ScannedFile]) -> Vec<Diagnostic> {
+    const ITEM_KINDS: [&str; 8] = [
+        "fn", "struct", "enum", "trait", "type", "const", "static", "mod",
+    ];
+    // Usage corpus: every masked source, shims included.
+    let corpus: String = files
+        .iter()
+        .flat_map(|f| f.masked.iter().map(|l| format!("{l}\n")))
+        .collect();
+
+    let mut out = Vec::new();
+    for f in files {
+        if !matches!(scope_of(&f.path), Scope::Shim(_)) {
+            continue;
+        }
+        let mut pending_macro_export = false;
+        for (i, line) in f.masked.iter().enumerate() {
+            let ctx = f.ctx.get(i).copied().unwrap_or_default();
+            if ctx.in_test {
+                continue;
+            }
+            let t = line.trim_start();
+            if t.starts_with("#[macro_export]") {
+                pending_macro_export = true;
+                continue;
+            }
+            let name = if let Some(rest) = t.strip_prefix("macro_rules!") {
+                if !pending_macro_export {
+                    continue;
+                }
+                pending_macro_export = false;
+                rest.trim_start()
+                    .chars()
+                    .take_while(|&c| is_word_char(c))
+                    .collect::<String>()
+            } else {
+                if t.starts_with('#') {
+                    continue; // other attribute: keep pending_macro_export
+                }
+                pending_macro_export = false;
+                if ctx.in_impl_or_fn {
+                    continue; // methods ride their type's usage
+                }
+                let Some(rest) = t.strip_prefix("pub ") else {
+                    continue;
+                };
+                let mut words = rest.split_whitespace();
+                let Some(kind) = words.next() else { continue };
+                if !ITEM_KINDS.contains(&kind) {
+                    continue;
+                }
+                let Some(raw_name) = words.next() else {
+                    continue;
+                };
+                raw_name
+                    .chars()
+                    .take_while(|&c| is_word_char(c))
+                    .collect::<String>()
+            };
+            if name.is_empty() {
+                continue;
+            }
+            // Proc-macro entry points are referenced via derive
+            // attributes, not by name.
+            let attr_context = f.raw[..i]
+                .iter()
+                .rev()
+                .take(3)
+                .any(|l| l.contains("#[proc_macro"));
+            if attr_context {
+                continue;
+            }
+            // Used iff the name appears beyond its own defining line.
+            let total = find_words(&corpus, &name).len();
+            let on_def_line = find_words(line, &name).len();
+            if total <= on_def_line {
+                out.push(Diagnostic {
+                    rule: "shim-drift",
+                    path: f.path.clone(),
+                    line: i + 1,
+                    message: format!(
+                        "shim item `{name}` is referenced nowhere else in the workspace; shims may not grow surface beyond what the crates use"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,421 @@
+//! Lexical source model.
+//!
+//! The rules operate on a *masked* view of each file: comment and string
+//! interiors are blanked (length- and line-preserving, quote delimiters
+//! kept), so `"f64"` inside a string or `.unwrap()` inside a doc comment
+//! never match. A second pass tracks brace-block contexts — `#[cfg(test)]`
+//! regions, `if …ENABLED…` gates, `fn on_event` bodies, `impl`/`fn`
+//! interiors — recorded per line, and suppression comments are parsed from
+//! the raw text.
+
+/// What a masked character position originally was. Suppressions are only
+/// honored inside plain `//` comments — an `allow(…)` quoted in a doc
+/// comment or a string literal is prose, not policy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CharClass {
+    /// Live code.
+    #[default]
+    Code,
+    /// A plain `//` line comment (not `///`/`//!` docs).
+    Comment,
+    /// Doc comments, block comments, string and char literals.
+    Other,
+}
+
+/// One `pfair-lint: allow(<rule>)` suppression parsed from a comment.
+#[derive(Clone, Debug)]
+pub struct Allow {
+    /// The rule name inside `allow(…)`.
+    pub rule: String,
+    /// Whether a non-empty justification follows (`: <why>`).
+    pub justified: bool,
+}
+
+/// Block context at the *start* of a line.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LineCtx {
+    /// Inside a `#[cfg(test)]`-gated block.
+    pub in_test: bool,
+    /// Inside a block whose header is an `if` on a `…ENABLED` condition.
+    pub enabled_gated: bool,
+    /// Inside the body of a function named `on_event` (observer
+    /// forwarding impls).
+    pub in_on_event_fn: bool,
+    /// Inside an `impl` block or a function body (used by shim-drift to
+    /// collect only top-level items).
+    pub in_impl_or_fn: bool,
+}
+
+/// A scanned source file: raw and masked lines plus per-line contexts.
+#[derive(Clone, Debug)]
+pub struct ScannedFile {
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// Raw lines (for suppression comments and diagnostics).
+    pub raw: Vec<String>,
+    /// Masked lines: comment/string interiors blanked.
+    pub masked: Vec<String>,
+    /// Suppressions parsed per line.
+    pub allows: Vec<Vec<Allow>>,
+    /// Context at the start of each line.
+    pub ctx: Vec<LineCtx>,
+}
+
+/// Scans `source` into the model the rules consume.
+#[must_use]
+pub fn scan(path: &str, source: &str) -> ScannedFile {
+    let (masked_text, classes) = mask(source);
+    let raw: Vec<String> = source.lines().map(str::to_string).collect();
+    let masked: Vec<String> = masked_text.lines().map(str::to_string).collect();
+    // Per-line class slices, aligned with each line's chars.
+    let mut class_lines: Vec<Vec<CharClass>> = Vec::new();
+    let mut cur = Vec::new();
+    for (c, cl) in masked_text.chars().zip(classes.iter().copied()) {
+        if c == '\n' {
+            class_lines.push(std::mem::take(&mut cur));
+        } else {
+            cur.push(cl);
+        }
+    }
+    if !cur.is_empty() {
+        class_lines.push(cur);
+    }
+    class_lines.resize(raw.len(), Vec::new());
+    let allows: Vec<Vec<Allow>> = raw
+        .iter()
+        .zip(class_lines.iter())
+        .map(|(l, cls)| parse_allows(l, cls))
+        .collect();
+    let mut ctx = contexts(&masked_text);
+    ctx.resize(raw.len().max(masked.len()).max(1), LineCtx::default());
+    ScannedFile {
+        path: path.replace('\\', "/"),
+        raw,
+        masked,
+        allows,
+        ctx,
+    }
+}
+
+/// Blanks comment and string interiors, preserving length, line structure
+/// and quote delimiters (so an empty string literal stays recognizably
+/// `""`), and classifies every output char as code, plain comment, or
+/// other masked text.
+fn mask(source: &str) -> (String, Vec<CharClass>) {
+    let b: Vec<char> = source.chars().collect();
+    let mut out = String::with_capacity(source.len());
+    let mut cls: Vec<CharClass> = Vec::with_capacity(source.len());
+    let keep_nl = |c: char| if c == '\n' { '\n' } else { ' ' };
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        if c == '/' && b.get(i + 1) == Some(&'/') {
+            let doc = matches!(b.get(i + 2), Some('/') | Some('!'));
+            let class = if doc {
+                CharClass::Other
+            } else {
+                CharClass::Comment
+            };
+            while i < b.len() && b[i] != '\n' {
+                out.push(' ');
+                cls.push(class);
+                i += 1;
+            }
+            continue;
+        }
+        if c == '/' && b.get(i + 1) == Some(&'*') {
+            let mut depth = 1;
+            out.push_str("  ");
+            cls.push(CharClass::Other);
+            cls.push(CharClass::Other);
+            i += 2;
+            while i < b.len() && depth > 0 {
+                if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    out.push_str("  ");
+                    cls.push(CharClass::Other);
+                    cls.push(CharClass::Other);
+                    i += 2;
+                } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    out.push_str("  ");
+                    cls.push(CharClass::Other);
+                    cls.push(CharClass::Other);
+                    i += 2;
+                } else {
+                    out.push(keep_nl(b[i]));
+                    cls.push(CharClass::Other);
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        if c == 'r' && matches!(b.get(i + 1), Some('"') | Some('#')) {
+            let mut j = i + 1;
+            let mut hashes = 0usize;
+            while b.get(j) == Some(&'#') {
+                hashes += 1;
+                j += 1;
+            }
+            if b.get(j) == Some(&'"') {
+                out.push(' ');
+                out.push_str(&" ".repeat(hashes));
+                out.push('"');
+                for _ in 0..hashes + 2 {
+                    cls.push(CharClass::Other);
+                }
+                j += 1;
+                while j < b.len() {
+                    if b[j] == '"' {
+                        let mut k = j + 1;
+                        let mut h = 0;
+                        while h < hashes && b.get(k) == Some(&'#') {
+                            h += 1;
+                            k += 1;
+                        }
+                        if h == hashes {
+                            out.push('"');
+                            out.push_str(&" ".repeat(hashes));
+                            for _ in 0..hashes + 1 {
+                                cls.push(CharClass::Other);
+                            }
+                            j = k;
+                            break;
+                        }
+                    }
+                    out.push(keep_nl(b[j]));
+                    cls.push(CharClass::Other);
+                    j += 1;
+                }
+                i = j;
+                continue;
+            }
+        }
+        if c == '"' {
+            out.push('"');
+            cls.push(CharClass::Other);
+            i += 1;
+            while i < b.len() {
+                if b[i] == '\\' {
+                    out.push(' ');
+                    cls.push(CharClass::Other);
+                    if let Some(&e) = b.get(i + 1) {
+                        out.push(keep_nl(e));
+                        cls.push(CharClass::Other);
+                    }
+                    i += 2;
+                    continue;
+                }
+                if b[i] == '"' {
+                    out.push('"');
+                    cls.push(CharClass::Other);
+                    i += 1;
+                    break;
+                }
+                out.push(keep_nl(b[i]));
+                cls.push(CharClass::Other);
+                i += 1;
+            }
+            continue;
+        }
+        if c == '\'' {
+            if b.get(i + 1) == Some(&'\\') {
+                out.push('\'');
+                out.push(' ');
+                cls.push(CharClass::Other);
+                cls.push(CharClass::Other);
+                i += 2;
+                while i < b.len() && b[i] != '\'' {
+                    out.push(' ');
+                    cls.push(CharClass::Other);
+                    i += 1;
+                }
+                if i < b.len() {
+                    out.push('\'');
+                    cls.push(CharClass::Other);
+                    i += 1;
+                }
+                continue;
+            }
+            if b.get(i + 2) == Some(&'\'') {
+                out.push_str("' '");
+                cls.push(CharClass::Other);
+                cls.push(CharClass::Other);
+                cls.push(CharClass::Other);
+                i += 3;
+                continue;
+            }
+            // A lifetime: pass through as code.
+            out.push('\'');
+            cls.push(CharClass::Code);
+            i += 1;
+            continue;
+        }
+        out.push(c);
+        cls.push(CharClass::Code);
+        i += 1;
+    }
+    (out, cls)
+}
+
+/// Tracks brace-block contexts over the masked text. The "header" of a
+/// block is the statement text accumulated since the last `;`/`{`/`}`
+/// boundary, so multi-line `if` conditions and attribute-decorated item
+/// headers are seen whole.
+fn contexts(masked: &str) -> Vec<LineCtx> {
+    #[derive(Clone, Copy, Default)]
+    struct Frame {
+        test: bool,
+        gate: bool,
+        on_event: bool,
+        impl_or_fn: bool,
+    }
+    let snapshot = |stack: &[Frame]| LineCtx {
+        in_test: stack.iter().any(|f| f.test),
+        enabled_gated: stack.iter().any(|f| f.gate),
+        in_on_event_fn: stack.iter().any(|f| f.on_event),
+        in_impl_or_fn: stack.iter().any(|f| f.impl_or_fn),
+    };
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut buf = String::new();
+    let mut ctxs = vec![snapshot(&stack)];
+    for c in masked.chars() {
+        match c {
+            '\n' => {
+                ctxs.push(snapshot(&stack));
+                buf.push(' ');
+            }
+            '{' => {
+                let words: Vec<&str> = buf
+                    .split(|ch: char| !(char::is_alphanumeric(ch) || ch == '_'))
+                    .filter(|w| !w.is_empty())
+                    .collect();
+                let has = |w: &str| words.contains(&w);
+                stack.push(Frame {
+                    test: buf.contains("#[cfg(test)]") || buf.contains("# [cfg (test)]"),
+                    gate: has("if") && buf.contains("ENABLED"),
+                    on_event: buf.contains("fn on_event"),
+                    impl_or_fn: has("impl") || has("fn"),
+                });
+                buf.clear();
+            }
+            '}' => {
+                stack.pop();
+                buf.clear();
+            }
+            ';' => buf.clear(),
+            _ => buf.push(c),
+        }
+    }
+    ctxs
+}
+
+/// Parses every `pfair-lint: allow(<rule>)[: justification]` on a raw
+/// line. Only occurrences classified as plain `//` comment text count:
+/// an `allow(…)` quoted in a doc comment or string literal is prose.
+fn parse_allows(line: &str, classes: &[CharClass]) -> Vec<Allow> {
+    const KEY: &str = "pfair-lint: allow(";
+    let mut out = Vec::new();
+    let mut base = 0usize;
+    while let Some(rel) = line[base..].find(KEY) {
+        let pos = base + rel;
+        let char_idx = line[..pos].chars().count();
+        let in_comment = classes.get(char_idx) == Some(&CharClass::Comment);
+        let after = &line[pos + KEY.len()..];
+        let Some(close) = after.find(')') else { break };
+        let tail = &after[close + 1..];
+        if in_comment {
+            let rule = after[..close].trim().to_string();
+            let justified = tail
+                .trim_start()
+                .strip_prefix(':')
+                .is_some_and(|j| !j.trim().is_empty());
+            out.push(Allow { rule, justified });
+        }
+        base = pos + KEY.len() + close + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masking_blanks_comments_and_string_interiors() {
+        let f = scan(
+            "crates/sim/src/x.rs",
+            "let a = \"f64 inside\"; // f64 comment\nlet b = 1; /* f64\nf64 */ let c = 2;\n",
+        );
+        assert!(!f.masked[0].contains("f64"));
+        assert!(f.masked[0].contains("\"          \""), "{:?}", f.masked[0]);
+        assert!(!f.masked[1].contains("f64"));
+        assert!(!f.masked[2].contains("f64"));
+        assert!(f.masked[2].contains("let c = 2;"));
+    }
+
+    #[test]
+    fn masking_keeps_empty_string_literals_recognizable() {
+        let f = scan("x.rs", "a.expect(\"\"); b.expect(\"msg\");");
+        assert!(f.masked[0].contains("expect(\"\")"));
+        assert!(!f.masked[0].contains("msg"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let f = scan(
+            "x.rs",
+            "fn f<'a>(c: char) -> bool { c == '{' || c == '\\n' }",
+        );
+        // The brace inside the char literal must not open a block.
+        assert_eq!(f.ctx.len(), 1);
+        assert!(f.masked[0].contains("'a"));
+        assert!(!f.masked[0].contains("'{'"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let f = scan("x.rs", "let s = r#\"f64 { } \"#; let t = 1;");
+        assert!(!f.masked[0].contains("f64"));
+        assert!(f.masked[0].contains("let t = 1;"));
+        assert_eq!(f.ctx.len(), 1);
+    }
+
+    #[test]
+    fn cfg_test_regions_are_tracked() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {}\n}\nfn c() {}\n";
+        let f = scan("x.rs", src);
+        assert!(!f.ctx[0].in_test);
+        assert!(f.ctx[3].in_test, "inside the test mod");
+        assert!(!f.ctx[5].in_test, "after the test mod closes");
+    }
+
+    #[test]
+    fn enabled_gates_and_on_event_fns_are_tracked() {
+        let src = "fn drive<O: Observer>() {\n    if O::ENABLED {\n        obs.on_event(&e);\n    }\n    obs.on_event(&e);\n}\nfn on_event(&mut self) {\n    self.inner.on_event(&e);\n}\n";
+        let f = scan("crates/sim/src/x.rs", src);
+        assert!(f.ctx[2].enabled_gated, "line inside the gate");
+        assert!(!f.ctx[4].enabled_gated, "line after the gate closes");
+        assert!(f.ctx[7].in_on_event_fn, "inside fn on_event");
+    }
+
+    #[test]
+    fn allow_parsing() {
+        let f = scan(
+            "x.rs",
+            "x // pfair-lint: allow(no-float-time): report-only exit\n// pfair-lint: allow(panic-policy)\nno suppression here\n",
+        );
+        assert_eq!(f.allows[0].len(), 1);
+        assert_eq!(f.allows[0][0].rule, "no-float-time");
+        assert!(f.allows[0][0].justified);
+        assert!(!f.allows[1][0].justified);
+        assert!(f.allows[2].is_empty());
+    }
+
+    #[test]
+    fn allows_in_docs_and_strings_are_prose() {
+        let src = "/// doc example: pfair-lint: allow(no-float-time): quoted.\nfn a() {}\nlet s = \"pfair-lint: allow(panic-policy): quoted\";\n//! pfair-lint: allow(shim-drift): also quoted.\n";
+        let f = scan("x.rs", src);
+        assert!(f.allows.iter().all(Vec::is_empty), "{:?}", f.allows);
+    }
+}

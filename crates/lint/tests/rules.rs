@@ -1,0 +1,194 @@
+//! Fixture tests: every rule must fire on a planted violation with the
+//! right `file:line`, stay silent out of scope, and honor (and police)
+//! suppression comments.
+
+use pfair_lint::{lint_files, Diagnostic};
+
+fn lint_one(path: &str, src: &str) -> Vec<Diagnostic> {
+    lint_files(&[(path.to_string(), src.to_string())])
+}
+
+fn rules_of(diags: &[Diagnostic]) -> Vec<&'static str> {
+    diags.iter().map(|d| d.rule).collect()
+}
+
+#[test]
+fn no_float_time_fires_in_exact_crates_with_line() {
+    let d = lint_one(
+        "crates/sim/src/x.rs",
+        "fn a() {}\npub fn speed(x: f64) -> f64 {\n    x * 2.0\n}\n",
+    );
+    assert_eq!(rules_of(&d), ["no-float-time"]);
+    assert_eq!(d[0].path, "crates/sim/src/x.rs");
+    assert_eq!(d[0].line, 2);
+}
+
+#[test]
+fn no_float_time_is_scoped_and_skips_strings_comments_tests() {
+    // Report crates are out of scope.
+    assert!(lint_one("crates/trace/src/x.rs", "pub fn f(x: f64) -> f64 { x }").is_empty());
+    // Strings, comments and test modules never match.
+    let src = "// f64 is mentioned here\nfn a() { let s = \"f64\"; }\n#[cfg(test)]\nmod tests {\n    fn approx() -> f64 { 0.5 }\n}\n";
+    assert!(lint_one("crates/numeric/src/x.rs", src).is_empty());
+}
+
+#[test]
+fn no_lossy_cast_fires_on_value_expressions_only() {
+    let d = lint_one(
+        "crates/analysis/src/x.rs",
+        "fn f(lag: i128) -> i64 {\n    max_lag.num() as i64\n}\n",
+    );
+    assert_eq!(rules_of(&d), ["no-lossy-cast"]);
+    assert_eq!(d[0].line, 2);
+    // Index/counter casts are not value casts.
+    assert!(lint_one(
+        "crates/analysis/src/x.rs",
+        "fn f(i: usize, n: u64) -> u32 {\n    (i + n as usize) as u32\n}\n"
+    )
+    .is_empty());
+    // Widening to i128 is always fine.
+    assert!(lint_one(
+        "crates/analysis/src/x.rs",
+        "fn f(deadline: i64) -> i128 { deadline as i128 }\n"
+    )
+    .is_empty());
+}
+
+#[test]
+fn panic_policy_fires_in_hot_paths() {
+    let src = "fn pick() {\n    let a = heap.peek().unwrap();\n    let b = heap.peek().expect(\"\");\n    let c = heap.peek().expect(\"heap nonempty: checked above\");\n    unreachable!()\n}\n";
+    let d = lint_one("crates/core/src/x.rs", src);
+    assert_eq!(
+        rules_of(&d),
+        ["panic-policy", "panic-policy", "panic-policy"]
+    );
+    assert_eq!(
+        d.iter().map(|d| d.line).collect::<Vec<_>>(),
+        [2, 3, 5],
+        "the diagnostic expect on line 4 is fine"
+    );
+    // Out of hot-path scope: workload generators may unwrap.
+    assert!(lint_one("crates/workload/src/x.rs", "fn f() { x.unwrap(); }").is_empty());
+    // Messages make panics acceptable.
+    assert!(lint_one(
+        "crates/sim/src/x.rs",
+        "fn f() { unreachable!(\"slot {t} exhausted\") }"
+    )
+    .is_empty());
+}
+
+#[test]
+fn no_nondeterminism_fires_on_clocks_and_hash_iteration() {
+    let src = "use std::collections::HashMap;\nfn f() {\n    let t = Instant::now();\n}\n";
+    let d = lint_one("crates/conformance/src/x.rs", src);
+    assert_eq!(rules_of(&d), ["no-nondeterminism", "no-nondeterminism"]);
+    assert_eq!(d[0].line, 1);
+    assert_eq!(d[1].line, 3);
+    // BTreeMap is the sanctioned replacement.
+    assert!(lint_one(
+        "crates/sim/src/x.rs",
+        "use std::collections::BTreeMap;\nfn f(m: &BTreeMap<u32, u32>) {}\n"
+    )
+    .is_empty());
+    // Analysis/report crates are out of scope.
+    assert!(lint_one("crates/analysis/src/x.rs", "use std::collections::HashMap;").is_empty());
+}
+
+#[test]
+fn observer_gating_requires_enabled_guard() {
+    let ungated =
+        "fn drive<O: Observer>(obs: &mut O) {\n    obs.on_event(&SchedEvent::Tick { at });\n}\n";
+    let d = lint_one("crates/sim/src/x.rs", ungated);
+    assert_eq!(rules_of(&d), ["observer-gating"]);
+    assert_eq!(d[0].line, 2);
+
+    let gated = "fn drive<O: Observer>(obs: &mut O) {\n    if O::ENABLED {\n        obs.on_event(&SchedEvent::Tick { at });\n    }\n}\n";
+    assert!(lint_one("crates/sim/src/x.rs", gated).is_empty());
+
+    let single_line =
+        "fn drive<O: Observer>(obs: &mut O) {\n    if O::ENABLED { obs.on_event(&e); }\n}\n";
+    assert!(lint_one("crates/online/src/x.rs", single_line).is_empty());
+
+    // Forwarding inside an observer's own `fn on_event` is exempt.
+    let forward = "impl<A: Observer> Observer for W<A> {\n    fn on_event(&mut self, e: &SchedEvent) {\n        self.0.on_event(e);\n    }\n}\n";
+    assert!(lint_one("crates/obs/src/x.rs", forward).is_empty());
+}
+
+#[test]
+fn shim_drift_flags_unused_surface() {
+    let shim = "pub fn used_helper() -> u64 { 7 }\npub fn dead_helper() -> u64 { 8 }\n";
+    let user = "fn f() { let x = used_helper(); }\n";
+    let d = lint_files(&[
+        ("shims/fake/src/lib.rs".to_string(), shim.to_string()),
+        ("crates/sim/src/y.rs".to_string(), user.to_string()),
+    ]);
+    assert_eq!(rules_of(&d), ["shim-drift"]);
+    assert_eq!(d[0].path, "shims/fake/src/lib.rs");
+    assert_eq!(d[0].line, 2);
+    assert!(d[0].message.contains("dead_helper"));
+}
+
+#[test]
+fn shim_drift_sees_macros_and_skips_methods() {
+    let shim = "#[macro_export]\nmacro_rules! dead_macro {\n    () => {};\n}\npub struct Thing;\nimpl Thing {\n    pub fn method_never_called_by_name(&self) {}\n}\n";
+    let user = "fn f(t: Thing) {}\n";
+    let d = lint_files(&[
+        ("shims/fake/src/lib.rs".to_string(), shim.to_string()),
+        ("crates/sim/src/y.rs".to_string(), user.to_string()),
+    ]);
+    // Only the macro is dead: `Thing` is used, and methods ride their
+    // type's usage.
+    assert_eq!(rules_of(&d), ["shim-drift"]);
+    assert!(d[0].message.contains("dead_macro"));
+}
+
+#[test]
+fn suppression_with_justification_silences_a_finding() {
+    let src = "// pfair-lint: allow(no-float-time): sanctioned report-only exit.\npub fn to_float() -> f64 { 0.0 }\n";
+    assert!(lint_one("crates/numeric/src/x.rs", src).is_empty());
+    // Same-line form.
+    let same =
+        "pub fn to_float() -> f64 { 0.0 } // pfair-lint: allow(no-float-time): report-only.\n";
+    assert!(lint_one("crates/numeric/src/x.rs", same).is_empty());
+}
+
+#[test]
+fn suppression_without_justification_is_a_finding() {
+    let src = "// pfair-lint: allow(no-float-time)\npub fn to_float() -> f64 { 0.0 }\n";
+    let d = lint_one("crates/numeric/src/x.rs", src);
+    assert_eq!(rules_of(&d), ["suppression"]);
+    assert!(d[0].message.contains("justification"));
+}
+
+#[test]
+fn suppression_of_nothing_or_unknown_rule_is_a_finding() {
+    let unused = "// pfair-lint: allow(no-float-time): this guards nothing.\nfn f() {}\n";
+    let d = lint_one("crates/numeric/src/x.rs", unused);
+    assert_eq!(rules_of(&d), ["suppression"]);
+    assert!(d[0].message.contains("suppresses nothing"));
+
+    let unknown = "// pfair-lint: allow(no-such-rule): whatever.\nfn f() {}\n";
+    let d = lint_one("crates/numeric/src/x.rs", unknown);
+    assert_eq!(rules_of(&d), ["suppression"]);
+    assert!(d[0].message.contains("unknown rule"));
+}
+
+#[test]
+fn suppression_does_not_leak_to_other_rules_or_lines() {
+    let src = "// pfair-lint: allow(no-float-time): floats ok here.\nlet t = Instant::now();\n";
+    let d = lint_one("crates/sim/src/x.rs", src);
+    // The nondeterminism finding survives; the allow is also flagged as
+    // suppressing nothing.
+    assert_eq!(rules_of(&d), ["suppression", "no-nondeterminism"]);
+}
+
+#[test]
+fn diagnostics_render_as_file_line_rule() {
+    let d = lint_one("crates/sim/src/x.rs", "pub fn f(x: f64) {}\n");
+    assert_eq!(d.len(), 1);
+    let shown = d[0].to_string();
+    assert!(
+        shown.starts_with("crates/sim/src/x.rs:1: [no-float-time]"),
+        "{shown}"
+    );
+}

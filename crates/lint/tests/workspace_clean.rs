@@ -1,0 +1,33 @@
+//! The whole workspace must lint clean — this is the same gate CI runs
+//! via `cargo run -p pfair-lint`, wired into `cargo test` so a violation
+//! fails locally before it fails in CI.
+
+use std::path::Path;
+
+use pfair_lint::{collect_workspace_files, lint_files};
+
+#[test]
+fn the_workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels below the workspace root")
+        .to_path_buf();
+    let files = collect_workspace_files(&root).expect("workspace sources are readable");
+    assert!(
+        files.len() > 50,
+        "workspace walk found only {} files — collection is broken",
+        files.len()
+    );
+    let diags = lint_files(&files);
+    assert!(
+        diags.is_empty(),
+        "pfair-lint found {} violation(s):\n{}",
+        diags.len(),
+        diags
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -21,6 +21,24 @@ pub fn gcd(a: i64, b: i64) -> i64 {
     i64::try_from(a).expect("gcd overflows i64 only for (i64::MIN, 0)")
 }
 
+/// Greatest common divisor over the full `i128` range used by [`Rat`]
+/// internals (non-negative result; `gcd_i128(0, 0) == 0`).
+///
+/// `i128::MIN` operands are rejected by [`Rat`]'s constructors, so the
+/// absolute values here never overflow.
+///
+/// [`Rat`]: crate::Rat
+#[must_use]
+pub fn gcd_i128(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
 /// Least common multiple (non-negative; `lcm(0, x) == 0`).
 ///
 /// # Panics

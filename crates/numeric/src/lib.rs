@@ -11,9 +11,10 @@
 //!
 //! This crate therefore provides:
 //!
-//! * [`Rat`] — an exact, always-reduced rational number backed by `i64`
-//!   numerator/denominator with `i128` intermediates (panics on overflow,
-//!   which for quantum-scale simulations never triggers);
+//! * [`Rat`] — an exact, always-reduced rational number backed by `i128`
+//!   numerator/denominator with gcd-factored checked arithmetic (a
+//!   diagnostic panic only when even the *reduced* result overflows, which
+//!   lag sums on the 720720 cost grid never do);
 //! * [`Time`] — a transparent alias of [`Rat`] used for points on the real
 //!   time line, with slot helpers ([`slot_of`], [`is_slot_boundary`]);
 //! * integer helpers ([`gcd`], [`lcm`], [`floor_div`], [`ceil_div`]) used by
@@ -31,7 +32,7 @@ pub mod quantum;
 pub mod rational;
 pub mod time;
 
-pub use int::{ceil_div, floor_div, gcd, lcm};
+pub use int::{ceil_div, floor_div, gcd, gcd_i128, lcm};
 pub use quantum::QuantumScale;
 pub use rational::Rat;
 pub use time::{is_slot_boundary, slot_of, Time};

@@ -3,8 +3,13 @@
 //! [`Rat`] is the workhorse numeric type of the workspace: task weights
 //! (`wt(T) = T.e / T.p`), utilization sums, DVQ event times, and actual
 //! execution costs `c(T_i) ∈ (0, 1]` are all `Rat`s. All arithmetic is
-//! exact; overflow of the `i64` components is a panic rather than silent
-//! wraparound (simulation-scale values stay far below the limits).
+//! exact; components are stored as `i128` so that lag sums over
+//! GRID-resolution (denominator 720720) cost models — whose reduced
+//! denominators are products of several near-coprime cost numerators and
+//! genuinely exceed `i64` — stay representable. Every operation first
+//! reduces through gcd factoring (Knuth 4.5.1) and only panics, with a
+//! diagnostic message naming the operands, if the *reduced* result still
+//! exceeds `i128`.
 
 use core::cmp::Ordering;
 use core::fmt;
@@ -12,7 +17,7 @@ use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAss
 
 use serde::{Deserialize, Serialize, Value};
 
-use crate::int::gcd;
+use crate::int::gcd_i128;
 
 /// An exact rational number `num / den` with `den > 0`, always reduced.
 ///
@@ -26,8 +31,16 @@ use crate::int::gcd;
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Rat {
-    num: i64,
-    den: i64,
+    num: i128,
+    den: i128,
+}
+
+#[cold]
+#[inline(never)]
+fn overflow_panic(op: &str, a: Rat, b: Rat) -> ! {
+    panic!(
+        "Rat overflow: {a} {op} {b} is not representable even after reduction (i128 components)"
+    );
 }
 
 impl Rat {
@@ -42,34 +55,73 @@ impl Rat {
     /// Panics if `den == 0`.
     #[must_use]
     pub fn new(num: i64, den: i64) -> Rat {
+        Rat::new_i128(i128::from(num), i128::from(den))
+    }
+
+    /// Creates `num / den` from full-width components, reduced to lowest
+    /// terms.
+    ///
+    /// # Panics
+    /// Panics if `den == 0`, or if either component is `i128::MIN` (whose
+    /// negation is unrepresentable).
+    #[must_use]
+    pub fn new_i128(num: i128, den: i128) -> Rat {
         assert!(den != 0, "Rat denominator must be nonzero");
-        let sign = if den < 0 { -1 } else { 1 };
-        let g = gcd(num, den);
+        assert!(
+            num != i128::MIN && den != i128::MIN,
+            "Rat component i128::MIN is not supported (negation overflows)"
+        );
+        let g = gcd_i128(num, den);
         if g == 0 {
             return Rat::ZERO;
         }
-        Rat {
-            num: sign * (num / g),
-            den: (den / g).abs(),
+        let (mut num, mut den) = (num / g, den / g);
+        if den < 0 {
+            num = -num;
+            den = -den;
         }
+        Rat { num, den }
     }
 
     /// Creates the integer `n`.
     #[must_use]
     pub const fn int(n: i64) -> Rat {
-        Rat { num: n, den: 1 }
+        Rat {
+            num: n as i128,
+            den: 1,
+        }
     }
 
     /// Numerator (of the reduced form; sign lives here).
     #[must_use]
-    pub const fn num(self) -> i64 {
+    pub const fn num(self) -> i128 {
         self.num
     }
 
     /// Denominator (of the reduced form; always positive).
     #[must_use]
-    pub const fn den(self) -> i64 {
+    pub const fn den(self) -> i128 {
         self.den
+    }
+
+    /// Numerator as `i64`, for callers marshalling into narrow interfaces.
+    ///
+    /// # Panics
+    /// Panics with a diagnostic if the numerator exceeds `i64`.
+    #[must_use]
+    pub fn num_i64(self) -> i64 {
+        i64::try_from(self.num)
+            .unwrap_or_else(|_| panic!("Rat numerator {} does not fit in i64", self.num))
+    }
+
+    /// Denominator as `i64`, for callers marshalling into narrow interfaces.
+    ///
+    /// # Panics
+    /// Panics with a diagnostic if the denominator exceeds `i64`.
+    #[must_use]
+    pub fn den_i64(self) -> i64 {
+        i64::try_from(self.den)
+            .unwrap_or_else(|_| panic!("Rat denominator {} does not fit in i64", self.den))
     }
 
     /// `true` iff the value is an integer.
@@ -97,15 +149,24 @@ impl Rat {
     }
 
     /// Largest integer `≤ self`.
+    ///
+    /// # Panics
+    /// Panics with a diagnostic if the floor exceeds `i64` (schedule-scale
+    /// values never do).
     #[must_use]
     pub fn floor(self) -> i64 {
-        self.num.div_euclid(self.den)
+        let f = self.num.div_euclid(self.den);
+        i64::try_from(f).unwrap_or_else(|_| panic!("Rat::floor of {self} does not fit in i64"))
     }
 
     /// Smallest integer `≥ self`.
+    ///
+    /// # Panics
+    /// Panics with a diagnostic if the ceiling exceeds `i64`.
     #[must_use]
     pub fn ceil(self) -> i64 {
-        -(-self.num).div_euclid(self.den)
+        let c = -(-self.num).div_euclid(self.den);
+        i64::try_from(c).unwrap_or_else(|_| panic!("Rat::ceil of {self} does not fit in i64"))
     }
 
     /// Fractional part `self − ⌊self⌋`, in `[0, 1)`.
@@ -150,35 +211,22 @@ impl Rat {
     #[must_use]
     pub fn recip(self) -> Rat {
         assert!(self.num != 0, "Rat::recip of zero");
-        Rat::new(self.den, self.num)
+        let (mut num, mut den) = (self.den, self.num);
+        if den < 0 {
+            num = -num;
+            den = -den;
+        }
+        Rat { num, den }
     }
 
     /// Lossy conversion to `f64` (for reporting / plotting only; never used
     /// in scheduling decisions).
     #[must_use]
+    // pfair-lint: allow(no-float-time): the one sanctioned Rat→float exit, for reports/plots only.
     pub fn to_f64(self) -> f64 {
+        // pfair-lint: allow(no-float-time): float arithmetic is confined to this body.
         self.num as f64 / self.den as f64
     }
-
-    fn from_i128(num: i128, den: i128) -> Rat {
-        debug_assert!(den > 0);
-        let g = gcd_i128(num, den);
-        let (num, den) = if g == 0 { (0, 1) } else { (num / g, den / g) };
-        Rat {
-            num: i64::try_from(num).expect("Rat numerator overflow"),
-            den: i64::try_from(den).expect("Rat denominator overflow"),
-        }
-    }
-}
-
-fn gcd_i128(a: i128, b: i128) -> i128 {
-    let (mut a, mut b) = (a.abs(), b.abs());
-    while b != 0 {
-        let t = a % b;
-        a = b;
-        b = t;
-    }
-    a
 }
 
 impl Default for Rat {
@@ -200,12 +248,31 @@ impl From<u32> for Rat {
 }
 
 impl Add for Rat {
+    /// Knuth 4.5.1 gcd-factored addition: reduce by `g = gcd(den, den)`
+    /// before cross-multiplying so intermediates stay within `i128`
+    /// whenever the reduced result does.
     type Output = Rat;
     fn add(self, rhs: Rat) -> Rat {
-        let num =
-            i128::from(self.num) * i128::from(rhs.den) + i128::from(rhs.num) * i128::from(self.den);
-        let den = i128::from(self.den) * i128::from(rhs.den);
-        Rat::from_i128(num, den)
+        let g = gcd_i128(self.den, rhs.den);
+        // g ≥ 1: both denominators are positive.
+        let rd = rhs.den / g;
+        let ld = self.den / g;
+        let num = self
+            .num
+            .checked_mul(rd)
+            .and_then(|l| rhs.num.checked_mul(ld).and_then(|r| l.checked_add(r)));
+        let den = self.den.checked_mul(rd);
+        let (Some(num), Some(den)) = (num, den) else {
+            overflow_panic("+", self, rhs);
+        };
+        let g2 = gcd_i128(num, den);
+        if g2 == 0 {
+            return Rat::ZERO;
+        }
+        Rat {
+            num: num / g2,
+            den: den / g2,
+        }
     }
 }
 
@@ -217,11 +284,20 @@ impl Sub for Rat {
 }
 
 impl Mul for Rat {
+    /// Cross-reduced multiplication: `gcd(a.num, b.den)` and
+    /// `gcd(b.num, a.den)` are divided out first, so the result of
+    /// multiplying two reduced rationals is reduced by construction and
+    /// the intermediates are as small as possible.
     type Output = Rat;
     fn mul(self, rhs: Rat) -> Rat {
-        let num = i128::from(self.num) * i128::from(rhs.num);
-        let den = i128::from(self.den) * i128::from(rhs.den);
-        Rat::from_i128(num, den)
+        let g1 = gcd_i128(self.num, rhs.den).max(1);
+        let g2 = gcd_i128(rhs.num, self.den).max(1);
+        let num = (self.num / g1).checked_mul(rhs.num / g2);
+        let den = (self.den / g2).checked_mul(rhs.den / g1);
+        let (Some(num), Some(den)) = (num, den) else {
+            overflow_panic("*", self, rhs);
+        };
+        Rat { num, den }
     }
 }
 
@@ -229,13 +305,7 @@ impl Div for Rat {
     type Output = Rat;
     fn div(self, rhs: Rat) -> Rat {
         assert!(rhs.num != 0, "Rat division by zero");
-        let mut num = i128::from(self.num) * i128::from(rhs.den);
-        let mut den = i128::from(self.den) * i128::from(rhs.num);
-        if den < 0 {
-            num = -num;
-            den = -den;
-        }
-        Rat::from_i128(num, den)
+        self * rhs.recip()
     }
 }
 
@@ -282,9 +352,71 @@ impl PartialOrd for Rat {
 impl Ord for Rat {
     fn cmp(&self, other: &Rat) -> Ordering {
         // den > 0 on both sides, so cross-multiplication preserves order.
-        let lhs = i128::from(self.num) * i128::from(other.den);
-        let rhs = i128::from(other.num) * i128::from(self.den);
-        lhs.cmp(&rhs)
+        // The products overflow i128 only for lag-scale denominators; fall
+        // back to the exact continued-fraction walk in that (cold) case.
+        match (
+            self.num.checked_mul(other.den),
+            other.num.checked_mul(self.den),
+        ) {
+            (Some(lhs), Some(rhs)) => lhs.cmp(&rhs),
+            _ => cmp_wide(*self, *other),
+        }
+    }
+}
+
+/// Exact comparison of two rationals whose cross-products overflow `i128`:
+/// compare signs, then walk the continued-fraction expansions (the integer
+/// parts of `a/b` and `c/d`, then recurse on the reciprocals of the
+/// fractional parts with the ordering flipped). Terminates like the
+/// Euclidean algorithm.
+fn cmp_wide(a: Rat, b: Rat) -> Ordering {
+    let sa = a.num.signum();
+    let sb = b.num.signum();
+    if sa != sb {
+        return sa.cmp(&sb);
+    }
+    if sa == 0 {
+        return Ordering::Equal;
+    }
+    let ord = cmp_pos_frac(a.num.abs(), a.den, b.num.abs(), b.den);
+    if sa > 0 {
+        ord
+    } else {
+        ord.reverse()
+    }
+}
+
+/// `an/ad` vs `bn/bd` for strictly positive operands, by continued
+/// fractions.
+fn cmp_pos_frac(mut an: i128, mut ad: i128, mut bn: i128, mut bd: i128) -> Ordering {
+    let mut flipped = false;
+    loop {
+        let qa = an / ad;
+        let qb = bn / bd;
+        if qa != qb {
+            let ord = qa.cmp(&qb);
+            return if flipped { ord.reverse() } else { ord };
+        }
+        let ra = an - qa * ad;
+        let rb = bn - qb * bd;
+        match (ra == 0, rb == 0) {
+            (true, true) => return Ordering::Equal,
+            // A zero remainder means that side is the smaller fraction
+            // (equal integer parts, no fractional part left).
+            (true, false) => {
+                let ord = Ordering::Less;
+                return if flipped { ord.reverse() } else { ord };
+            }
+            (false, true) => {
+                let ord = Ordering::Greater;
+                return if flipped { ord.reverse() } else { ord };
+            }
+            (false, false) => {
+                // ra/ad vs rb/bd compares as the reverse of ad/ra vs bd/rb.
+                (an, ad, bn, bd) = (ad, ra, bd, rb);
+                flipped = !flipped;
+            }
+        }
     }
 }
 
@@ -305,10 +437,16 @@ impl fmt::Debug for Rat {
 }
 
 // Serialized as the two-element pair `[num, den]`, matching how real serde
-// would encode the `(i64, i64)` tuple form.
+// would encode the `(i64, i64)` tuple form. Serialized values (weights,
+// costs, event times) live on the generator grids and always fit i64; a
+// value that does not is a diagnostic panic, not silent truncation.
 impl Serialize for Rat {
     fn to_value(&self) -> Value {
-        (self.num, self.den).to_value()
+        let num = i64::try_from(self.num)
+            .unwrap_or_else(|_| panic!("Rat {self} numerator exceeds the i64 wire format"));
+        let den = i64::try_from(self.den)
+            .unwrap_or_else(|_| panic!("Rat {self} denominator exceeds the i64 wire format"));
+        (num, den).to_value()
     }
 }
 
@@ -347,17 +485,18 @@ impl core::str::FromStr for Rat {
     /// ```
     fn from_str(s: &str) -> Result<Rat, ParseRatError> {
         if let Some((n, d)) = s.split_once('/') {
-            let num: i64 = n.trim().parse().map_err(|_| ParseRatError)?;
-            let den: i64 = d.trim().parse().map_err(|_| ParseRatError)?;
-            if den == 0 {
+            let num: i128 = n.trim().parse().map_err(|_| ParseRatError)?;
+            let den: i128 = d.trim().parse().map_err(|_| ParseRatError)?;
+            if den == 0 || num == i128::MIN || den == i128::MIN {
                 return Err(ParseRatError);
             }
-            Ok(Rat::new(num, den))
+            Ok(Rat::new_i128(num, den))
         } else {
-            s.trim()
-                .parse::<i64>()
-                .map(Rat::int)
-                .map_err(|_| ParseRatError)
+            let num: i128 = s.trim().parse().map_err(|_| ParseRatError)?;
+            if num == i128::MIN {
+                return Err(ParseRatError);
+            }
+            Ok(Rat::new_i128(num, 1))
         }
     }
 }
@@ -441,6 +580,24 @@ mod tests {
     }
 
     #[test]
+    fn wide_ordering_falls_back_exactly() {
+        // Cross-products of these overflow i128, forcing the
+        // continued-fraction path; the two values differ by 1/(den_a·den_b).
+        let d = 10_i128.pow(20);
+        let a = Rat::new_i128(d - 1, d); // (d−1)/d
+        let b = Rat::new_i128(d - 2, d - 1); // (d−2)/(d−1) < (d−1)/d
+        assert!(b < a);
+        assert!(a > b);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+        assert!((-a) < (-b));
+        // Mixed signs and integer-part ties.
+        let big = Rat::new_i128(3 * d + 1, d);
+        let bigger = Rat::new_i128(3 * (d - 1) + 2, d - 1);
+        assert!(big < bigger);
+        assert!((-bigger) < (-big));
+    }
+
+    #[test]
     fn display() {
         assert_eq!(Rat::new(3, 6).to_string(), "1/2");
         assert_eq!(Rat::int(-4).to_string(), "-4");
@@ -487,14 +644,58 @@ mod tests {
     }
 
     #[test]
-    fn overflow_is_a_panic_not_a_wrap() {
-        // Arithmetic that cannot be represented must fail loudly.
+    fn i64_scale_products_are_now_exact() {
+        // The i64-backed Rat panicked here; the i128 components make the
+        // full product of two i64-scale values representable.
         let huge = Rat::new(i64::MAX / 2, 1);
-        assert!(std::panic::catch_unwind(|| huge * huge).is_err());
+        let sq = huge * huge;
+        assert_eq!(
+            sq.num(),
+            i128::from(i64::MAX / 2) * i128::from(i64::MAX / 2)
+        );
         let fine = Rat::new(i64::MAX / 4, 3);
-        // In-range operations on large values still work.
         assert_eq!(fine + Rat::ZERO, fine);
         assert_eq!(fine * Rat::ONE, fine);
+    }
+
+    #[test]
+    fn overflow_is_a_panic_not_a_wrap() {
+        // Arithmetic that cannot be represented even in i128 must still
+        // fail loudly, with the operands in the message.
+        let huge = Rat::new_i128(i128::MAX / 2, 1);
+        let err =
+            std::panic::catch_unwind(|| huge * huge).expect_err("i128-scale product must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("panic carries a String message");
+        assert!(msg.contains("Rat overflow"), "diagnostic message: {msg}");
+        // Addition with coprime denominators that cannot share factors.
+        let a = Rat::new_i128(i128::MAX / 2, 3);
+        let b = Rat::new_i128(i128::MAX / 2, 5);
+        assert!(std::panic::catch_unwind(|| a + b).is_err());
+    }
+
+    #[test]
+    fn grid_resolution_lag_terms_reduce_not_panic() {
+        // The PR-3 failure shape: a sum of `(t − start)/cost` terms with
+        // near-coprime cost numerators on the 720720 grid. The reduced
+        // denominator exceeds i64 — representable now, panic before.
+        const GRID: i64 = 720_720;
+        let t = Rat::int(7);
+        let terms = [
+            (Rat::new(13, 32), Rat::new(523_687, GRID)),
+            (Rat::new(45, 7), Rat::new(611_953, GRID)),
+            (Rat::new(1_234_567, GRID), Rat::new(700_001, GRID)),
+            (Rat::new(355, 113), Rat::new(654_323, GRID)),
+        ];
+        let mut lag = Rat::ZERO;
+        for (start, cost) in terms {
+            lag += (t - start) / cost;
+        }
+        assert!(lag.den() > i128::from(i64::MAX), "den {}", lag.den());
+        // And the value is still exact: multiplying back by the common
+        // denominator gives an integer.
+        assert!((lag * Rat::new_i128(lag.den(), 1)).is_integer());
     }
 
     #[test]
@@ -511,6 +712,12 @@ mod tests {
         let r = Rat::new(22, 7);
         let json = serde_json_lite(&r);
         assert_eq!(json, "[22,7]");
+    }
+
+    #[test]
+    fn serde_rejects_beyond_i64_wire() {
+        let wide = Rat::new_i128(i128::from(i64::MAX) + 1, 1);
+        assert!(std::panic::catch_unwind(|| wide.to_value()).is_err());
     }
 
     // Minimal check that serialization emits the reduced pair without
@@ -557,7 +764,7 @@ mod tests {
         fn prop_always_reduced(a in -10_000i64..10_000, b in 1i64..10_000) {
             let x = Rat::new(a, b);
             prop_assert!(x.den() > 0);
-            prop_assert_eq!(crate::int::gcd(x.num(), x.den()), if x.num() == 0 { x.den() } else { 1 });
+            prop_assert_eq!(gcd_i128(x.num(), x.den()), if x.num() == 0 { x.den() } else { 1 });
         }
 
         #[test]

@@ -1,0 +1,179 @@
+//! Regression properties for the i128-widened [`Rat`] and the `int`
+//! helpers' documented overflow edges.
+//!
+//! The lag accountant reduces every value, but its *intermediate*
+//! cross-multiplications reach `GRID · cost_numerator` per term
+//! (`GRID = 720720`, the lcm-of-1..13 cost grid) — products that overflow
+//! `i64` while fitting comfortably in `i128`. These properties pin the
+//! widened arithmetic to a naive `i128` reference model and exercise the
+//! exact denominator products the conformance campaigns produce.
+
+use pfair_numeric::{ceil_div, floor_div, gcd_i128, lcm, Rat};
+use proptest::prelude::*;
+
+/// The cost grid used by the workload generators.
+const GRID: i64 = 720_720;
+
+/// Naive reference rational: cross-multiply in `i128`, reduce once at the
+/// end. Agreement with [`Rat`] shows the gcd-factored fast paths change
+/// nothing but the intermediate magnitudes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Ref {
+    num: i128,
+    den: i128,
+}
+
+impl Ref {
+    fn new(num: i128, den: i128) -> Ref {
+        assert!(den != 0);
+        let g = gcd_i128(num, den);
+        let (mut num, mut den) = if g == 0 { (0, 1) } else { (num / g, den / g) };
+        if den < 0 {
+            num = -num;
+            den = -den;
+        }
+        Ref { num, den }
+    }
+
+    fn of(r: Rat) -> Ref {
+        Ref::new(r.num(), r.den())
+    }
+
+    fn add(self, o: Ref) -> Ref {
+        Ref::new(self.num * o.den + o.num * self.den, self.den * o.den)
+    }
+
+    fn sub(self, o: Ref) -> Ref {
+        Ref::new(self.num * o.den - o.num * self.den, self.den * o.den)
+    }
+
+    fn mul(self, o: Ref) -> Ref {
+        Ref::new(self.num * o.num, self.den * o.den)
+    }
+
+    fn div(self, o: Ref) -> Ref {
+        assert!(o.num != 0);
+        Ref::new(self.num * o.den, self.den * o.num)
+    }
+}
+
+proptest! {
+    /// Every binary op agrees with the reference model on GRID-scale
+    /// operands (numerators up to one hyperperiod of quanta, denominators
+    /// up to `GRID · 13`, the largest reduced lag-term denominator).
+    #[test]
+    fn prop_ops_agree_with_i128_reference(
+        a in -5_000_000i64..5_000_000,
+        b in 1i64..GRID * 13,
+        c in -5_000_000i64..5_000_000,
+        d in 1i64..GRID * 13,
+    ) {
+        let x = Rat::new(a, b);
+        let y = Rat::new(c, d);
+        let (rx, ry) = (Ref::of(x), Ref::of(y));
+        prop_assert_eq!(Ref::of(x + y), rx.add(ry));
+        prop_assert_eq!(Ref::of(x - y), rx.sub(ry));
+        prop_assert_eq!(Ref::of(x * y), rx.mul(ry));
+        if c != 0 {
+            prop_assert_eq!(Ref::of(x / y), rx.div(ry));
+        }
+        prop_assert_eq!(x < y, (rx.sub(ry)).num < 0);
+    }
+
+    /// Accumulating a lag series over GRID-denominator terms never
+    /// panics and telescopes exactly: `Σ kᵢ/GRID == (Σ kᵢ)/GRID`, even
+    /// when each step also divides by an in-flight cost numerator
+    /// (denominator products up to `GRID² · 13 · n` per step — far past
+    /// `i64`, well inside `i128`).
+    #[test]
+    fn prop_grid_denominator_products_do_not_panic(
+        ks in proptest::collection::vec(1i64..=GRID, 1..40),
+        cost_num in 1i64..=13,
+    ) {
+        let mut sum = Rat::ZERO;
+        for &k in &ks {
+            sum += Rat::new(k, GRID);
+        }
+        let total: i64 = ks.iter().sum();
+        prop_assert_eq!(sum, Rat::new(total, GRID));
+
+        // The received-allocation term: (t − start)/cost with a start on
+        // the grid and a cost on the grid divided by its numerator.
+        let start = Rat::new(ks[0], GRID);
+        let cost = Rat::new(cost_num, GRID);
+        let t = Rat::int(1);
+        let received = (t - start) / cost;
+        prop_assert_eq!(
+            Ref::of(received),
+            Ref::of(t).sub(Ref::of(start)).div(Ref::of(cost))
+        );
+    }
+
+    /// `floor_div`/`ceil_div` match `i128` mathematics over the full
+    /// `i64` operand range — including the `a + b - 1` intermediate that
+    /// would overflow a naive `i64` implementation near `i64::MAX`.
+    #[test]
+    fn prop_floor_ceil_div_match_i128_math(a in i64::MIN..=i64::MAX, b in 1i64..=i64::MAX) {
+        let fl = i128::from(a).div_euclid(i128::from(b));
+        let ce = -(-i128::from(a)).div_euclid(i128::from(b));
+        prop_assert_eq!(i128::from(floor_div(a, b)), fl);
+        prop_assert_eq!(i128::from(ceil_div(a, b)), ce);
+    }
+
+    /// `lcm` either returns the exact mathematical lcm or panics — it
+    /// never wraps to a wrong value.
+    #[test]
+    fn prop_lcm_is_exact_or_panics(a in 1i64..=i64::MAX, b in 1i64..=i64::MAX) {
+        let got = std::panic::catch_unwind(|| lcm(a, b));
+        let exact = {
+            let g = gcd_i128(i128::from(a), i128::from(b));
+            i128::from(a) / g * i128::from(b)
+        };
+        match got {
+            Ok(v) => prop_assert_eq!(i128::from(v), exact),
+            Err(_) => prop_assert!(exact > i128::from(i64::MAX), "lcm({a}, {b}) panicked but {exact} fits i64"),
+        }
+    }
+}
+
+#[test]
+fn ceil_div_survives_the_extremes() {
+    assert_eq!(ceil_div(i64::MAX, 1), i64::MAX);
+    assert_eq!(ceil_div(i64::MAX, 2), i64::MAX / 2 + 1);
+    assert_eq!(ceil_div(i64::MIN, 1), i64::MIN);
+    assert_eq!(ceil_div(i64::MIN + 1, i64::MAX), -1);
+    assert_eq!(ceil_div(i64::MIN + 2, i64::MAX), 0);
+    assert_eq!(floor_div(i64::MIN, 1), i64::MIN);
+    assert_eq!(floor_div(i64::MIN, i64::MAX), -2);
+}
+
+#[test]
+fn lcm_overflow_panics_with_a_diagnostic() {
+    // Two large coprime operands: the exact lcm is their product, far
+    // beyond i64; the documented contract is a panic, not a wrap.
+    let err = std::panic::catch_unwind(|| lcm(i64::MAX, i64::MAX - 1))
+        .expect_err("lcm of huge coprimes must panic");
+    let msg = err
+        .downcast_ref::<&str>()
+        .copied()
+        .map(String::from)
+        .or_else(|| err.downcast_ref::<String>().cloned())
+        .unwrap_or_default();
+    assert!(
+        msg.contains("lcm overflow"),
+        "unexpected panic payload: {msg}"
+    );
+}
+
+#[test]
+fn widened_rat_holds_reduced_denominators_beyond_i64() {
+    // Coprime denominators whose product exceeds i64 — the shape straddling
+    // in-flight quanta produce in the lag series. The reduced sum keeps
+    // the full product as its denominator, which only i128 can hold.
+    let p = (1i64 << 31) - 1; // Mersenne prime 2^31 − 1
+    let q = (1i64 << 61) - 1; // Mersenne prime 2^61 − 1
+    let s = Rat::new(1, p) + Rat::new(1, q);
+    assert_eq!(s.num(), i128::from(p) + i128::from(q));
+    assert_eq!(s.den(), i128::from(p) * i128::from(q));
+    assert!(s.den() > i128::from(i64::MAX), "den = {}", s.den());
+}

@@ -90,7 +90,10 @@ impl MetricsObserver {
             0
         } else {
             let width = Rat::new(1, (self.buckets - 1) as i64);
-            ((t / width).ceil() as usize).min(self.buckets - 1)
+            // Beyond-scale tardiness (including an out-of-usize ceiling)
+            // lands in the last bin.
+            usize::try_from((t / width).ceil())
+                .map_or(self.buckets - 1, |bin| bin.min(self.buckets - 1))
         }
     }
 

@@ -10,7 +10,7 @@
 //! per-subtask yields like `1 − δ`); randomized models (uniform, bimodal)
 //! live in `pfair-workload`, keeping this crate free of RNG dependencies.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use pfair_numeric::Rat;
 use pfair_taskmodel::{SubtaskId, SubtaskRef, TaskSystem};
@@ -62,7 +62,7 @@ impl CostModel for FullQuantum {
 #[derive(Clone, Debug)]
 pub struct FixedCosts {
     default: Rat,
-    map: HashMap<SubtaskId, Rat>,
+    map: BTreeMap<SubtaskId, Rat>,
 }
 
 impl FixedCosts {
@@ -71,7 +71,7 @@ impl FixedCosts {
     pub fn new(default: Rat) -> FixedCosts {
         FixedCosts {
             default,
-            map: HashMap::new(),
+            map: BTreeMap::new(),
         }
     }
 

@@ -17,28 +17,30 @@ pub(crate) fn emit_end<O: Observer>(
     waste: Rat,
     obs: &mut O,
 ) {
-    let s = sys.subtask(st);
-    obs.on_event(&SchedEvent::QuantumEnd {
-        id: s.id,
-        proc,
-        completion,
-        deadline: s.deadline,
-        waste,
-    });
-    let d = Rat::int(s.deadline);
-    if completion > d {
-        obs.on_event(&SchedEvent::DeadlineMiss {
+    if O::ENABLED {
+        let s = sys.subtask(st);
+        obs.on_event(&SchedEvent::QuantumEnd {
             id: s.id,
+            proc,
             completion,
             deadline: s.deadline,
-            tardiness: completion - d,
+            waste,
         });
-    } else {
-        obs.on_event(&SchedEvent::DeadlineHit {
-            id: s.id,
-            completion,
-            deadline: s.deadline,
-        });
+        let d = Rat::int(s.deadline);
+        if completion > d {
+            obs.on_event(&SchedEvent::DeadlineMiss {
+                id: s.id,
+                completion,
+                deadline: s.deadline,
+                tardiness: completion - d,
+            });
+        } else {
+            obs.on_event(&SchedEvent::DeadlineHit {
+                id: s.id,
+                completion,
+                deadline: s.deadline,
+            });
+        }
     }
 }
 

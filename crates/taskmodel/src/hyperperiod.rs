@@ -40,7 +40,8 @@ pub fn subtasks_per_hyperperiod(w: Weight, h: i64) -> i64 {
 /// `r(T_{i+k}) = r(T_i) + h` where `k = e·h/p` subtasks per hyperperiod.
 #[must_use]
 pub fn windows_repeat(w: Weight, h: i64, jobs: u64) -> bool {
-    let k = subtasks_per_hyperperiod(w, h) as u64;
+    let k = u64::try_from(subtasks_per_hyperperiod(w, h))
+        .expect("subtasks per hyperperiod is positive");
     (1..=jobs * w.e() as u64).all(|i| {
         window::release(w, i + k) == window::release(w, i) + h
             && window::deadline(w, i + k) == window::deadline(w, i) + h

@@ -155,7 +155,8 @@ impl PartialFinalSubtask {
 impl CostModel for PartialFinalSubtask {
     fn cost(&mut self, sys: &TaskSystem, st: SubtaskRef) -> Rat {
         let s = sys.subtask(st);
-        let e = sys.task(s.id.task).weight.e() as u64;
+        let e =
+            u64::try_from(sys.task(s.id.task).weight.e()).expect("execution numerator is positive");
         // Subtask i is the last of its job iff i ≡ 0 (mod e).
         if s.id.index.is_multiple_of(e) {
             self.frac

@@ -30,9 +30,11 @@ pub enum WeightDist {
 
 /// Configuration for [`random_weights`].
 ///
-/// Keep `max_period` ≤ ~40: exact utilization accounting sums weights over
-/// a common denominator of `lcm(2..=max_period)`, and beyond ~40 that
-/// exceeds the i64-backed [`Rat`] (arithmetic panics rather than wraps).
+/// Exact utilization accounting sums weights over a common denominator of
+/// `lcm(2..=max_period)`; with the i128-backed [`Rat`] that stays
+/// representable up to `max_period` ≈ 100 (the i64-backed `Rat` capped it
+/// at ~40). Beyond the representable range arithmetic panics with a
+/// diagnostic rather than wrapping.
 #[derive(Clone, Copy, Debug)]
 pub struct TaskGenConfig {
     /// Target total utilization (must be ≥ 0; callers pass `≤ M` for
@@ -110,7 +112,7 @@ pub fn random_weights(cfg: &TaskGenConfig, seed: u64) -> Vec<Weight> {
         if w.as_rat() > remaining {
             // Cannot fit this draw. Fill the exact remainder if asked.
             if cfg.fill_exact && remaining.is_positive() {
-                weights.push(Weight::new(remaining.num(), remaining.den()));
+                weights.push(Weight::new(remaining.num_i64(), remaining.den_i64()));
                 total = cfg.target_util;
             }
             break;
@@ -193,34 +195,23 @@ mod tests {
     }
 
     #[test]
-    fn documented_period_limit_panics_loudly_beyond_it() {
+    fn former_i64_period_limit_is_gone() {
         // Exact utilization sums over periods up to 48 need a common
-        // denominator of lcm(2..=48) > i64::MAX; the library's contract is
-        // a loud panic, not a wrap. (Within the documented ≤ ~40 range the
-        // same sweep works.)
-        let over = TaskGenConfig {
+        // denominator of lcm(2..=48) > i64::MAX — the i64-backed Rat
+        // panicked here; the i128-backed Rat carries the sweep exactly.
+        // (`fill_exact` stays off: the exact filler's *period* would be
+        // that lcm, which exceeds the i64 task model regardless.)
+        let formerly_over = TaskGenConfig {
             target_util: Rat::int(32),
             max_period: 48,
             dist: WeightDist::Uniform,
             fill_exact: false,
         };
-        let result = std::panic::catch_unwind(|| {
-            for seed in 0..40u64 {
-                let _ = random_weights(&over, seed);
-            }
-        });
-        assert!(result.is_err(), "expected Rat overflow panic at p ≤ 48");
-
-        let within = TaskGenConfig {
-            target_util: Rat::int(32),
-            max_period: 36,
-            dist: WeightDist::Uniform,
-            fill_exact: true,
-        };
         for seed in 0..40u64 {
-            let ws = random_weights(&within, seed);
+            let ws = random_weights(&formerly_over, seed);
             let total: Rat = ws.iter().map(|w| w.as_rat()).sum();
-            assert_eq!(total, Rat::int(32), "seed {seed}");
+            assert!(total <= Rat::int(32), "seed {seed}: total {total}");
+            assert!(total > Rat::int(28), "seed {seed}: sweep stopped early");
         }
     }
 

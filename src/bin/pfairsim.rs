@@ -223,7 +223,7 @@ fn main() {
             "--help" | "-h" => usage(),
             w => {
                 let r = parse_rat(w).unwrap_or_else(|| usage());
-                weights.push((r.num(), r.den()));
+                weights.push((r.num_i64(), r.den_i64()));
             }
         }
     }

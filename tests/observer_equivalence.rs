@@ -7,11 +7,11 @@
 //! tolerance — with `pfair-analysis` recomputing the same quantities from
 //! the finished [`Schedule`].
 //!
-//! The cost regimes are chosen with small denominators (≤ 8) so the exact
-//! per-slot lag arithmetic stays representable in `Rat`; the generator's
-//! GRID-resolution models are exercised by the conformance campaign's
-//! `streaming-posthoc-agreement` invariant instead, which compares the
-//! division-free quantities there.
+//! The broad sweeps run small-denominator (≤ 8) cost regimes; a dedicated
+//! regression drives the GRID-resolution (denominator 720720) cost model
+//! whose lag sums exceeded the old i64-backed `Rat` outright — the
+//! i128-backed `Rat` now carries them exactly, so the same rational
+//! equality holds with no representability carve-out anywhere.
 
 use pfair::analysis::{max_lag_over_slots, tardiness_histogram, total_lag};
 use pfair::conformance::{generate_case, Case, GenConfig};
@@ -121,6 +121,44 @@ fn assert_run_agrees(
             assert_eq!(r.blockers, e.blockers, "{ctx}: blocker set");
         }
     }
+}
+
+/// Regression for the former `Rat` overflow: on the generator's
+/// GRID-resolution (720720) cost grid, DVQ lag terms `(t − start)/cost`
+/// have near-coprime reduced denominators around `GRID · cost_numerator`,
+/// and per-slot sums over a few straddling quanta exceed `i64` — the
+/// i64-backed `Rat` panicked here, and the conformance invariant carried a
+/// `den ≤ 32` carve-out to dodge it. The i128-backed `Rat` must carry the
+/// full comparison exactly, and the sweep must actually visit beyond-i64
+/// denominators (else this test guards nothing).
+#[test]
+fn grid_resolution_lag_agrees_exactly_beyond_i64() {
+    let mut saw_beyond_i64 = false;
+    for seed in 0..60u64 {
+        let (sys, m) = system_for(seed);
+        let mut cost = UniformCost::new(Rat::new(1, 4), seed ^ 0x9e37);
+        let mut lag = LagObserver::new(&sys);
+        let sched = simulate_dvq_observed(&sys, m, &Pd2, &mut cost, &mut lag);
+        let h = sys.horizon();
+        lag.finish(h);
+        for &(t, l) in lag.series() {
+            assert_eq!(
+                l,
+                total_lag(&sys, &sched, Rat::int(t)),
+                "seed {seed}: streaming LAG at slot {t}"
+            );
+            saw_beyond_i64 |= l.den() > i128::from(i64::MAX);
+        }
+        assert_eq!(
+            lag.max_lag(),
+            max_lag_over_slots(&sys, &sched, h),
+            "seed {seed}: streaming max LAG"
+        );
+    }
+    assert!(
+        saw_beyond_i64,
+        "sweep never produced a lag denominator beyond i64 — the regression lost its witness"
+    );
 }
 
 #[test]
