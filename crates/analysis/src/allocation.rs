@@ -110,6 +110,25 @@ mod tests {
     }
 
     #[test]
+    fn matrix_agrees_with_scheduled_in_slot_pointwise() {
+        // `allocation_matrix` is the batch form of the paper's S(T, t);
+        // the two definitions must agree cell for cell on SFQ schedules.
+        let sys = fig2_system();
+        let sched = simulate_sfq(&sys, 2, &Pd2, &mut FullQuantum);
+        let m = allocation_matrix(&sys, &sched, 6);
+        for task in sys.tasks() {
+            for t in 0..6 {
+                assert_eq!(
+                    m[task.id.idx()][usize::try_from(t).expect("small slot index")],
+                    scheduled_in_slot(&sys, &sched, task.id, t),
+                    "task {:?} slot {t}",
+                    task.id
+                );
+            }
+        }
+    }
+
+    #[test]
     fn no_intra_slot_parallelism() {
         // One task never occupies more than one full slot's worth of any
         // slot (Eq. (1)'s "parallelism is not allowed").

@@ -251,9 +251,10 @@ fn simulate_pdb_eb_first(sys: &TaskSystem, m: u32, cost: &mut dyn CostModel) -> 
         .collect();
     let mut placed = 0usize;
     let mut t = 0i64;
+    let mut ready: Vec<SubtaskRef> = Vec::with_capacity(sys.num_tasks());
 
     while placed < total {
-        let mut ready: Vec<SubtaskRef> = Vec::new();
+        ready.clear();
         let mut next_interesting = i64::MAX;
         for &(cur, hi) in &cursor {
             if cur >= hi {

@@ -4,10 +4,18 @@
 //! checks: exact rational time (no floats, no silent narrowing),
 //! seed-replayable determinism (no wall clocks, no hash-order iteration),
 //! diagnostic panics in scheduler hot paths, compile-time-gated observer
-//! emission, and vendored shims that cover exactly the API surface the
-//! workspace uses. This crate is a small static-analysis pass over the
-//! workspace's Rust sources that enforces those policies with
-//! `file:line` diagnostics.
+//! emission, cross-engine event-emission parity, and vendored shims that
+//! cover exactly the API surface the workspace uses. This crate is a
+//! static-analysis pass over the workspace's Rust sources that enforces
+//! those policies with `file:line` diagnostics.
+//!
+//! Two layers. A token layer ([`tokens`]) lexes each file — raw strings,
+//! char literals and nested block comments included — into a masked view
+//! plus a token stream. An item graph ([`graph`]) parses the streams into
+//! every `fn`/`impl`/`struct`/`enum` in the workspace with a conservative
+//! call graph, so *hot path* means "reachable from a
+//! `simulate_*`/`run_until*`/`tick*` entry point", proven by a witness
+//! chain in the diagnostic, not a file-path guess.
 //!
 //! ## Rules
 //!
@@ -15,10 +23,13 @@
 //! |------|--------|
 //! | `no-float-time` | no `f32`/`f64` in the exact-arithmetic crates |
 //! | `no-lossy-cast` | no `as` narrowing on time/lag/weight values |
-//! | `panic-policy` | no bare `unwrap`/`expect("")`/`unreachable!()` in hot paths |
+//! | `panic-policy-v2` | no bare `unwrap`/`expect("")`/`unreachable!()` reachable from a hot entry point |
 //! | `no-nondeterminism` | no `Instant::now`/`SystemTime`/`HashMap` in replayable code |
 //! | `observer-gating` | every `on_event` emission gated on `O::ENABLED` |
-//! | `shim-drift` | shims export nothing the workspace does not use |
+//! | `alloc-in-hot-loop` | no `Vec::new`/`vec![]`/`clone()`/`format!`/`to_string` in loops reachable from a hot entry point |
+//! | `emission-parity` | engines construct the same `SchedEvent` variants modulo declared exemptions; observer `match`es enumerate the closed vocabulary |
+//! | `dead-pub` | no unreferenced top-level `pub` items anywhere in the workspace |
+//! | `misplaced-suppression` | no inert `allow(…)` comments inside doc comments |
 //!
 //! ## Suppression
 //!
@@ -31,12 +42,22 @@
 //!
 //! The justification after the `:` is mandatory; a suppression without
 //! one, naming an unknown rule, or suppressing nothing is itself a
-//! finding (rule `suppression`), so allows cannot rot in place.
+//! finding (rule `suppression`), so allows cannot rot in place. Only
+//! plain `//` comments count — an allow inside a `///` doc comment is
+//! rendered documentation, and the `misplaced-suppression` rule flags it.
 //!
-//! The linter is lexical by design — it masks comments and strings,
-//! tracks brace-block contexts (`#[cfg(test)]` regions are exempt
-//! everywhere), and needs no network, no `rustc` internals and no
-//! third-party crates, so it runs first in CI on a bare toolchain.
+//! ## Machine-readable output and the ratchet baseline
+//!
+//! `pfair-lint --json` emits the findings as a JSON array with the
+//! stable per-finding schema `{file, line, rule, message, suppression}`
+//! (`suppression` is the ready-to-paste allow comment). A checked-in
+//! baseline (`lint-baseline.txt`) lets the rule set run strict without a
+//! flag day: CI fails on any finding not in the baseline *and* on any
+//! baseline entry that no longer matches a finding, so the baseline can
+//! only shrink.
+//!
+//! The linter needs no network, no `rustc` internals and no third-party
+//! crates, so it runs first in CI on a bare toolchain.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -45,11 +66,15 @@ use std::collections::BTreeSet;
 use std::fmt;
 use std::path::{Path, PathBuf};
 
+pub mod graph;
 pub mod rules;
 pub mod scan;
+pub mod tokens;
 
+pub use graph::Graph;
 pub use rules::{scope_of, Scope, RULE_NAMES};
 pub use scan::{scan, ScannedFile};
+pub use tokens::{lex, CharClass};
 
 /// One finding, pointing at a workspace-relative `file:line`.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -75,14 +100,18 @@ impl fmt::Display for Diagnostic {
 }
 
 /// Lints a set of `(workspace-relative path, contents)` pairs: runs every
-/// per-file rule plus the cross-file shim-drift rule, then applies and
+/// per-file rule, the graph rules (hot-path panics and allocations,
+/// emission parity), dead-pub and misplaced-suppression, then applies and
 /// polices suppressions. Diagnostics come back sorted by `(path, line)`.
 #[must_use]
 pub fn lint_files(files: &[(String, String)]) -> Vec<Diagnostic> {
     let scanned: Vec<ScannedFile> = files.iter().map(|(p, s)| scan(p, s)).collect();
+    let g = Graph::build(&scanned);
 
     let mut raw: Vec<Diagnostic> = scanned.iter().flat_map(rules::per_file_findings).collect();
-    raw.extend(rules::shim_drift(&scanned));
+    raw.extend(rules::graph_findings(&scanned, &g));
+    raw.extend(rules::dead_pub(&scanned, &g));
+    raw.extend(rules::misplaced_suppressions(&scanned));
 
     // Apply suppressions: an allow on the finding's line or the line
     // directly above covers it.
@@ -153,15 +182,146 @@ pub fn lint_files(files: &[(String, String)]) -> Vec<Diagnostic> {
     out
 }
 
+/// Renders diagnostics as a JSON array with the stable schema
+/// `{file, line, rule, message, suppression}`. The `suppression` field
+/// is the ready-to-paste allow comment for the finding (the `<why…>`
+/// placeholder included — the justification is the author's to write).
+/// Hand-rolled so the linter keeps its zero-dependency build; the
+/// round-trip test deserializes it through the workspace serde shims.
+#[must_use]
+pub fn diagnostics_to_json(diags: &[Diagnostic]) -> String {
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    let mut s = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n  {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\", \"suppression\": \"{}\"}}",
+            esc(&d.path),
+            d.line,
+            esc(d.rule),
+            esc(&d.message),
+            esc(&format!(
+                "// pfair-lint: allow({}): <why this site is sound>",
+                d.rule
+            )),
+        ));
+    }
+    if !diags.is_empty() {
+        s.push('\n');
+    }
+    s.push_str("]\n");
+    s
+}
+
+/// One entry of the ratchet baseline: a known finding CI tolerates while
+/// it is being burned down. Line numbers are deliberately absent so
+/// unrelated edits don't churn the file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// The rule name.
+    pub rule: String,
+    /// Workspace-relative path.
+    pub path: String,
+    /// The exact diagnostic message.
+    pub message: String,
+}
+
+/// Parses a baseline file: one `rule<TAB>file<TAB>message` entry per
+/// line; blank lines and `#` comments are skipped.
+///
+/// # Errors
+/// Returns the 1-based line number and reason for a malformed entry.
+pub fn parse_baseline(text: &str) -> Result<Vec<BaselineEntry>, String> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let mut parts = t.splitn(3, '\t');
+        let (Some(rule), Some(path), Some(message)) = (parts.next(), parts.next(), parts.next())
+        else {
+            return Err(format!(
+                "line {}: expected `rule<TAB>file<TAB>message`, got `{t}`",
+                i + 1
+            ));
+        };
+        out.push(BaselineEntry {
+            rule: rule.to_string(),
+            path: path.to_string(),
+            message: message.to_string(),
+        });
+    }
+    Ok(out)
+}
+
+/// The result of filtering findings through the ratchet baseline.
+#[derive(Clone, Debug, Default)]
+pub struct BaselineSplit {
+    /// Findings not covered by the baseline — these fail the run.
+    pub new: Vec<Diagnostic>,
+    /// Findings the baseline tolerates.
+    pub baselined: Vec<Diagnostic>,
+    /// Baseline entries matching no current finding — the ratchet: a
+    /// fixed finding must leave the baseline, so stale entries also fail
+    /// the run.
+    pub stale: Vec<BaselineEntry>,
+}
+
+/// Splits `diags` against the baseline. An entry covers every finding
+/// with the same `(rule, path, message)`; entries covering nothing are
+/// stale.
+#[must_use]
+pub fn apply_baseline(diags: &[Diagnostic], baseline: &[BaselineEntry]) -> BaselineSplit {
+    let mut split = BaselineSplit::default();
+    let mut used: Vec<bool> = vec![false; baseline.len()];
+    for d in diags {
+        let hit = baseline
+            .iter()
+            .position(|b| b.rule == d.rule && b.path == d.path && b.message == d.message);
+        match hit {
+            Some(i) => {
+                used[i] = true;
+                split.baselined.push(d.clone());
+            }
+            None => split.new.push(d.clone()),
+        }
+    }
+    for (i, b) in baseline.iter().enumerate() {
+        if !used[i] {
+            split.stale.push(b.clone());
+        }
+    }
+    split
+}
+
 /// Collects the workspace's lintable sources under `root`: `crates/`,
-/// `shims/`, the root package's `src/`, and `tests/`. Skips `target/`
-/// and anything hidden.
+/// `shims/`, the root package's `src/`, `tests/`, `examples/` and
+/// `benches/`. Skips `target/` and anything hidden.
 ///
 /// # Errors
 /// Propagates I/O errors from directory walking or file reads.
 pub fn collect_workspace_files(root: &Path) -> std::io::Result<Vec<(String, String)>> {
     let mut out = Vec::new();
-    for top in ["crates", "shims", "src", "tests"] {
+    for top in ["crates", "shims", "src", "tests", "examples", "benches"] {
         let dir = root.join(top);
         if dir.is_dir() {
             walk(&dir, root, &mut out)?;

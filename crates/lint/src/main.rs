@@ -1,13 +1,21 @@
-//! CLI entry point: `cargo run -p pfair-lint [-- --root <path>]`.
+//! CLI entry point: `cargo run -p pfair-lint [-- --root <path>] [--json]`.
 //!
-//! Lints the workspace sources and exits nonzero if any finding remains
-//! after suppressions. Output is one `file:line: [rule] message` per
-//! finding, sorted, so CI logs diff cleanly.
+//! Lints the workspace sources, filters the findings through the ratchet
+//! baseline (`lint-baseline.txt` at the workspace root, if present), and
+//! exits nonzero if any finding is not baselined — or if a baseline
+//! entry matches no finding, so the baseline can only shrink. Default
+//! output is one `file:line: [rule] message` per finding, sorted, so CI
+//! logs diff cleanly; `--json` emits all findings (baselined included)
+//! as a JSON array with the stable `{file, line, rule, message,
+//! suppression}` schema for the CI artifact.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use pfair_lint::{collect_workspace_files, lint_files};
+use pfair_lint::{
+    apply_baseline, collect_workspace_files, diagnostics_to_json, lint_files, parse_baseline,
+    BaselineEntry,
+};
 
 /// Walks upward from `start` to the directory whose `Cargo.toml` declares
 /// the workspace.
@@ -31,11 +39,25 @@ fn find_workspace_root(start: PathBuf) -> PathBuf {
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let mut root: Option<PathBuf> = None;
+    let mut json = false;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut no_baseline = false;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--root" => root = args.next().map(PathBuf::from),
+            "--json" => json = true,
+            "--baseline" => baseline_path = args.next().map(PathBuf::from),
+            "--no-baseline" => no_baseline = true,
             "--help" | "-h" => {
-                println!("pfair-lint: workspace invariant linter\n\nUSAGE: pfair-lint [--root <workspace-root>]");
+                println!(
+                    "pfair-lint: workspace invariant linter\n\n\
+                     USAGE: pfair-lint [--root <workspace-root>] [--json]\n\
+                            [--baseline <file>] [--no-baseline]\n\n\
+                     --json         emit findings as a JSON array (stable schema:\n\
+                     \x20              file, line, rule, message, suppression)\n\
+                     --baseline     ratchet baseline file (default: <root>/lint-baseline.txt)\n\
+                     --no-baseline  ignore the baseline; every finding fails the run"
+                );
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -59,14 +81,52 @@ fn main() -> ExitCode {
         }
     };
     let diags = lint_files(&files);
-    for d in &diags {
-        println!("{d}");
+
+    let baseline: Vec<BaselineEntry> = if no_baseline {
+        Vec::new()
+    } else {
+        let path = baseline_path.unwrap_or_else(|| root.join("lint-baseline.txt"));
+        match std::fs::read_to_string(&path) {
+            Ok(text) => match parse_baseline(&text) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("pfair-lint: malformed baseline {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(_) => Vec::new(), // no baseline file: everything is new
+        }
+    };
+    let split = apply_baseline(&diags, &baseline);
+
+    if json {
+        print!("{}", diagnostics_to_json(&diags));
+    } else {
+        for d in &split.new {
+            println!("{d}");
+        }
     }
-    if diags.is_empty() {
-        println!("pfair-lint: clean ({} files)", files.len());
+    for b in &split.stale {
+        eprintln!(
+            "pfair-lint: stale baseline entry (no matching finding — remove it): {}\t{}\t{}",
+            b.rule, b.path, b.message
+        );
+    }
+    if split.new.is_empty() && split.stale.is_empty() {
+        if !json {
+            println!(
+                "pfair-lint: clean ({} files, {} baselined finding(s))",
+                files.len(),
+                split.baselined.len()
+            );
+        }
         ExitCode::SUCCESS
     } else {
-        eprintln!("pfair-lint: {} finding(s)", diags.len());
+        eprintln!(
+            "pfair-lint: {} new finding(s), {} stale baseline entr(ies)",
+            split.new.len(),
+            split.stale.len()
+        );
         ExitCode::FAILURE
     }
 }

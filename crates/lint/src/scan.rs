@@ -1,28 +1,18 @@
 //! Lexical source model.
 //!
-//! The rules operate on a *masked* view of each file: comment and string
-//! interiors are blanked (length- and line-preserving, quote delimiters
-//! kept), so `"f64"` inside a string or `.unwrap()` inside a doc comment
-//! never match. A second pass tracks brace-block contexts — `#[cfg(test)]`
+//! The rules operate on a *masked* view of each file produced by the
+//! token layer ([`crate::tokens`]): comment and string interiors are
+//! blanked (length- and line-preserving, quote delimiters kept), so
+//! `"f64"` inside a string or `.unwrap()` inside a doc comment never
+//! match. A second pass tracks brace-block contexts — `#[cfg(test)]`
 //! regions, `if …ENABLED…` gates, `fn on_event` bodies, `impl`/`fn`
-//! interiors — recorded per line, and suppression comments are parsed from
-//! the raw text.
+//! interiors — recorded per line, and suppression comments are parsed
+//! from the raw text, split into honored (plain `//`) and misplaced
+//! (doc-comment) occurrences.
 
-/// What a masked character position originally was. Suppressions are only
-/// honored inside plain `//` comments — an `allow(…)` quoted in a doc
-/// comment or a string literal is prose, not policy.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub enum CharClass {
-    /// Live code.
-    #[default]
-    Code,
-    /// A plain `//` line comment (not `///`/`//!` docs).
-    Comment,
-    /// Doc comments, block comments, string and char literals.
-    Other,
-}
+use crate::tokens::{lex, CharClass, Tok};
 
-/// One `pfair-lint: allow(<rule>)` suppression parsed from a comment.
+/// One `allow(<rule>)` suppression parsed from a `pfair-lint` comment.
 #[derive(Clone, Debug)]
 pub struct Allow {
     /// The rule name inside `allow(…)`.
@@ -41,12 +31,13 @@ pub struct LineCtx {
     /// Inside the body of a function named `on_event` (observer
     /// forwarding impls).
     pub in_on_event_fn: bool,
-    /// Inside an `impl` block or a function body (used by shim-drift to
+    /// Inside an `impl` block or a function body (used by dead-pub to
     /// collect only top-level items).
     pub in_impl_or_fn: bool,
 }
 
-/// A scanned source file: raw and masked lines plus per-line contexts.
+/// A scanned source file: raw and masked lines, per-line contexts,
+/// suppressions, and the token stream the item graph parses.
 #[derive(Clone, Debug)]
 pub struct ScannedFile {
     /// Workspace-relative path with forward slashes.
@@ -55,22 +46,27 @@ pub struct ScannedFile {
     pub raw: Vec<String>,
     /// Masked lines: comment/string interiors blanked.
     pub masked: Vec<String>,
-    /// Suppressions parsed per line.
+    /// Honored suppressions (plain `//` comments) parsed per line.
     pub allows: Vec<Vec<Allow>>,
+    /// Inert suppressions found inside doc comments, per line — flagged
+    /// by the `misplaced-suppression` rule.
+    pub misplaced_allows: Vec<Vec<Allow>>,
     /// Context at the start of each line.
     pub ctx: Vec<LineCtx>,
+    /// The comment-free token stream, with 1-based lines.
+    pub tokens: Vec<Tok>,
 }
 
 /// Scans `source` into the model the rules consume.
 #[must_use]
 pub fn scan(path: &str, source: &str) -> ScannedFile {
-    let (masked_text, classes) = mask(source);
+    let lexed = lex(source);
     let raw: Vec<String> = source.lines().map(str::to_string).collect();
-    let masked: Vec<String> = masked_text.lines().map(str::to_string).collect();
+    let masked: Vec<String> = lexed.masked.lines().map(str::to_string).collect();
     // Per-line class slices, aligned with each line's chars.
     let mut class_lines: Vec<Vec<CharClass>> = Vec::new();
     let mut cur = Vec::new();
-    for (c, cl) in masked_text.chars().zip(classes.iter().copied()) {
+    for (c, cl) in lexed.masked.chars().zip(lexed.classes.iter().copied()) {
         if c == '\n' {
             class_lines.push(std::mem::take(&mut cur));
         } else {
@@ -81,181 +77,24 @@ pub fn scan(path: &str, source: &str) -> ScannedFile {
         class_lines.push(cur);
     }
     class_lines.resize(raw.len(), Vec::new());
-    let allows: Vec<Vec<Allow>> = raw
-        .iter()
-        .zip(class_lines.iter())
-        .map(|(l, cls)| parse_allows(l, cls))
-        .collect();
-    let mut ctx = contexts(&masked_text);
+    let mut allows: Vec<Vec<Allow>> = Vec::with_capacity(raw.len());
+    let mut misplaced_allows: Vec<Vec<Allow>> = Vec::with_capacity(raw.len());
+    for (l, cls) in raw.iter().zip(class_lines.iter()) {
+        let (honored, misplaced) = parse_allows(l, cls);
+        allows.push(honored);
+        misplaced_allows.push(misplaced);
+    }
+    let mut ctx = contexts(&lexed.masked);
     ctx.resize(raw.len().max(masked.len()).max(1), LineCtx::default());
     ScannedFile {
         path: path.replace('\\', "/"),
         raw,
         masked,
         allows,
+        misplaced_allows,
         ctx,
+        tokens: lexed.tokens,
     }
-}
-
-/// Blanks comment and string interiors, preserving length, line structure
-/// and quote delimiters (so an empty string literal stays recognizably
-/// `""`), and classifies every output char as code, plain comment, or
-/// other masked text.
-fn mask(source: &str) -> (String, Vec<CharClass>) {
-    let b: Vec<char> = source.chars().collect();
-    let mut out = String::with_capacity(source.len());
-    let mut cls: Vec<CharClass> = Vec::with_capacity(source.len());
-    let keep_nl = |c: char| if c == '\n' { '\n' } else { ' ' };
-    let mut i = 0;
-    while i < b.len() {
-        let c = b[i];
-        if c == '/' && b.get(i + 1) == Some(&'/') {
-            let doc = matches!(b.get(i + 2), Some('/') | Some('!'));
-            let class = if doc {
-                CharClass::Other
-            } else {
-                CharClass::Comment
-            };
-            while i < b.len() && b[i] != '\n' {
-                out.push(' ');
-                cls.push(class);
-                i += 1;
-            }
-            continue;
-        }
-        if c == '/' && b.get(i + 1) == Some(&'*') {
-            let mut depth = 1;
-            out.push_str("  ");
-            cls.push(CharClass::Other);
-            cls.push(CharClass::Other);
-            i += 2;
-            while i < b.len() && depth > 0 {
-                if b[i] == '/' && b.get(i + 1) == Some(&'*') {
-                    depth += 1;
-                    out.push_str("  ");
-                    cls.push(CharClass::Other);
-                    cls.push(CharClass::Other);
-                    i += 2;
-                } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
-                    depth -= 1;
-                    out.push_str("  ");
-                    cls.push(CharClass::Other);
-                    cls.push(CharClass::Other);
-                    i += 2;
-                } else {
-                    out.push(keep_nl(b[i]));
-                    cls.push(CharClass::Other);
-                    i += 1;
-                }
-            }
-            continue;
-        }
-        if c == 'r' && matches!(b.get(i + 1), Some('"') | Some('#')) {
-            let mut j = i + 1;
-            let mut hashes = 0usize;
-            while b.get(j) == Some(&'#') {
-                hashes += 1;
-                j += 1;
-            }
-            if b.get(j) == Some(&'"') {
-                out.push(' ');
-                out.push_str(&" ".repeat(hashes));
-                out.push('"');
-                for _ in 0..hashes + 2 {
-                    cls.push(CharClass::Other);
-                }
-                j += 1;
-                while j < b.len() {
-                    if b[j] == '"' {
-                        let mut k = j + 1;
-                        let mut h = 0;
-                        while h < hashes && b.get(k) == Some(&'#') {
-                            h += 1;
-                            k += 1;
-                        }
-                        if h == hashes {
-                            out.push('"');
-                            out.push_str(&" ".repeat(hashes));
-                            for _ in 0..hashes + 1 {
-                                cls.push(CharClass::Other);
-                            }
-                            j = k;
-                            break;
-                        }
-                    }
-                    out.push(keep_nl(b[j]));
-                    cls.push(CharClass::Other);
-                    j += 1;
-                }
-                i = j;
-                continue;
-            }
-        }
-        if c == '"' {
-            out.push('"');
-            cls.push(CharClass::Other);
-            i += 1;
-            while i < b.len() {
-                if b[i] == '\\' {
-                    out.push(' ');
-                    cls.push(CharClass::Other);
-                    if let Some(&e) = b.get(i + 1) {
-                        out.push(keep_nl(e));
-                        cls.push(CharClass::Other);
-                    }
-                    i += 2;
-                    continue;
-                }
-                if b[i] == '"' {
-                    out.push('"');
-                    cls.push(CharClass::Other);
-                    i += 1;
-                    break;
-                }
-                out.push(keep_nl(b[i]));
-                cls.push(CharClass::Other);
-                i += 1;
-            }
-            continue;
-        }
-        if c == '\'' {
-            if b.get(i + 1) == Some(&'\\') {
-                out.push('\'');
-                out.push(' ');
-                cls.push(CharClass::Other);
-                cls.push(CharClass::Other);
-                i += 2;
-                while i < b.len() && b[i] != '\'' {
-                    out.push(' ');
-                    cls.push(CharClass::Other);
-                    i += 1;
-                }
-                if i < b.len() {
-                    out.push('\'');
-                    cls.push(CharClass::Other);
-                    i += 1;
-                }
-                continue;
-            }
-            if b.get(i + 2) == Some(&'\'') {
-                out.push_str("' '");
-                cls.push(CharClass::Other);
-                cls.push(CharClass::Other);
-                cls.push(CharClass::Other);
-                i += 3;
-                continue;
-            }
-            // A lifetime: pass through as code.
-            out.push('\'');
-            cls.push(CharClass::Code);
-            i += 1;
-            continue;
-        }
-        out.push(c);
-        cls.push(CharClass::Code);
-        i += 1;
-    }
-    (out, cls)
 }
 
 /// Tracks brace-block contexts over the masked text. The "header" of a
@@ -310,31 +149,40 @@ fn contexts(masked: &str) -> Vec<LineCtx> {
     ctxs
 }
 
-/// Parses every `pfair-lint: allow(<rule>)[: justification]` on a raw
-/// line. Only occurrences classified as plain `//` comment text count:
-/// an `allow(…)` quoted in a doc comment or string literal is prose.
-fn parse_allows(line: &str, classes: &[CharClass]) -> Vec<Allow> {
+/// Parses every `allow(<rule>)[: justification]` suppression on a raw
+/// line, split by placement: occurrences in plain `//` comment text are
+/// honored policy; occurrences in doc comments are inert and come back
+/// in the second list (the `misplaced-suppression` rule flags them).
+/// An `allow(…)` inside a string literal or a fenced doc example is
+/// prose and ignored entirely.
+fn parse_allows(line: &str, classes: &[CharClass]) -> (Vec<Allow>, Vec<Allow>) {
     const KEY: &str = "pfair-lint: allow(";
-    let mut out = Vec::new();
+    let mut honored = Vec::new();
+    let mut misplaced = Vec::new();
     let mut base = 0usize;
     while let Some(rel) = line[base..].find(KEY) {
         let pos = base + rel;
         let char_idx = line[..pos].chars().count();
-        let in_comment = classes.get(char_idx) == Some(&CharClass::Comment);
+        let class = classes.get(char_idx).copied().unwrap_or(CharClass::Other);
         let after = &line[pos + KEY.len()..];
         let Some(close) = after.find(')') else { break };
         let tail = &after[close + 1..];
-        if in_comment {
+        if matches!(class, CharClass::Comment | CharClass::Doc) {
             let rule = after[..close].trim().to_string();
             let justified = tail
                 .trim_start()
                 .strip_prefix(':')
                 .is_some_and(|j| !j.trim().is_empty());
-            out.push(Allow { rule, justified });
+            let allow = Allow { rule, justified };
+            if class == CharClass::Comment {
+                honored.push(allow);
+            } else {
+                misplaced.push(allow);
+            }
         }
         base = pos + KEY.len() + close + 1;
     }
-    out
+    (honored, misplaced)
 }
 
 #[cfg(test)]
@@ -382,6 +230,26 @@ mod tests {
     }
 
     #[test]
+    fn raw_strings_with_hashes_do_not_desync_statement_tracking() {
+        // A `"#`-bearing raw string spanning lines must leave the block
+        // stack exactly where it was: `fn after` is NOT inside a block.
+        let src = "fn first() {\n    let s = r##\"text \"# with { fake } closers\n  and a second line\"##;\n}\nfn after() {}\n";
+        let f = scan("x.rs", src);
+        assert!(
+            !f.ctx[4].in_impl_or_fn,
+            "line `fn after` must be back at top level: {:?}",
+            f.ctx
+        );
+    }
+
+    #[test]
+    fn nested_block_comments_do_not_desync() {
+        let src = "fn a() {\n    /* outer { /* inner } */ still commented { */\n}\nfn b() {}\n";
+        let f = scan("x.rs", src);
+        assert!(!f.ctx[3].in_impl_or_fn, "fn b is at top level");
+    }
+
+    #[test]
     fn cfg_test_regions_are_tracked() {
         let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {}\n}\nfn c() {}\n";
         let f = scan("x.rs", src);
@@ -403,7 +271,7 @@ mod tests {
     fn allow_parsing() {
         let f = scan(
             "x.rs",
-            "x // pfair-lint: allow(no-float-time): report-only exit\n// pfair-lint: allow(panic-policy)\nno suppression here\n",
+            "x // pfair-lint: allow(no-float-time): report-only exit\n// pfair-lint: allow(panic-policy-v2)\nno suppression here\n",
         );
         assert_eq!(f.allows[0].len(), 1);
         assert_eq!(f.allows[0][0].rule, "no-float-time");
@@ -413,9 +281,26 @@ mod tests {
     }
 
     #[test]
-    fn allows_in_docs_and_strings_are_prose() {
-        let src = "/// doc example: pfair-lint: allow(no-float-time): quoted.\nfn a() {}\nlet s = \"pfair-lint: allow(panic-policy): quoted\";\n//! pfair-lint: allow(shim-drift): also quoted.\n";
+    fn allows_in_strings_are_prose_and_in_docs_are_misplaced() {
+        let src = "/// doc example: pfair-lint: allow(no-float-time): quoted.\nfn a() {}\nlet s = \"pfair-lint: allow(panic-policy-v2): quoted\";\n//! pfair-lint: allow(dead-pub): also misplaced.\n";
         let f = scan("x.rs", src);
         assert!(f.allows.iter().all(Vec::is_empty), "{:?}", f.allows);
+        assert_eq!(f.misplaced_allows[0].len(), 1);
+        assert_eq!(f.misplaced_allows[0][0].rule, "no-float-time");
+        assert!(f.misplaced_allows[2].is_empty(), "string content is prose");
+        assert_eq!(f.misplaced_allows[3].len(), 1);
+        assert_eq!(f.misplaced_allows[3][0].rule, "dead-pub");
+    }
+
+    #[test]
+    fn allows_inside_doc_fences_are_prose() {
+        let src = "/// ```text\n/// // pfair-lint: allow(no-float-time): the sanctioned exit.\n/// ```\nfn a() {}\n";
+        let f = scan("x.rs", src);
+        assert!(f.allows.iter().all(Vec::is_empty));
+        assert!(
+            f.misplaced_allows.iter().all(Vec::is_empty),
+            "fenced examples document the syntax, they are not misplaced policy: {:?}",
+            f.misplaced_allows
+        );
     }
 }

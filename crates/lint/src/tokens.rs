@@ -1,0 +1,601 @@
+//! The token layer.
+//!
+//! One lexer pass produces everything the analyses above it consume:
+//!
+//! * a **token stream** (`Tok`) with 1-based line numbers — identifiers,
+//!   lifetimes, literals and punctuation, comments dropped — which
+//!   `graph` parses into the item graph;
+//! * a **masked text** — comment and string interiors blanked,
+//!   length- and line-preserving, quote delimiters kept — which the
+//!   lexical rules pattern-match against;
+//! * a **per-char class** distinguishing live code, plain `//` comments
+//!   (where suppressions live), doc comments (where suppressions are
+//!   inert and flagged as misplaced), and other masked text.
+//!
+//! Handling raw strings (`r"…"`, `r#"…"#`, any hash depth, `b`/`br`
+//! prefixes), char literals containing braces or quotes (`'{'`, `'"'`,
+//! escapes), and nested block comments here — once, byte-exactly — is
+//! what keeps the brace/statement tracking in `scan` from
+//! desynchronizing.
+
+/// What a masked character position originally was. Suppressions are only
+/// honored inside plain `//` comments — an `allow(…)` quoted in a doc
+/// comment is inert (and flagged as misplaced), one in a string literal
+/// is prose.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CharClass {
+    /// Live code.
+    #[default]
+    Code,
+    /// A plain `//` line comment (not `///`/`//!` docs).
+    Comment,
+    /// A `///`/`//!` doc comment, outside any ``` code fence.
+    Doc,
+    /// Block comments, fenced doc-comment text, string and char literals.
+    Other,
+}
+
+/// A token kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (including `_` and `r#raw` idents).
+    Ident,
+    /// A lifetime (`'a`), without the quote in `text`.
+    Lifetime,
+    /// A string literal of any flavor (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// A char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// A numeric literal (including suffixed forms like `3i64`).
+    Num,
+    /// A single punctuation character.
+    Punct,
+}
+
+/// One token with its 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Tok {
+    /// The kind.
+    pub kind: TokKind,
+    /// The text: the identifier/number itself, the lifetime name, a
+    /// single punctuation char, or `""` for string/char literals (their
+    /// contents are policy-irrelevant and deliberately dropped).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: usize,
+}
+
+impl Tok {
+    /// Is this an identifier with exactly this text?
+    #[must_use]
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Is this a punctuation token with exactly this char?
+    #[must_use]
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+/// The lexer's full output.
+#[derive(Clone, Debug)]
+pub struct Lexed {
+    /// The token stream, comments and whitespace dropped.
+    pub tokens: Vec<Tok>,
+    /// Masked source: same length and line structure as the input,
+    /// comment/string interiors blanked, quote delimiters kept.
+    pub masked: String,
+    /// One class per masked char.
+    pub classes: Vec<CharClass>,
+}
+
+fn is_word_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_word_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `source`. Never fails: unterminated literals and comments run
+/// to end-of-input, masked but tokenless, so a half-edited file still
+/// lints instead of crashing the linter.
+#[must_use]
+#[allow(clippy::too_many_lines)] // one linear scan; splitting it would scatter the masking invariants
+pub fn lex(source: &str) -> Lexed {
+    let b: Vec<char> = source.chars().collect();
+    let mut out = String::with_capacity(source.len());
+    let mut cls: Vec<CharClass> = Vec::with_capacity(source.len());
+    let mut tokens: Vec<Tok> = Vec::new();
+    let mut line = 1usize;
+    // ``` fences inside doc comments toggle Doc → Other: fenced lines are
+    // example text, not (even inert) policy.
+    let mut doc_fence = false;
+
+    let keep_nl = |c: char| if c == '\n' { '\n' } else { ' ' };
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+
+        // Line comments: `//`, `///`, `//!`. Four or more slashes are a
+        // plain comment again, matching rustdoc.
+        if c == '/' && b.get(i + 1) == Some(&'/') {
+            let doc = matches!(b.get(i + 2), Some('/') | Some('!')) && b.get(i + 3) != Some(&'/');
+            let text: String = b[i..]
+                .iter()
+                .take_while(|&&ch| ch != '\n')
+                .copied()
+                .collect();
+            let fence_marks = text.matches("```").count();
+            let class = if !doc {
+                CharClass::Comment
+            } else if doc_fence || fence_marks > 0 {
+                CharClass::Other
+            } else {
+                CharClass::Doc
+            };
+            if doc && fence_marks % 2 == 1 {
+                doc_fence = !doc_fence;
+            }
+            while i < b.len() && b[i] != '\n' {
+                out.push(' ');
+                cls.push(class);
+                i += 1;
+            }
+            continue;
+        }
+
+        // Block comments, nested to arbitrary depth.
+        if c == '/' && b.get(i + 1) == Some(&'*') {
+            let mut depth = 0usize;
+            while i < b.len() {
+                if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    out.push_str("  ");
+                    cls.push(CharClass::Other);
+                    cls.push(CharClass::Other);
+                    i += 2;
+                } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    out.push_str("  ");
+                    cls.push(CharClass::Other);
+                    cls.push(CharClass::Other);
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    if b[i] == '\n' {
+                        line += 1;
+                    }
+                    out.push(keep_nl(b[i]));
+                    cls.push(CharClass::Other);
+                    i += 1;
+                }
+            }
+            continue;
+        }
+
+        // Raw strings and raw byte strings: [b]r#*" … "#*. A raw
+        // *identifier* (`r#match`) falls through to the ident branch.
+        let (raw_at, byte_prefix) = if c == 'r' {
+            (Some(i), 0usize)
+        } else if c == 'b' && b.get(i + 1) == Some(&'r') {
+            (Some(i + 1), 1usize)
+        } else {
+            (None, 0)
+        };
+        if let Some(r_at) = raw_at {
+            let mut j = r_at + 1;
+            let mut hashes = 0usize;
+            while b.get(j) == Some(&'#') {
+                hashes += 1;
+                j += 1;
+            }
+            // `r#ident` (raw identifier) has no quote after the hashes
+            // and falls through to the ident branch.
+            if b.get(j) == Some(&'"') {
+                let start_line = line;
+                // Opening `[b]r##…`: blanked; keep one visible quote so
+                // the masked line still reads as a string position.
+                for _ in 0..(byte_prefix + 1 + hashes) {
+                    out.push(' ');
+                    cls.push(CharClass::Other);
+                }
+                out.push('"');
+                cls.push(CharClass::Other);
+                j += 1;
+                // Body: runs to `"` followed by exactly `hashes` hashes.
+                // Raw strings have no escapes.
+                loop {
+                    match b.get(j) {
+                        None => break,
+                        Some(&'"') => {
+                            let mut k = j + 1;
+                            let mut h = 0usize;
+                            while h < hashes && b.get(k) == Some(&'#') {
+                                h += 1;
+                                k += 1;
+                            }
+                            if h == hashes {
+                                out.push('"');
+                                cls.push(CharClass::Other);
+                                for _ in 0..hashes {
+                                    out.push(' ');
+                                    cls.push(CharClass::Other);
+                                }
+                                j = k;
+                                break;
+                            }
+                            out.push(' ');
+                            cls.push(CharClass::Other);
+                            j += 1;
+                        }
+                        Some(&ch) => {
+                            if ch == '\n' {
+                                line += 1;
+                            }
+                            out.push(keep_nl(ch));
+                            cls.push(CharClass::Other);
+                            j += 1;
+                        }
+                    }
+                }
+                tokens.push(Tok {
+                    kind: TokKind::Str,
+                    text: String::new(),
+                    line: start_line,
+                });
+                i = j;
+                continue;
+            }
+        }
+
+        // Plain and byte strings, with escapes.
+        if c == '"' || (c == 'b' && b.get(i + 1) == Some(&'"')) {
+            let start_line = line;
+            if c == 'b' {
+                out.push(' ');
+                cls.push(CharClass::Other);
+                i += 1;
+            }
+            out.push('"');
+            cls.push(CharClass::Other);
+            i += 1;
+            while i < b.len() {
+                if b[i] == '\\' {
+                    out.push(' ');
+                    cls.push(CharClass::Other);
+                    if let Some(&e) = b.get(i + 1) {
+                        if e == '\n' {
+                            line += 1;
+                        }
+                        out.push(keep_nl(e));
+                        cls.push(CharClass::Other);
+                    }
+                    i += 2;
+                    continue;
+                }
+                if b[i] == '"' {
+                    out.push('"');
+                    cls.push(CharClass::Other);
+                    i += 1;
+                    break;
+                }
+                if b[i] == '\n' {
+                    line += 1;
+                }
+                out.push(keep_nl(b[i]));
+                cls.push(CharClass::Other);
+                i += 1;
+            }
+            tokens.push(Tok {
+                kind: TokKind::Str,
+                text: String::new(),
+                line: start_line,
+            });
+            continue;
+        }
+
+        // Char/byte-char literals vs lifetimes.
+        if c == '\'' || (c == 'b' && b.get(i + 1) == Some(&'\'')) {
+            let q_at = if c == 'b' { i + 1 } else { i };
+            let next = b.get(q_at + 1).copied();
+            let is_char = match next {
+                Some('\\') => true,
+                // `'x'` (incl. `'{'`, `'"'`): closing quote two ahead.
+                Some(_) => b.get(q_at + 2) == Some(&'\''),
+                None => false,
+            };
+            if is_char {
+                let start_line = line;
+                if c == 'b' {
+                    out.push(' ');
+                    cls.push(CharClass::Other);
+                    i += 1;
+                }
+                out.push('\'');
+                cls.push(CharClass::Other);
+                i += 1;
+                if b.get(i) == Some(&'\\') {
+                    // Escape: blank to the closing quote.
+                    while i < b.len() && b[i] != '\'' {
+                        out.push(keep_nl(b[i]));
+                        cls.push(CharClass::Other);
+                        i += 1;
+                    }
+                } else {
+                    out.push(' ');
+                    cls.push(CharClass::Other);
+                    i += 1;
+                }
+                if b.get(i) == Some(&'\'') {
+                    out.push('\'');
+                    cls.push(CharClass::Other);
+                    i += 1;
+                }
+                tokens.push(Tok {
+                    kind: TokKind::Char,
+                    text: String::new(),
+                    line: start_line,
+                });
+                continue;
+            }
+            if c == '\'' {
+                if next.is_some_and(is_word_start) {
+                    // A lifetime: `'name`, kept as code.
+                    let start_line = line;
+                    out.push('\'');
+                    cls.push(CharClass::Code);
+                    i += 1;
+                    let mut name = String::new();
+                    while i < b.len() && is_word_char(b[i]) {
+                        name.push(b[i]);
+                        out.push(b[i]);
+                        cls.push(CharClass::Code);
+                        i += 1;
+                    }
+                    tokens.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: name,
+                        line: start_line,
+                    });
+                    continue;
+                }
+                // A stray quote (malformed source): pass through.
+                out.push('\'');
+                cls.push(CharClass::Code);
+                tokens.push(Tok {
+                    kind: TokKind::Punct,
+                    text: "'".to_string(),
+                    line,
+                });
+                i += 1;
+                continue;
+            }
+            // `b` not followed by a literal: plain identifier char, fall
+            // through to the ident branch below.
+        }
+
+        // Identifiers and keywords (incl. raw `r#ident`).
+        if is_word_start(c) {
+            let start_line = line;
+            let mut text = String::new();
+            if c == 'r'
+                && b.get(i + 1) == Some(&'#')
+                && b.get(i + 2).copied().is_some_and(is_word_start)
+            {
+                i += 2; // skip `r#`; the token is the bare name
+            }
+            while i < b.len() && is_word_char(b[i]) {
+                text.push(b[i]);
+                out.push(b[i]);
+                cls.push(CharClass::Code);
+                i += 1;
+            }
+            tokens.push(Tok {
+                kind: TokKind::Ident,
+                text,
+                line: start_line,
+            });
+            continue;
+        }
+
+        // Numbers (suffixes and separators ride along; `1..2` stops at
+        // the range dots, `1.5` keeps its fraction).
+        if c.is_ascii_digit() {
+            let start_line = line;
+            let mut text = String::new();
+            while i < b.len() && (is_word_char(b[i])) {
+                text.push(b[i]);
+                out.push(b[i]);
+                cls.push(CharClass::Code);
+                i += 1;
+            }
+            if b.get(i) == Some(&'.') && b.get(i + 1).copied().is_some_and(|d| d.is_ascii_digit()) {
+                text.push('.');
+                out.push('.');
+                cls.push(CharClass::Code);
+                i += 1;
+                while i < b.len() && is_word_char(b[i]) {
+                    text.push(b[i]);
+                    out.push(b[i]);
+                    cls.push(CharClass::Code);
+                    i += 1;
+                }
+            }
+            tokens.push(Tok {
+                kind: TokKind::Num,
+                text,
+                line: start_line,
+            });
+            continue;
+        }
+
+        if c == '\n' {
+            line += 1;
+            out.push('\n');
+            cls.push(CharClass::Code);
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            out.push(' ');
+            cls.push(CharClass::Code);
+            i += 1;
+            continue;
+        }
+
+        out.push(c);
+        cls.push(CharClass::Code);
+        tokens.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+
+    Lexed {
+        tokens,
+        masked: out,
+        classes: cls,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn masking_preserves_length_and_lines() {
+        for src in [
+            "let a = \"f64 inside\"; // f64 comment\nlet b = 1;\n",
+            "let s = r#\"multi\nline { raw \"# ; done",
+            "/* outer /* inner */ still outer */ code",
+            "let c = '{'; let d = '\\n'; let e = b'\\'';",
+        ] {
+            let l = lex(src);
+            assert_eq!(l.masked.chars().count(), src.chars().count(), "{src:?}");
+            assert_eq!(
+                l.masked.lines().count(),
+                src.lines().count(),
+                "line structure must survive masking: {src:?}"
+            );
+            assert_eq!(l.classes.len(), l.masked.chars().count());
+        }
+    }
+
+    #[test]
+    fn raw_strings_do_not_desynchronize_braces() {
+        // The brace inside the raw string must not open a block, at any
+        // hash depth, with or without a byte prefix.
+        for src in [
+            "let s = r\"{\"; let t = 1;",
+            "let s = r#\"{ \"nested\" }\"#; let t = 1;",
+            "let s = r##\"one \"# deep\"##; let t = 1;",
+            "let s = br#\"{ bytes }\"#; let t = 1;",
+        ] {
+            let l = lex(src);
+            assert!(!l.masked.contains('{'), "{src:?} → {:?}", l.masked);
+            assert!(l.masked.contains("let t = 1;"), "{src:?} → {:?}", l.masked);
+        }
+    }
+
+    #[test]
+    fn char_literals_with_braces_and_quotes_stay_closed() {
+        for src in [
+            "match c { '{' => 1, '}' => 2, _ => 3 }",
+            "let q = '\"'; let b = b'{'; let n = '\\u{1F600}';",
+            "let apostrophe = '\\''; done();",
+        ] {
+            let l = lex(src);
+            let opens = l.masked.matches('{').count();
+            let closes = l.masked.matches('}').count();
+            assert_eq!(
+                opens, closes,
+                "masked braces must balance for {src:?} → {:?}",
+                l.masked
+            );
+        }
+        // A lifetime is not a char literal.
+        let l = lex("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(l.masked.contains("<'a>"));
+        assert_eq!(l.masked.matches('{').count(), 1);
+    }
+
+    #[test]
+    fn nested_block_comments_unwind_fully() {
+        let src = "/* depth1 /* depth2 { */ still masked { */ let x = 1; { }";
+        let l = lex(src);
+        assert!(l.masked.contains("let x = 1;"));
+        // Only the code braces survive.
+        assert_eq!(l.masked.matches('{').count(), 1);
+        assert_eq!(l.masked.matches('}').count(), 1);
+    }
+
+    #[test]
+    fn token_stream_basics() {
+        let toks = kinds("pub fn f<'a>(x: i64) -> &'a str { x.max(3i64) }");
+        assert!(toks.contains(&(TokKind::Ident, "fn".into())));
+        assert!(toks.contains(&(TokKind::Lifetime, "a".into())));
+        assert!(toks.contains(&(TokKind::Num, "3i64".into())));
+        let toks = kinds("let r = r#match; call(r#type);");
+        assert!(toks.contains(&(TokKind::Ident, "match".into())));
+        assert!(toks.contains(&(TokKind::Ident, "type".into())));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_range_dots() {
+        let toks = kinds("for i in 0..3i64 {}");
+        assert!(toks.contains(&(TokKind::Num, "0".into())));
+        assert!(toks.contains(&(TokKind::Num, "3i64".into())));
+        let toks = kinds("let x = 1.5e3;");
+        assert!(toks.contains(&(TokKind::Num, "1.5e3".into())));
+    }
+
+    #[test]
+    fn doc_comments_classify_as_doc_and_fences_as_other() {
+        let src = "/// plain doc line\n//! inner doc\n// plain comment\n/// ```text\n/// fenced example\n/// ```\n/// after fence\n";
+        let l = lex(src);
+        let line_class = |n: usize| {
+            let start: usize = src.lines().take(n).map(|s| s.chars().count() + 1).sum();
+            l.classes[start]
+        };
+        assert_eq!(line_class(0), CharClass::Doc);
+        assert_eq!(line_class(1), CharClass::Doc);
+        assert_eq!(line_class(2), CharClass::Comment);
+        assert_eq!(line_class(3), CharClass::Other, "fence opener");
+        assert_eq!(line_class(4), CharClass::Other, "fenced text");
+        assert_eq!(line_class(5), CharClass::Other, "fence closer");
+        assert_eq!(line_class(6), CharClass::Doc, "after the fence closes");
+    }
+
+    #[test]
+    fn four_slashes_are_a_plain_comment() {
+        let l = lex("//// separator\n");
+        assert_eq!(l.classes[0], CharClass::Comment);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_literals() {
+        let src = "let a = \"line\n1 to 2\";\nlet b = r#\"3\n4\"#;\nfn after() {}\n";
+        let l = lex(src);
+        let f = l
+            .tokens
+            .iter()
+            .find(|t| t.is_ident("after"))
+            .expect("token present");
+        assert_eq!(f.line, 5);
+    }
+}

@@ -1,0 +1,92 @@
+//! `--json` output: the schema is stable (snapshot-tested byte for byte)
+//! and genuinely JSON — it round-trips through the workspace serde shims,
+//! which the linter itself never links.
+
+use pfair_lint::{apply_baseline, diagnostics_to_json, lint_files, parse_baseline, BaselineEntry};
+use serde::Value;
+
+fn fixture_diags() -> Vec<pfair_lint::Diagnostic> {
+    let src = "fn simulate_fix(sys: &Sys) {\n    pick(sys);\n}\nfn pick(sys: &Sys) {\n    sys.heap.peek().unwrap();\n}\n";
+    lint_files(&[("crates/sim/src/x.rs".to_string(), src.to_string())])
+}
+
+#[test]
+fn json_output_matches_its_snapshot() {
+    let json = diagnostics_to_json(&fixture_diags());
+    let expected = "[\n  {\"file\": \"crates/sim/src/x.rs\", \"line\": 5, \"rule\": \"panic-policy-v2\", \"message\": \"bare `.unwrap()` on a hot path (reachable via simulate_fix \\u2192 pick): use `.expect(\\\"<what invariant held and broke>\\\")`\", \"suppression\": \"// pfair-lint: allow(panic-policy-v2): <why this site is sound>\"}\n]\n";
+    // The arrow is multi-byte UTF-8; both the literal char and an escape
+    // are valid JSON, and this emitter keeps the char.
+    let expected = expected.replace("\\u2192", "→");
+    assert_eq!(json, expected);
+}
+
+#[test]
+fn json_output_round_trips_through_serde() {
+    let diags = fixture_diags();
+    let json = diagnostics_to_json(&diags);
+    let v: Value = serde_json::from_str(&json).expect("lint --json output parses as JSON");
+    let Value::Seq(items) = &v else {
+        panic!("top level is an array, got {v:?}");
+    };
+    assert_eq!(items.len(), diags.len());
+    for (item, d) in items.iter().zip(&diags) {
+        assert_eq!(
+            item.field("file").expect("file field"),
+            &Value::Str(d.path.clone())
+        );
+        assert_eq!(
+            item.field("line").expect("line field"),
+            &Value::Int(i128::try_from(d.line).expect("line fits"))
+        );
+        assert_eq!(
+            item.field("rule").expect("rule field"),
+            &Value::Str(d.rule.to_string())
+        );
+        assert_eq!(
+            item.field("message").expect("message field"),
+            &Value::Str(d.message.clone())
+        );
+        let Value::Str(sup) = item.field("suppression").expect("suppression field") else {
+            panic!("suppression is a string");
+        };
+        assert!(sup.contains(&format!("allow({})", d.rule)), "{sup}");
+    }
+    // Serialize → parse again: a true round trip, not just a parse.
+    let again: Value = serde_json::from_str(&serde_json::to_string(&v).expect("Value serializes"))
+        .expect("re-parses");
+    assert_eq!(v, again);
+}
+
+#[test]
+fn empty_finding_set_is_an_empty_array() {
+    let json = diagnostics_to_json(&[]);
+    assert_eq!(json, "[]\n");
+    let v: Value = serde_json::from_str(&json).expect("parses");
+    assert_eq!(v, Value::Seq(Vec::new()));
+}
+
+#[test]
+fn baseline_parses_filters_and_ratchets() {
+    let diags = fixture_diags();
+    assert_eq!(diags.len(), 1);
+    let text = format!(
+        "# comment line\n\n{}\t{}\t{}\nno-float-time\tcrates/sim/src/gone.rs\ta fixed finding\n",
+        diags[0].rule, diags[0].path, diags[0].message
+    );
+    let baseline = parse_baseline(&text).expect("well-formed baseline");
+    assert_eq!(baseline.len(), 2);
+    let split = apply_baseline(&diags, &baseline);
+    assert!(split.new.is_empty(), "the finding is baselined");
+    assert_eq!(split.baselined.len(), 1);
+    // The ratchet: the entry whose finding was fixed is stale and must go.
+    assert_eq!(
+        split.stale,
+        vec![BaselineEntry {
+            rule: "no-float-time".to_string(),
+            path: "crates/sim/src/gone.rs".to_string(),
+            message: "a fixed finding".to_string(),
+        }]
+    );
+    // Malformed lines are errors, not silently ignored entries.
+    assert!(parse_baseline("just-one-field\n").is_err());
+}

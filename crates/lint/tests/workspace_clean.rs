@@ -1,18 +1,24 @@
 //! The whole workspace must lint clean — this is the same gate CI runs
 //! via `cargo run -p pfair-lint`, wired into `cargo test` so a violation
-//! fails locally before it fails in CI.
+//! fails locally before it fails in CI. A second test mutates the real
+//! DVQ engine in memory to prove emission-parity is load-bearing, not
+//! vacuously green.
 
 use std::path::Path;
 
 use pfair_lint::{collect_workspace_files, lint_files};
 
-#[test]
-fn the_workspace_lints_clean() {
-    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+fn workspace_root() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
         .parent()
         .and_then(Path::parent)
         .expect("crates/lint sits two levels below the workspace root")
-        .to_path_buf();
+        .to_path_buf()
+}
+
+#[test]
+fn the_workspace_lints_clean() {
+    let root = workspace_root();
     let files = collect_workspace_files(&root).expect("workspace sources are readable");
     assert!(
         files.len() > 50,
@@ -29,5 +35,45 @@ fn the_workspace_lints_clean() {
             .map(ToString::to_string)
             .collect::<Vec<_>>()
             .join("\n")
+    );
+}
+
+/// Removing DVQ's terminal-event emission must fail emission-parity.
+///
+/// The real `dvq.rs` emits `QuantumEnd`/`DeadlineHit`/`DeadlineMiss`
+/// through the shared `emit_end`/`flush_ends` helpers in `emit.rs`. We
+/// rename those calls in DVQ's source (in memory only) so they resolve
+/// to nothing — exactly what an engine refactor that forgot the
+/// deadline bookkeeping would look like — and assert the linter notices
+/// DVQ no longer reaches a `DeadlineMiss` construction while SFQ and
+/// the staggered engine still do.
+#[test]
+fn removing_dvq_deadline_emission_fails_emission_parity() {
+    let root = workspace_root();
+    let mut files = collect_workspace_files(&root).expect("workspace sources are readable");
+    let dvq = files
+        .iter_mut()
+        .find(|(path, _)| path.ends_with("crates/sim/src/dvq.rs"))
+        .expect("the DVQ engine exists");
+    assert!(
+        dvq.1.contains("emit_end") && dvq.1.contains("flush_ends"),
+        "dvq.rs emits terminal events via emit_end/flush_ends — update this \
+         test if that plumbing moves"
+    );
+    dvq.1 = dvq
+        .1
+        .replace("emit_end", "emit_end_gone")
+        .replace("flush_ends", "flush_ends_gone");
+    let diags = lint_files(&files);
+    let parity: Vec<_> = diags
+        .iter()
+        .filter(|d| d.rule == "emission-parity")
+        .collect();
+    assert!(
+        parity
+            .iter()
+            .any(|d| d.message.contains("`dvq`") && d.message.contains("DeadlineMiss")),
+        "severing DVQ's emit helpers must surface a `dvq` DeadlineMiss parity \
+         finding; emission-parity reported: {parity:?}"
     );
 }

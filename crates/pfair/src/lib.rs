@@ -67,6 +67,7 @@ pub use pfair_taskmodel as taskmodel;
 pub use pfair_trace as trace;
 pub use pfair_workload as workload;
 
+// pfair-lint: allow(dead-pub): the guided tour is consumed as rendered docs and doctests, never referenced by path.
 pub mod paper;
 
 /// The most common imports, re-exported flat.

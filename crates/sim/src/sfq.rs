@@ -416,14 +416,15 @@ fn run_sfq_impl<O: Observer>(
             }
         }
 
-        let picked: Vec<SubtaskRef> = match policy {
+        let pdb_holder: Vec<SubtaskRef>;
+        let picked: &[SubtaskRef] = match policy {
             SfqPolicy::Priority(_) => {
                 // Only the top M matter; a partial selection beats a full
                 // sort once the ready set outgrows the machine (and cached
                 // keys beat comparator calls; see `SlotSelector`).
                 let sel = selector.as_mut().expect("Priority policy has a selector");
                 sel.select(sys, &mut ready, m as usize);
-                ready.clone()
+                &ready
             }
             SfqPolicy::PdB(lin) => {
                 let readiness: Vec<pdb::Ready> = ready
@@ -447,11 +448,12 @@ fn run_sfq_impl<O: Observer>(
                         scheduled: picked.len(),
                     });
                 }
-                picked
+                pdb_holder = picked;
+                &pdb_holder
             }
         };
 
-        let procs = assign_processors(sys, &picked, m, affinity, &mut last_proc);
+        let procs = assign_processors(sys, picked, m, affinity, &mut last_proc);
         for (&st, &proc) in picked.iter().zip(&procs) {
             let c = checked_cost(cost.cost(sys, st), st);
             placements.push(Placement {

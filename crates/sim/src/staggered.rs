@@ -101,6 +101,8 @@ pub fn simulate_staggered_observed<O: Observer>(
     let mut placed = 0usize;
     // Observability state: quanta whose ends are still unannounced.
     let mut pending_ends: Vec<PendingEnd> = Vec::new();
+    // This instant's boundary-crossing processors, reused across slots.
+    let mut boundaries: Vec<u32> = Vec::with_capacity(m as usize);
 
     while placed < total {
         let Some(&Reverse((now, _))) = events.peek() else {
@@ -117,7 +119,7 @@ pub fn simulate_staggered_observed<O: Observer>(
             flush_due(sys, &mut pending_ends, now, obs);
             obs.on_event(&SchedEvent::Tick { at: now });
         }
-        let mut boundaries: Vec<u32> = Vec::new();
+        boundaries.clear();
         while let Some(&Reverse((t, ev))) = events.peek() {
             if t != now {
                 break;
@@ -147,7 +149,7 @@ pub fn simulate_staggered_observed<O: Observer>(
         boundaries.sort_unstable();
 
         let mut idle_procs = 0u32;
-        for proc in boundaries {
+        for &proc in &boundaries {
             if let Some((pos, _)) = ready
                 .iter()
                 .enumerate()

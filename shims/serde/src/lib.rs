@@ -260,6 +260,18 @@ impl Deserialize for String {
     }
 }
 
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Value, de::Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
 impl Serialize for str {
     fn to_value(&self) -> Value {
         Value::Str(self.to_owned())
