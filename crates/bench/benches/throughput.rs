@@ -155,6 +155,50 @@ fn bench_keyed_vs_comparator(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_large_scale(c: &mut Criterion) {
+    // The bucketed ready queue + integer-tick fast path at scale: keyed
+    // PD² only, n ∈ {10⁴, 10⁵} tasks. The comparator fallback is omitted —
+    // at these sizes its quadratic ready-scan makes a single iteration
+    // take minutes.
+    let mut g = c.benchmark_group("large_scale");
+    g.sample_size(10);
+    let base = [
+        (1i64, 2i64),
+        (1, 3),
+        (2, 5),
+        (3, 8),
+        (1, 6),
+        (5, 12),
+        (1, 4),
+        (7, 24),
+        (2, 3),
+        (1, 8),
+    ];
+    for n in [10_000usize, 100_000] {
+        let weights: Vec<Weight> = (0..n)
+            .map(|i| {
+                let (e, p) = base[i % base.len()];
+                Weight::new(e, p)
+            })
+            .collect();
+        let util: Rat = weights.iter().map(|w| w.as_rat()).sum();
+        let m = util.ceil() as u32;
+        let sys = releasegen::generate(&weights, &ReleaseConfig::periodic(24), 46);
+        let decisions = sys.num_subtasks() as u64;
+        g.throughput(Throughput::Elements(decisions));
+        g.bench_with_input(BenchmarkId::new("dvq_keyed", n), &sys, |b, sys| {
+            b.iter(|| {
+                let mut cost = UniformCost::new(Rat::new(1, 2), 7);
+                simulate_dvq(std::hint::black_box(sys), m, &Pd2, &mut cost)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("sfq_keyed", n), &sys, |b, sys| {
+            b.iter(|| simulate_sfq(std::hint::black_box(sys), m, &Pd2, &mut FullQuantum))
+        });
+    }
+    g.finish();
+}
+
 fn bench_online_vs_offline(c: &mut Criterion) {
     // The online scheduler's heap dispatch vs the offline simulator's
     // ready-vector scan, on identical periodic workloads.
@@ -218,6 +262,7 @@ criterion_group!(
     bench_scaling_tasks,
     bench_scaling_processors,
     bench_keyed_vs_comparator,
+    bench_large_scale,
     bench_online_vs_offline
 );
 criterion_main!(benches);

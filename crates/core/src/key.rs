@@ -48,6 +48,14 @@ use pfair_taskmodel::{SubtaskId, SubtaskRef, TaskSystem, Weight};
 pub trait SubtaskKey: Copy + Ord + core::fmt::Debug {
     /// Builds the key of `st` from its precomputed (θ-adjusted) parameters.
     fn of_subtask(sys: &TaskSystem, st: SubtaskRef) -> Self;
+
+    /// The key's leading comparison stage: the θ-adjusted pseudo-deadline.
+    ///
+    /// Every order in this module compares deadlines first, so a ready
+    /// queue may bucket subtasks by this integer and run the remaining
+    /// stages (b-bit, group deadline, weight, id) only on bucket
+    /// collisions — see the simulators' bucketed ready sets.
+    fn deadline(&self) -> i64;
 }
 
 /// The PD² total order as a key. Smaller = higher priority, matching
@@ -121,6 +129,10 @@ impl SubtaskKey for Pd2Key {
             id: s.id,
         }
     }
+
+    fn deadline(&self) -> i64 {
+        self.deadline
+    }
 }
 
 /// The EPDF total order as a key: deadline asc, then (from the shared
@@ -159,6 +171,10 @@ impl SubtaskKey for EpdfKey {
             weight: sys.task(s.id.task).weight,
             id: s.id,
         }
+    }
+
+    fn deadline(&self) -> i64 {
+        self.deadline
     }
 }
 
@@ -209,6 +225,10 @@ impl SubtaskKey for PdKey {
             heavy: pd2.weight.is_heavy(),
             pd2,
         }
+    }
+
+    fn deadline(&self) -> i64 {
+        self.pd2.deadline
     }
 }
 
@@ -361,6 +381,18 @@ mod tests {
         );
         assert!(!a.bbit && !b.bbit);
         assert_eq!(a.cmp(&b), core::cmp::Ordering::Less); // id tie-break
+    }
+
+    #[test]
+    fn deadline_accessor_is_the_leading_stage() {
+        // `SubtaskKey::deadline` must expose exactly the field the first
+        // comparison stage reads — the bucketing contract.
+        let sys = release::periodic(&[(3, 4), (1, 2), (5, 6)], 12);
+        for (st, s) in sys.iter_refs() {
+            assert_eq!(Pd2Key::of_subtask(&sys, st).deadline(), s.deadline);
+            assert_eq!(EpdfKey::of_subtask(&sys, st).deadline(), s.deadline);
+            assert_eq!(PdKey::of_subtask(&sys, st).deadline(), s.deadline);
+        }
     }
 
     #[test]

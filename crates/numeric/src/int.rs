@@ -7,18 +7,35 @@
 //! provide explicit [`floor_div`] / [`ceil_div`].
 
 /// Greatest common divisor (non-negative result; `gcd(0, 0) == 0`).
-///
-/// Binary-free classic Euclid — the operand sizes in this workspace (task
-/// periods, subtask indices) never make this a hot spot.
 #[must_use]
 pub fn gcd(a: i64, b: i64) -> i64 {
-    let (mut a, mut b) = (a.unsigned_abs(), b.unsigned_abs());
-    while b != 0 {
-        let t = a % b;
-        a = b;
-        b = t;
+    i64::try_from(gcd_u64(a.unsigned_abs(), b.unsigned_abs()))
+        .expect("gcd overflows i64 only for (i64::MIN, 0) or (0, i64::MIN)")
+}
+
+/// Binary (Stein) GCD over machine words. This sits under every `Rat`
+/// reduction — the schedulers construct a rational per cost draw and per
+/// emitted boundary — so it must not fall back to division loops.
+#[must_use]
+pub fn gcd_u64(mut a: u64, mut b: u64) -> u64 {
+    if a == 0 {
+        return b;
     }
-    i64::try_from(a).expect("gcd overflows i64 only for (i64::MIN, 0)")
+    if b == 0 {
+        return a;
+    }
+    let shift = (a | b).trailing_zeros();
+    a >>= a.trailing_zeros();
+    loop {
+        b >>= b.trailing_zeros();
+        if a > b {
+            std::mem::swap(&mut a, &mut b);
+        }
+        b -= a;
+        if b == 0 {
+            return a << shift;
+        }
+    }
 }
 
 /// Greatest common divisor over the full `i128` range used by [`Rat`]
@@ -27,16 +44,26 @@ pub fn gcd(a: i64, b: i64) -> i64 {
 /// `i128::MIN` operands are rejected by [`Rat`]'s constructors, so the
 /// absolute values here never overflow.
 ///
+/// Nearly every rational in the workspace has machine-word components, and
+/// `i128` `%` is a library call on 64-bit targets — so this dispatches to
+/// the word-sized binary GCD whenever both operands fit, and otherwise
+/// runs Euclid only until they do.
+///
 /// [`Rat`]: crate::Rat
 #[must_use]
 pub fn gcd_i128(a: i128, b: i128) -> i128 {
-    let (mut a, mut b) = (a.abs(), b.abs());
-    while b != 0 {
+    let (mut a, mut b) = (a.unsigned_abs(), b.unsigned_abs());
+    loop {
+        if let (Ok(a), Ok(b)) = (u64::try_from(a), u64::try_from(b)) {
+            return i128::from(gcd_u64(a, b));
+        }
+        if b == 0 {
+            return i128::try_from(a).expect("gcd of Rat components fits i128 (no i128::MIN)");
+        }
         let t = a % b;
         a = b;
         b = t;
     }
-    a
 }
 
 /// Least common multiple (non-negative; `lcm(0, x) == 0`).
@@ -51,6 +78,22 @@ pub fn lcm(a: i64, b: i64) -> i64 {
     let g = gcd(a, b);
     let res = (i128::from(a) / i128::from(g)) * i128::from(b);
     i64::try_from(res.abs()).expect("lcm overflow")
+}
+
+/// Least common multiple that reports overflow instead of panicking:
+/// `None` iff the exact lcm does not fit `i64`. Used where an oversized
+/// lcm is an expected outcome that callers degrade around (e.g. picking a
+/// fixed-point [`QScale`](crate::QScale) — an unrepresentable scale just
+/// means staying on exact [`Rat`](crate::Rat) arithmetic), in contrast to
+/// [`lcm`], whose panic marks a broken invariant.
+#[must_use]
+pub fn checked_lcm(a: i64, b: i64) -> Option<i64> {
+    if a == 0 || b == 0 {
+        return Some(0);
+    }
+    let g = gcd(a, b);
+    let res = (i128::from(a) / i128::from(g)) * i128::from(b);
+    i64::try_from(res.abs()).ok()
 }
 
 /// Mathematical floor division: `⌊a / b⌋`, requires `b > 0`.
@@ -88,12 +131,65 @@ mod tests {
     }
 
     #[test]
+    fn binary_gcd_matches_euclid() {
+        fn euclid(mut a: u64, mut b: u64) -> u64 {
+            while b != 0 {
+                let t = a % b;
+                a = b;
+                b = t;
+            }
+            a
+        }
+        let samples = [
+            0u64,
+            1,
+            2,
+            3,
+            12,
+            18,
+            720_720,
+            i64::MAX as u64,
+            u64::MAX,
+            1 << 63,
+            (1 << 63) - 1,
+            999_999_937,
+        ];
+        for &a in &samples {
+            for &b in &samples {
+                assert_eq!(gcd_u64(a, b), euclid(a, b), "gcd_u64({a}, {b})");
+            }
+        }
+    }
+
+    #[test]
+    fn gcd_i128_wide_operands() {
+        // Operands beyond u64 exercise the Euclid-until-word prefix.
+        let big = i128::from(u64::MAX) * 6;
+        assert_eq!(gcd_i128(big, 4), 2);
+        assert_eq!(gcd_i128(big, big), big);
+        // 2⁶⁴ − 1 is divisible by 3, so 6·(2⁶⁴ − 1) is divisible by 9.
+        assert_eq!(gcd_i128(-big, 9), 9);
+        assert_eq!(gcd_i128(big, 27), 9);
+        assert_eq!(gcd_i128(0, big), big);
+        assert_eq!(gcd_i128(i128::MAX, i128::MAX - 1), 1);
+    }
+
+    #[test]
     fn lcm_basics() {
         assert_eq!(lcm(4, 6), 12);
         assert_eq!(lcm(6, 4), 12);
         assert_eq!(lcm(0, 9), 0);
         assert_eq!(lcm(1, 9), 9);
         assert_eq!(lcm(-4, 6), 12);
+    }
+
+    #[test]
+    fn checked_lcm_matches_lcm_and_reports_overflow() {
+        assert_eq!(checked_lcm(4, 6), Some(12));
+        assert_eq!(checked_lcm(0, 9), Some(0));
+        assert_eq!(checked_lcm(-4, 6), Some(12));
+        assert_eq!(checked_lcm(720_720, 7), Some(720_720));
+        assert_eq!(checked_lcm(i64::MAX, i64::MAX - 1), None);
     }
 
     #[test]

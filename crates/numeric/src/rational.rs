@@ -51,11 +51,34 @@ impl Rat {
 
     /// Creates `num / den`, reduced to lowest terms.
     ///
+    /// Reduction runs in machine words — for word-sized components the
+    /// divisions by the gcd are single instructions, not the `i128`
+    /// library calls [`Rat::new_i128`] needs. This constructor sits under
+    /// every tick→rational conversion and cost draw in the simulators'
+    /// hot paths.
+    ///
     /// # Panics
     /// Panics if `den == 0`.
     #[must_use]
     pub fn new(num: i64, den: i64) -> Rat {
-        Rat::new_i128(i128::from(num), i128::from(den))
+        if num == i64::MIN || den == i64::MIN {
+            // `i64::MIN / -1` would overflow; take the wide path.
+            return Rat::new_i128(i128::from(num), i128::from(den));
+        }
+        assert!(den != 0, "Rat denominator must be nonzero");
+        let g = crate::int::gcd(num, den);
+        if g == 0 {
+            return Rat::ZERO;
+        }
+        let (mut num, mut den) = (num / g, den / g);
+        if den < 0 {
+            num = -num;
+            den = -den;
+        }
+        Rat {
+            num: i128::from(num),
+            den: i128::from(den),
+        }
     }
 
     /// Creates `num / den` from full-width components, reduced to lowest

@@ -29,7 +29,7 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
-use pfair_numeric::{Rat, Time};
+use pfair_numeric::{QScale, QTime, Rat, Time};
 use pfair_obs::{NoopObserver, Observer, ReadyCause, SchedEvent};
 use pfair_taskmodel::window;
 use pfair_taskmodel::{SubtaskId, TaskId, Weight};
@@ -135,6 +135,115 @@ enum Ev {
 /// announced to an observer: `(subtask, completion, deadline)`.
 type RunningQuantum = (SubtaskId, Time, i64);
 
+/// Default tick resolution of the event queue's fast mode:
+/// `lcm(1..13)`, the workload generators' cost grid.
+const DEFAULT_RESOLUTION: i64 = 720_720;
+
+/// A peeked event instant: the exact time plus, when the queue is in tick
+/// mode, its native tick count (so batch-equality checks stay integral).
+#[derive(Clone, Copy, Debug)]
+struct Instant {
+    ticks: Option<QTime>,
+    at: Time,
+}
+
+/// The scheduler's event heap, in one of two arithmetic modes — the
+/// online analogue of `pfair-sim`'s two-tier time domains.
+///
+/// `Ticks` keys the heap by [`QTime`] counts at a fixed [`QScale`]: every
+/// heap comparison is a single `i64` compare. The first time (any cost,
+/// eligibility, or completion the scale cannot represent) pushes the queue
+/// permanently into `Exact` mode, converting every queued event losslessly
+/// — a tick count *is* a rational — so schedules never depend on the mode.
+#[derive(Debug)]
+enum EventQueue {
+    Ticks {
+        scale: QScale,
+        heap: BinaryHeap<Reverse<(QTime, Ev)>>,
+    },
+    Exact(BinaryHeap<Reverse<(Time, Ev)>>),
+}
+
+impl EventQueue {
+    fn ticks(scale: QScale) -> EventQueue {
+        EventQueue::Ticks {
+            scale,
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    fn peek_instant(&self) -> Option<Instant> {
+        match self {
+            EventQueue::Ticks { scale, heap } => heap.peek().map(|&Reverse((t, _))| Instant {
+                ticks: Some(t),
+                at: scale.to_rat(t),
+            }),
+            EventQueue::Exact(heap) => heap
+                .peek()
+                .map(|&Reverse((t, _))| Instant { ticks: None, at: t }),
+        }
+    }
+
+    /// Pops the next event if it is scheduled exactly at `at`. Correct
+    /// across a mid-batch migration: tick and exact representations of one
+    /// instant are equal as rationals.
+    fn pop_at(&mut self, at: Instant) -> Option<Ev> {
+        match self {
+            EventQueue::Ticks { scale, heap } => {
+                let &Reverse((t, ev)) = heap.peek()?;
+                let same = match at.ticks {
+                    Some(qt) => t == qt,
+                    None => scale.to_rat(t) == at.at,
+                };
+                if same {
+                    heap.pop();
+                    Some(ev)
+                } else {
+                    None
+                }
+            }
+            EventQueue::Exact(heap) => {
+                let &Reverse((t, ev)) = heap.peek()?;
+                if t == at.at {
+                    heap.pop();
+                    Some(ev)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    fn push(&mut self, at: Time, ev: Ev) {
+        if let EventQueue::Ticks { scale, heap } = self {
+            match scale.from_rat(at) {
+                Some(qt) => {
+                    heap.push(Reverse((qt, ev)));
+                    return;
+                }
+                None => self.migrate(),
+            }
+        }
+        let EventQueue::Exact(heap) = self else {
+            unreachable!("migrate leaves the queue in exact mode")
+        };
+        heap.push(Reverse((at, ev)));
+    }
+
+    /// Converts the queue to exact mode, losslessly.
+    fn migrate(&mut self) {
+        if let EventQueue::Ticks { scale, heap } =
+            std::mem::replace(self, EventQueue::Exact(BinaryHeap::new()))
+        {
+            let exact = heap
+                .into_iter()
+                .map(|Reverse((t, ev))| Reverse((scale.to_rat(t), ev)))
+                .collect();
+            *self = EventQueue::Exact(exact);
+        }
+    }
+}
+
 /// An online, heap-based PD² scheduler for the DVQ model.
 #[derive(Debug)]
 pub struct OnlineDvq {
@@ -145,7 +254,7 @@ pub struct OnlineDvq {
     ready: BinaryHeap<Reverse<(Pd2Key, u32)>>, // (key, task id)
     /// Pending ready specs per task (the spec the key refers to).
     ready_spec: Vec<Option<SubSpec>>,
-    events: BinaryHeap<Reverse<(Time, Ev)>>,
+    events: EventQueue,
     free: Vec<u32>,
     /// Per-processor in-flight quantum. Maintained unconditionally so
     /// observed and unobserved `run_until` calls can be interleaved.
@@ -156,10 +265,30 @@ pub struct OnlineDvq {
 impl OnlineDvq {
     /// A scheduler over `m ≥ 1` processors, starting at time 0.
     ///
+    /// The event queue starts in its integer-tick fast mode at the
+    /// workload cost grid's resolution (`lcm(1..13)` ticks per quantum)
+    /// and falls back to exact rational times automatically on the first
+    /// off-grid value — see [`Self::with_resolution`].
+    ///
     /// # Panics
     /// Panics if `m == 0`.
     #[must_use]
     pub fn new(m: u32) -> OnlineDvq {
+        OnlineDvq::with_resolution(m, DEFAULT_RESOLUTION)
+    }
+
+    /// [`Self::new`] with an explicit tick resolution for the event
+    /// queue's fast mode: event times are kept as integer counts of
+    /// `1/ticks_per_quantum` quanta while every cost, eligibility, and
+    /// completion lands on that grid, and migrate losslessly to exact
+    /// rationals the first time one does not. The resolution never affects
+    /// the schedule — only how much of the run enjoys integer heap
+    /// comparisons.
+    ///
+    /// # Panics
+    /// Panics if `m == 0` or `ticks_per_quantum < 1`.
+    #[must_use]
+    pub fn with_resolution(m: u32, ticks_per_quantum: i64) -> OnlineDvq {
         assert!(m >= 1, "need at least one processor");
         OnlineDvq {
             m,
@@ -167,7 +296,7 @@ impl OnlineDvq {
             tasks: Vec::new(),
             ready: BinaryHeap::new(),
             ready_spec: Vec::new(),
-            events: BinaryHeap::new(),
+            events: EventQueue::ticks(QScale::new(ticks_per_quantum)),
             free: (0..m).collect(),
             running: vec![None; m as usize],
             log: Vec::new(),
@@ -283,7 +412,7 @@ impl OnlineDvq {
         };
         let act = Rat::int(head.eligible).max(state.pred_completion);
         state.head_armed = true;
-        self.events.push(Reverse((act, Ev::Activate(task))));
+        self.events.push(act, Ev::Activate(task));
     }
 
     /// Processes events up to (and including) `horizon`, dispatching with
@@ -319,7 +448,8 @@ impl OnlineDvq {
         obs: &mut O,
     ) -> Vec<OnlineAssignment> {
         let log_start = self.log.len();
-        while let Some(&Reverse((t, _))) = self.events.peek() {
+        while let Some(instant) = self.events.peek_instant() {
+            let t = instant.at;
             if t > horizon {
                 break;
             }
@@ -327,12 +457,9 @@ impl OnlineDvq {
             if O::ENABLED {
                 obs.on_event(&SchedEvent::Tick { at: t });
             }
-            // Drain the batch at time t.
-            while let Some(&Reverse((t2, ev))) = self.events.peek() {
-                if t2 != t {
-                    break;
-                }
-                self.events.pop();
+            // Drain the batch at time t (`pop_at` matches the instant even
+            // if an arm within the batch migrates the queue to exact mode).
+            while let Some(ev) = self.events.pop_at(instant) {
                 match ev {
                     Ev::ProcFree(proc, task) => {
                         let finished = self.running[proc as usize].take();
@@ -396,7 +523,8 @@ impl OnlineDvq {
                     }
                 }
             }
-            self.free.sort_unstable();
+            // Descending, so `pop()` hands out the lowest index first.
+            self.free.sort_unstable_by(|a, b| b.cmp(a));
             // Assign free processors to ready subtasks in priority order.
             while !self.free.is_empty() && !self.ready.is_empty() {
                 let Reverse((_, task_raw)) = self.ready.pop().expect("nonempty");
@@ -404,7 +532,7 @@ impl OnlineDvq {
                 let spec = self.ready_spec[task.idx()]
                     .take()
                     .expect("ready entry has a spec");
-                let proc = self.free.remove(0);
+                let proc = self.free.pop().expect("free nonempty");
                 let c = cost(task, spec.index);
                 assert!(
                     c.is_positive() && c <= Rat::ONE,
@@ -439,8 +567,7 @@ impl OnlineDvq {
                     deadline: spec.deadline,
                 });
                 self.tasks[task.idx()].pred_completion = completion;
-                self.events
-                    .push(Reverse((completion, Ev::ProcFree(proc, task))));
+                self.events.push(completion, Ev::ProcFree(proc, task));
             }
             if O::ENABLED && !self.free.is_empty() {
                 obs.on_event(&SchedEvent::Idle {
@@ -597,6 +724,68 @@ mod tests {
     #[test]
     fn num_processors_accessor() {
         assert_eq!(OnlineDvq::new(5).num_processors(), 5);
+    }
+
+    #[test]
+    fn coarse_resolution_migrates_without_changing_the_schedule() {
+        // Resolution 2 cannot represent cost 1/3: the queue migrates to
+        // exact mode mid-run. The log must match both the default (GRID)
+        // resolution — which represents 1/3 natively — and resolution 1,
+        // which migrates on the very first fractional completion.
+        let runs: Vec<Vec<OnlineAssignment>> = [720_720i64, 2, 1]
+            .iter()
+            .map(|&res| {
+                let mut s = OnlineDvq::with_resolution(2, res);
+                let a = s.add_task(Weight::new(1, 2));
+                let b = s.add_task(Weight::new(1, 3));
+                let c = s.add_task(Weight::new(2, 5));
+                for (t, p) in [(a, 2), (b, 3), (c, 5)] {
+                    for j in 0..4 {
+                        s.submit_job(t, j * p).unwrap();
+                    }
+                }
+                s.run_until_idle(&mut |task, _| {
+                    if task == b {
+                        Rat::new(1, 3)
+                    } else {
+                        Rat::new(1, 2)
+                    }
+                })
+            })
+            .collect();
+        assert_eq!(runs[0], runs[1]);
+        assert_eq!(runs[0], runs[2]);
+    }
+
+    #[test]
+    fn off_grid_eligibility_migrates_cleanly() {
+        // An eligibility far past i64 ticks at the default scale forces
+        // the queue exact on submission; dispatch must still be correct.
+        let mut s = OnlineDvq::new(1);
+        let t = s.add_task(Weight::new(1, 2));
+        let far = i64::MAX / 720_720 + 10; // unrepresentable as ticks
+        s.submit_job(t, far).unwrap();
+        let log = s.run_until_idle(&mut unit_cost());
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].start, Rat::int(far));
+    }
+
+    #[test]
+    fn batch_assignments_use_ascending_processors() {
+        // Three subtasks ready at t = 0 on three processors: dispatch
+        // order (PD² priority) must map to processors 0, 1, 2.
+        let mut s = OnlineDvq::new(3);
+        for _ in 0..3 {
+            let t = s.add_task(Weight::new(1, 2));
+            s.submit_job(t, 0).unwrap();
+        }
+        let log = s.run_until_idle(&mut unit_cost());
+        let procs: Vec<u32> = log
+            .iter()
+            .filter(|a| a.start == Rat::ZERO)
+            .map(|a| a.proc)
+            .collect();
+        assert_eq!(procs, vec![0, 1, 2]);
     }
 
     #[test]

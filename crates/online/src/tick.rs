@@ -13,6 +13,13 @@
 //! Dispatch order within a tick is PD² via the same [`Pd2Key`] heap as the
 //! DVQ scheduler; equivalence with the offline SFQ simulator is asserted
 //! in this module's tests.
+//!
+//! The ready set is maintained *incrementally*: each task with queued work
+//! has exactly one entry in either the priority-ordered `ready` heap or
+//! the time-ordered `pending` heap (armed at the first slot where both its
+//! eligibility and predecessor gates open). A tick drains due `pending`
+//! entries and pops ≤ M from `ready` — `O((M + arrivals) log n)` per slot
+//! instead of the previous `O(n)` rescan of every registered task.
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -55,9 +62,6 @@ struct TaskState {
     /// Slot in which the task's most recent subtask ran (`None` if idle);
     /// the successor is ready from the *next* slot on.
     running_slot: Option<i64>,
-    /// `true` once the current chain head's readiness has been announced
-    /// to an observer (reset when the head is dispatched).
-    head_announced: bool,
 }
 
 /// Tick-driven online SFQ scheduler (PD² priorities).
@@ -67,6 +71,11 @@ pub struct OnlineSfq {
     /// The next slot boundary [`Self::tick`] expects.
     next_slot: i64,
     tasks: Vec<TaskState>,
+    /// Heads whose gates are open, by PD² priority. Invariant: every task
+    /// with a nonempty queue has exactly one entry in `ready` ∪ `pending`.
+    ready: BinaryHeap<Reverse<(Pd2Key, u32)>>,
+    /// Heads gated until a future slot: `(first open slot, task)`.
+    pending: BinaryHeap<Reverse<(i64, u32)>>,
 }
 
 impl OnlineSfq {
@@ -81,6 +90,8 @@ impl OnlineSfq {
             m,
             next_slot: 0,
             tasks: Vec::new(),
+            ready: BinaryHeap::new(),
+            pending: BinaryHeap::new(),
         }
     }
 
@@ -93,7 +104,6 @@ impl OnlineSfq {
             last_release: None,
             queue: VecDeque::new(),
             running_slot: None,
-            head_announced: false,
         });
         id
     }
@@ -146,6 +156,7 @@ impl OnlineSfq {
         let w = state.weight;
         let theta = at - i64::try_from(state.jobs).expect("job count") * w.p();
         let first = state.jobs * w.e() as u64 + 1;
+        let was_empty = state.queue.is_empty();
         for index in first..first + w.e() as u64 {
             let r = theta + window::release(w, index);
             if O::ENABLED {
@@ -163,6 +174,18 @@ impl OnlineSfq {
         }
         state.jobs += 1;
         state.last_release = Some(at);
+        if was_empty {
+            // The task rejoins the ready graph: arm its new head at the
+            // first slot where both gates open. (The predecessor gate is
+            // vacuous here — submission can't predate `next_slot`, which
+            // is already past any prior `running_slot` — but keeping it
+            // makes the invariant locally checkable.)
+            let head = state.queue.front().expect("job contributes subtasks");
+            let open = head
+                .eligible
+                .max(state.running_slot.map_or(i64::MIN, |s| s + 1));
+            self.pending.push(Reverse((open, task.0)));
+        }
         Ok(())
     }
 
@@ -185,42 +208,49 @@ impl OnlineSfq {
         if O::ENABLED {
             obs.on_event(&SchedEvent::Tick { at: Rat::int(t) });
         }
-        // Gather the (≤ 1 per task) ready heads.
-        let mut heap: BinaryHeap<Reverse<(Pd2Key, u32)>> = BinaryHeap::new();
-        for (k, state) in self.tasks.iter_mut().enumerate() {
-            let Some(head) = state.queue.front() else {
-                continue;
-            };
-            let pred_done = state.running_slot.is_none_or(|s| s < t);
-            if head.eligible <= t && pred_done {
-                if O::ENABLED && !state.head_announced {
-                    state.head_announced = true;
-                    // First slot at which both gates open: eligibility if
-                    // that is the binding one, otherwise the predecessor's
-                    // boundary.
-                    let cause = if t == head.eligible {
-                        ReadyCause::Eligibility
-                    } else {
-                        ReadyCause::Predecessor
-                    };
-                    obs.on_event(&SchedEvent::Ready {
-                        id: head.key.id,
-                        at: Rat::int(t),
-                        cause,
-                    });
-                }
-                heap.push(Reverse((head.key, k as u32)));
+        // Open the gates that reach this slot: due `pending` heads move to
+        // the `ready` heap. The heap orders `(slot, task)`, so at a given
+        // slot tasks surface in ascending id — the same announcement order
+        // the previous full rescan produced.
+        while let Some(&Reverse((open, task_raw))) = self.pending.peek() {
+            if open > t {
+                break;
             }
+            self.pending.pop();
+            let head = self.tasks[task_raw as usize]
+                .queue
+                .front()
+                .expect("pending task has a queued head");
+            if O::ENABLED {
+                // First slot at which both gates open: eligibility if that
+                // is the binding one, otherwise the predecessor's boundary.
+                let cause = if t == head.eligible {
+                    ReadyCause::Eligibility
+                } else {
+                    ReadyCause::Predecessor
+                };
+                obs.on_event(&SchedEvent::Ready {
+                    id: head.key.id,
+                    at: Rat::int(t),
+                    cause,
+                });
+            }
+            self.ready.push(Reverse((head.key, task_raw)));
         }
         let mut out = Vec::new();
         for proc in 0..self.m {
-            let Some(Reverse((_, task_raw))) = heap.pop() else {
+            let Some(Reverse((_, task_raw))) = self.ready.pop() else {
                 break;
             };
             let state = &mut self.tasks[task_raw as usize];
             let spec = state.queue.pop_front().expect("head present");
             state.running_slot = Some(t);
-            state.head_announced = false;
+            // Re-arm the successor (if any): eligible and past this
+            // quantum's boundary.
+            let rearm = state.queue.front().map(|next| next.eligible.max(t + 1));
+            if let Some(open) = rearm {
+                self.pending.push(Reverse((open, task_raw)));
+            }
             if O::ENABLED {
                 obs.on_event(&SchedEvent::QuantumStart {
                     id: spec.key.id,

@@ -94,8 +94,8 @@ pub mod prelude {
         simulate_dvq, simulate_dvq_observed, simulate_sfq, simulate_sfq_affine,
         simulate_sfq_affine_observed, simulate_sfq_observed, simulate_sfq_pdb,
         simulate_sfq_pdb_instrumented, simulate_sfq_pdb_observed, simulate_sfq_pdb_with,
-        simulate_staggered, simulate_staggered_observed, CostModel, FixedCosts, FullQuantum,
-        PdbSlotStats, Placement, QuantumModel, ScaledCost, Schedule, SfqPolicy,
+        simulate_staggered, simulate_staggered_observed, CostModel, ExactOnly, FixedCosts,
+        FullQuantum, PdbSlotStats, Placement, QuantumModel, ScaledCost, Schedule, SfqPolicy,
     };
     pub use pfair_taskmodel::{
         release, ModelError, Subtask, SubtaskId, SubtaskRef, Task, TaskId, TaskSystem,

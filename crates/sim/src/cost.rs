@@ -12,7 +12,7 @@
 
 use std::collections::BTreeMap;
 
-use pfair_numeric::Rat;
+use pfair_numeric::{checked_lcm, Rat};
 use pfair_taskmodel::{SubtaskId, SubtaskRef, TaskSystem};
 
 /// Supplies the actual execution cost `c(T_i) ∈ (0, 1]` of each subtask.
@@ -23,6 +23,20 @@ use pfair_taskmodel::{SubtaskId, SubtaskRef, TaskSystem};
 pub trait CostModel {
     /// The actual cost of `st`.
     fn cost(&mut self, sys: &TaskSystem, st: SubtaskRef) -> Rat;
+
+    /// A `d > 0` such that every cost this model will ever produce has a
+    /// reduced denominator dividing `d` — or `None` when no such bound is
+    /// known (the default).
+    ///
+    /// Purely **advisory**: the simulators use it to pick the fixed-point
+    /// tick scale of their `QTime` fast path up front, but still check
+    /// every drawn cost against the scale at dispatch time and migrate the
+    /// run to exact [`Rat`] arithmetic on the first mismatch. A wrong hint
+    /// therefore costs performance, never correctness — and `None` simply
+    /// keeps the whole run on the exact path.
+    fn denominator_hint(&self) -> Option<i64> {
+        None
+    }
 }
 
 /// Validates a cost: panics unless `0 < c ≤ 1`.
@@ -43,6 +57,10 @@ pub struct FullQuantum;
 impl CostModel for FullQuantum {
     fn cost(&mut self, _sys: &TaskSystem, _st: SubtaskRef) -> Rat {
         Rat::ONE
+    }
+
+    fn denominator_hint(&self) -> Option<i64> {
+        Some(1)
     }
 }
 
@@ -93,6 +111,16 @@ impl CostModel for FixedCosts {
         let id = sys.subtask(st).id;
         self.map.get(&id).copied().unwrap_or(self.default)
     }
+
+    fn denominator_hint(&self) -> Option<i64> {
+        // lcm over the default's and every override's denominator; `None`
+        // if any denominator exceeds i64 or the lcm overflows.
+        let mut d = i64::try_from(self.default.den()).ok()?;
+        for c in self.map.values() {
+            d = checked_lcm(d, i64::try_from(c.den()).ok()?)?;
+        }
+        Some(d)
+    }
 }
 
 /// Every subtask costs the same fixed fraction of a quantum — the simplest
@@ -105,6 +133,26 @@ impl CostModel for ScaledCost {
     fn cost(&mut self, _sys: &TaskSystem, _st: SubtaskRef) -> Rat {
         self.0
     }
+
+    fn denominator_hint(&self) -> Option<i64> {
+        i64::try_from(self.0.den()).ok()
+    }
+}
+
+/// Forces the exact-`Rat` event loop for any inner model by withholding
+/// its denominator hint — the cost-model analogue of
+/// `ComparatorOnly` on the priority side. The equivalence tests wrap a
+/// model in this to run the identical workload down both time domains and
+/// diff the schedules; it has no other behavioural effect.
+pub struct ExactOnly<'a>(pub &'a mut dyn CostModel);
+
+impl CostModel for ExactOnly<'_> {
+    fn cost(&mut self, sys: &TaskSystem, st: SubtaskRef) -> Rat {
+        self.0.cost(sys, st)
+    }
+
+    // Deliberately inherits the default `None` hint: no scale, no fast
+    // path, every event time an exact `Rat`.
 }
 
 #[cfg(test)]
@@ -130,6 +178,17 @@ mod tests {
     fn checked_cost_accepts_valid() {
         assert_eq!(checked_cost(Rat::new(1, 3), SubtaskRef(0)), Rat::new(1, 3));
         assert_eq!(checked_cost(Rat::ONE, SubtaskRef(0)), Rat::ONE);
+    }
+
+    #[test]
+    fn denominator_hints_cover_emitted_costs() {
+        assert_eq!(FullQuantum.denominator_hint(), Some(1));
+        assert_eq!(ScaledCost(Rat::new(7, 8)).denominator_hint(), Some(8));
+        let m = FixedCosts::new(Rat::new(3, 4)).with(TaskId(0), 1, Rat::new(5, 6));
+        assert_eq!(m.denominator_hint(), Some(12));
+        // ExactOnly withholds the inner hint by design.
+        let mut inner = FullQuantum;
+        assert_eq!(ExactOnly(&mut inner).denominator_hint(), None);
     }
 
     #[test]

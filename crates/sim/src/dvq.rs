@@ -27,19 +27,36 @@
 //! priority order. A subtask scheduled at time `τ` with actual cost `c`
 //! completes at `τ + c` and its processor is immediately reusable — no
 //! holds, no waste.
+//!
+//! # The two-tier time representation
+//!
+//! The loop is written once, generic over a `TimeDomain` (see
+//! `tdomain.rs`). When the cost model publishes a denominator hint
+//! ([`crate::cost::CostModel::denominator_hint`])
+//! and the run's event span fits `i64` ticks at that scale, the loop runs
+//! in the `TickTimes` fast tier: event times are `QTime` tick counts,
+//! heap comparisons are single integer compares, and rational arithmetic
+//! disappears from the hot path. The first cost off the hinted grid (or any
+//! overflow) triggers a mid-batch **bail**: the loop converts its whole
+//! state to exact [`Rat`]s — losslessly, a tick count *is* a rational — and
+//! the `ExactTimes` tier resumes at the same instant with the already
+//! drawn cost, so RNG streams, observer streams, and schedules are
+//! bit-identical down both tiers (see `tick_times_match_exact_times` and
+//! `tests/keyed_equivalence.rs`).
 
-use std::cmp::Reverse;
+use std::cmp::{Ordering, Reverse};
 use std::collections::BinaryHeap;
 
 use pfair_core::key::{EpdfKey, KeyCache, KeyDispatch, Pd2Key, PdKey, SubtaskKey};
 use pfair_core::priority::PriorityOrder;
-use pfair_numeric::{Rat, Time};
+use pfair_numeric::Rat;
 use pfair_obs::{NoopObserver, Observer, ReadyCause, SchedEvent};
 use pfair_taskmodel::{SubtaskRef, TaskSystem};
 
 use crate::cost::{checked_cost, CostModel};
 use crate::emit::{emit_end, flush_ends};
 use crate::schedule::{Placement, QuantumModel, Schedule};
+use crate::tdomain::{event_span, tick_scale, ExactTimes, TickTimes, TimeDomain};
 
 /// Event payloads, ordered so simultaneous batches drain deterministically.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -50,45 +67,170 @@ enum Event {
     Activate(SubtaskRef),
 }
 
+impl Event {
+    /// The 64-bit payload code for [`TimeDomain::ev_key`]. Code order
+    /// equals the derived `Ord` above: all `ProcFree` codes (`< 2^32`,
+    /// ascending by processor) sort before all `Activate` codes
+    /// (`2^32 | subtask`, ascending by subtask).
+    fn code(self) -> u64 {
+        match self {
+            Event::ProcFree(k) => u64::from(k),
+            Event::Activate(st) => (1 << 32) | u64::from(st.0),
+        }
+    }
+
+    /// Inverse of [`Event::code`].
+    fn from_code(code: u64) -> Event {
+        #[allow(clippy::cast_possible_truncation)]
+        let payload = code as u32;
+        if code >> 32 == 0 {
+            Event::ProcFree(payload)
+        } else {
+            Event::Activate(SubtaskRef(payload))
+        }
+    }
+}
+
 /// The ready set of the DVQ loop: push activated subtasks, pop the
 /// highest-priority one. Two implementations share the event loop — a
-/// precomputed-key binary heap (the default whenever the order registers a
-/// key type) and a linear comparator scan (the fallback for orders without
-/// one). Both pop in the same total order, so the produced schedules are
-/// identical; the tests pin that down on the paper's golden traces.
+/// deadline-bucketed queue over precomputed keys (the default whenever the
+/// order registers a key type) and a linear comparator scan (the fallback
+/// for orders without one). Both pop in the same total order, so the
+/// produced schedules are identical; the tests pin that down on the
+/// paper's golden traces.
 trait ReadySet {
     fn push(&mut self, st: SubtaskRef);
     fn pop_best(&mut self) -> Option<SubtaskRef>;
     fn is_empty(&self) -> bool;
 }
 
-/// O(log n) ready set over precomputed keys.
-struct KeyedReady<K: SubtaskKey> {
+/// Hard cap on the number of deadline buckets: beyond this, the far tail
+/// shares the last bucket (clamping is *correct* because in-bucket order
+/// uses the full key, whose leading stage is the deadline — the tail
+/// bucket just degrades toward a plain binary heap).
+const MAX_BUCKETS: usize = 1 << 16;
+
+/// Ready set over precomputed keys, bucketed by the keys' leading
+/// comparison stage (the integer θ-adjusted pseudo-deadline).
+///
+/// Every priority order in `pfair-core` compares deadlines first
+/// ([`SubtaskKey::deadline`]), so the bucket index alone decides most pops;
+/// the remaining stages (b-bit, group deadline, weight, id) are evaluated
+/// only on bucket collisions, via a per-bucket binary heap. Keys are
+/// computed once in the [`KeyCache`] slab and copied inline into the
+/// bucket entries, so sift comparisons read contiguous bucket memory
+/// instead of chasing the slab on every step.
+struct BucketReady<K: SubtaskKey> {
     cache: KeyCache<K>,
-    heap: BinaryHeap<Reverse<(K, SubtaskRef)>>,
+    buckets: Vec<Vec<(K, SubtaskRef)>>,
+    /// Deadline of bucket 0.
+    base: i64,
+    /// First bucket that may be nonempty (monotone within a pop run;
+    /// rewound by pushes of earlier deadlines).
+    cursor: usize,
+    len: usize,
 }
 
-impl<K: SubtaskKey> KeyedReady<K> {
-    fn new(sys: &TaskSystem) -> KeyedReady<K> {
-        KeyedReady {
-            cache: KeyCache::build(sys),
-            heap: BinaryHeap::new(),
+impl<K: SubtaskKey> BucketReady<K> {
+    fn new(sys: &TaskSystem) -> BucketReady<K> {
+        let cache: KeyCache<K> = KeyCache::build(sys);
+        let (mut lo, mut hi) = (i64::MAX, i64::MIN);
+        for (st, _) in sys.iter_refs() {
+            let d = cache.key(st).deadline();
+            lo = lo.min(d);
+            hi = hi.max(d);
+        }
+        let width = if lo > hi {
+            1 // no subtasks; keep one bucket so indexing stays total
+        } else {
+            let span = i128::from(hi) - i128::from(lo) + 1;
+            usize::try_from(span)
+                .unwrap_or(MAX_BUCKETS)
+                .min(MAX_BUCKETS)
+        };
+        BucketReady {
+            cache,
+            buckets: vec![Vec::new(); width],
+            base: if lo > hi { 0 } else { lo },
+            cursor: 0,
+            len: 0,
+        }
+    }
+
+    fn bucket_index(&self, d: i64) -> usize {
+        let off = i128::from(d) - i128::from(self.base);
+        usize::try_from(off)
+            .expect("deadline below the bucket base: key cache and task system disagree")
+            .min(self.buckets.len() - 1)
+    }
+}
+
+impl<K: SubtaskKey> ReadySet for BucketReady<K> {
+    fn push(&mut self, st: SubtaskRef) {
+        let key = self.cache.key(st);
+        let idx = self.bucket_index(key.deadline());
+        if idx < self.cursor {
+            self.cursor = idx;
+        }
+        heap_push(&mut self.buckets[idx], key, st);
+        self.len += 1;
+    }
+
+    fn pop_best(&mut self) -> Option<SubtaskRef> {
+        if self.len == 0 {
+            return None;
+        }
+        while self.buckets[self.cursor].is_empty() {
+            self.cursor += 1;
+        }
+        self.len -= 1;
+        Some(heap_pop(&mut self.buckets[self.cursor]))
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// Sift-up push into a min-heap of inline-keyed entries.
+fn heap_push<K: SubtaskKey>(bucket: &mut Vec<(K, SubtaskRef)>, key: K, st: SubtaskRef) {
+    bucket.push((key, st));
+    let mut i = bucket.len() - 1;
+    while i > 0 {
+        let parent = (i - 1) / 2;
+        if bucket[i].0 < bucket[parent].0 {
+            bucket.swap(i, parent);
+            i = parent;
+        } else {
+            break;
         }
     }
 }
 
-impl<K: SubtaskKey> ReadySet for KeyedReady<K> {
-    fn push(&mut self, st: SubtaskRef) {
-        self.heap.push(Reverse((self.cache.key(st), st)));
+/// Sift-down pop of the key-minimal entry; callers guarantee nonempty.
+fn heap_pop<K: SubtaskKey>(bucket: &mut Vec<(K, SubtaskRef)>) -> SubtaskRef {
+    let last = bucket.len() - 1;
+    bucket.swap(0, last);
+    let (_, best) = bucket.pop().expect("heap_pop on an empty bucket");
+    let mut i = 0;
+    loop {
+        let (l, r) = (2 * i + 1, 2 * i + 2);
+        if l >= bucket.len() {
+            break;
+        }
+        let child = if r < bucket.len() && bucket[r].0 < bucket[l].0 {
+            r
+        } else {
+            l
+        };
+        if bucket[child].0 < bucket[i].0 {
+            bucket.swap(i, child);
+            i = child;
+        } else {
+            break;
+        }
     }
-
-    fn pop_best(&mut self) -> Option<SubtaskRef> {
-        self.heap.pop().map(|Reverse((_, st))| st)
-    }
-
-    fn is_empty(&self) -> bool {
-        self.heap.is_empty()
-    }
+    best
 }
 
 /// O(n)-per-pop ready set calling the comparator (for orders with no
@@ -110,7 +252,20 @@ impl ReadySet for ComparatorReady<'_> {
             .iter()
             .enumerate()
             .min_by(|(_, &a), (_, &b)| self.order.cmp(self.sys, a, b))?;
-        Some(self.items.swap_remove(best_pos))
+        let best = self.items.swap_remove(best_pos);
+        // The keyed path breaks every tie by subtask id (the keys' last
+        // stage); a comparator that leaves ties unresolved would silently
+        // pop in scan order instead and diverge from it. Surface that here
+        // rather than in a downstream schedule diff.
+        debug_assert!(
+            self.items
+                .iter()
+                .all(|&o| self.order.cmp(self.sys, best, o) != Ordering::Equal),
+            "comparator {} left a tie unresolved at pop ({best:?} ties another ready \
+             subtask): ComparatorReady needs a total order — pin ties by subtask id",
+            self.order.name()
+        );
+        Some(best)
     }
 
     fn is_empty(&self) -> bool {
@@ -123,9 +278,9 @@ impl ReadySet for ComparatorReady<'_> {
 /// EPDF comparison of experiment E4 reuses this driver).
 ///
 /// Dispatches on [`PriorityOrder::key_dispatch`]: orders with a
-/// precomputed-key type (EPDF, PD², PD) run the event loop over a key
-/// binary heap; others fall back to the comparator scan. The schedule is
-/// identical either way.
+/// precomputed-key type (EPDF, PD², PD) run the event loop over a
+/// deadline-bucketed key queue; others fall back to the comparator scan.
+/// The schedule is identical either way.
 ///
 /// Runs until every released subtask has been scheduled and completed.
 #[must_use]
@@ -150,9 +305,9 @@ pub fn simulate_dvq_observed<O: Observer>(
     obs: &mut O,
 ) -> Schedule {
     match order.key_dispatch() {
-        KeyDispatch::Pd2 => run_dvq(sys, m, KeyedReady::<Pd2Key>::new(sys), cost, obs),
-        KeyDispatch::Epdf => run_dvq(sys, m, KeyedReady::<EpdfKey>::new(sys), cost, obs),
-        KeyDispatch::Pd => run_dvq(sys, m, KeyedReady::<PdKey>::new(sys), cost, obs),
+        KeyDispatch::Pd2 => run_dvq(sys, m, BucketReady::<Pd2Key>::new(sys), cost, obs),
+        KeyDispatch::Epdf => run_dvq(sys, m, BucketReady::<EpdfKey>::new(sys), cost, obs),
+        KeyDispatch::Pd => run_dvq(sys, m, BucketReady::<PdKey>::new(sys), cost, obs),
         KeyDispatch::Comparator => {
             let ready = ComparatorReady {
                 sys,
@@ -164,7 +319,296 @@ pub fn simulate_dvq_observed<O: Observer>(
     }
 }
 
+/// The loop state, generic over the time domain so a tick-tier run can
+/// hand its whole progress to the exact tier on a bail.
+struct LoopState<D: TimeDomain> {
+    /// Min-heap of packed (time, event) keys ([`TimeDomain::ev_key`]).
+    events: BinaryHeap<Reverse<D::EvKey>>,
+    /// Free processors as a min-heap, so `pop()` serves the lowest index
+    /// first (the documented assignment order) in O(log M).
+    free: BinaryHeap<Reverse<u32>>,
+    /// Observability state: the in-flight quantum on each processor
+    /// `(subtask, completion)`, for `QuantumEnd` emission at its
+    /// `ProcFree`. Written only when the observer is enabled.
+    running: Vec<Option<(SubtaskRef, D::T)>>,
+    placements: Vec<Placement>,
+    placed: usize,
+}
+
+/// A fast-tier abort: the instant it happened, the dispatch it could not
+/// represent (cost already drawn — never redrawn, keeping RNG streams
+/// identical), and the whole loop state converted to exact rationals.
+struct Bail {
+    now: Rat,
+    pending: (SubtaskRef, Rat),
+    state: LoopState<ExactTimes>,
+}
+
+/// The initial loop state in domain `dom`: every chain head activates at
+/// its eligibility time; every processor is free at time 0.
+fn seed_dvq<D: TimeDomain>(dom: &D, sys: &TaskSystem, m: u32) -> LoopState<D> {
+    let mut events = BinaryHeap::new();
+    for task in sys.tasks() {
+        if let Some(head) = sys.task_subtask_refs(task.id).next() {
+            let e = sys.subtask(head).eligible;
+            let t = dom
+                .int(e)
+                .expect("seed eligibility is within the pre-checked event span");
+            events.push(Reverse(dom.ev_key(t, Event::Activate(head).code())));
+        }
+    }
+    let zero = dom.int(0).expect("time zero is within the event span");
+    for k in 0..m {
+        events.push(Reverse(dom.ev_key(zero, Event::ProcFree(k).code())));
+    }
+    LoopState {
+        events,
+        free: BinaryHeap::with_capacity(m as usize),
+        running: vec![None; m as usize],
+        placements: Vec::with_capacity(sys.num_subtasks()),
+        placed: 0,
+    }
+}
+
+/// Lossless state conversion to the exact tier (`to_rat` is total).
+fn migrate_dvq<D: TimeDomain>(dom: &D, s: &mut LoopState<D>) -> LoopState<ExactTimes> {
+    LoopState {
+        events: s
+            .events
+            .drain()
+            .map(|Reverse(k)| {
+                let (t, code) = dom.ev_split(k);
+                Reverse(ExactTimes.ev_key(dom.to_rat(t), code))
+            })
+            .collect(),
+        free: std::mem::take(&mut s.free),
+        running: s
+            .running
+            .iter_mut()
+            .map(|slot| slot.take().map(|(st, t)| (st, dom.to_rat(t))))
+            .collect(),
+        placements: std::mem::take(&mut s.placements),
+        placed: s.placed,
+    }
+}
+
+/// Converts `t` to a rational at most once per batch, memoized in `slot`.
+fn lazy_rat<D: TimeDomain>(dom: &D, t: D::T, slot: &mut Option<Rat>) -> Rat {
+    *slot.get_or_insert_with(|| dom.to_rat(t))
+}
+
+/// The borrows one event-loop run needs, bundled so the tick and exact
+/// tiers can take them in turn.
+struct DvqLoop<'a, D: TimeDomain, R: ReadySet, O: Observer> {
+    dom: &'a D,
+    sys: &'a TaskSystem,
+    m: u32,
+    ready: &'a mut R,
+    cost: &'a mut dyn CostModel,
+    obs: &'a mut O,
+}
+
+impl<D: TimeDomain, R: ReadySet, O: Observer> DvqLoop<'_, D, R, O> {
+    /// Runs the event loop to completion in this tier's arithmetic, or
+    /// bails with the exact-tier state. `resume` re-enters a batch that a
+    /// previous tier abandoned: its `Tick` was already emitted, and the
+    /// first dispatch reuses the carried-over cost.
+    fn run_dvq_tier(
+        &mut self,
+        mut s: LoopState<D>,
+        resume: Option<(Rat, (SubtaskRef, Rat))>,
+    ) -> Result<Schedule, Box<Bail>> {
+        let total = self.sys.num_subtasks();
+        if let Some((now_r, pending)) = resume {
+            let now = self
+                .dom
+                .from_rat(now_r)
+                .expect("a bail instant is representable in the resuming domain");
+            self.assign_batch(&mut s, now, Some(pending))?;
+        }
+        while s.placed < total {
+            let Some(&Reverse(head)) = s.events.peek() else {
+                // Every unplaced subtask owes the queue either an Activate
+                // or the ProcFree that will trigger one, so an empty queue
+                // here is a lost-event bug in this driver — abort loudly
+                // (also in release builds) rather than looping forever on
+                // `placed < total`.
+                panic!(
+                    "DVQ event queue drained with only {placed}/{total} subtasks placed: \
+                     an Activate/ProcFree event was lost (broken successor chain?)",
+                    placed = s.placed
+                );
+            };
+            let (now, _) = self.dom.ev_split(head);
+            if O::ENABLED {
+                self.obs.on_event(&SchedEvent::Tick {
+                    at: self.dom.to_rat(now),
+                });
+            }
+            // Drain the batch at `now`. The event ordering (ProcFree
+            // ascending by processor, then Activate) makes the emitted
+            // stream deterministic too.
+            while let Some(&Reverse(k)) = s.events.peek() {
+                let (t, code) = self.dom.ev_split(k);
+                if t != now {
+                    break;
+                }
+                s.events.pop();
+                match Event::from_code(code) {
+                    Event::ProcFree(k) => {
+                        if O::ENABLED {
+                            if let Some((st, completion)) = s.running[k as usize].take() {
+                                emit_end(
+                                    self.sys,
+                                    st,
+                                    k,
+                                    self.dom.to_rat(completion),
+                                    Rat::ZERO,
+                                    self.obs,
+                                );
+                            }
+                        }
+                        s.free.push(Reverse(k));
+                    }
+                    Event::Activate(st) => {
+                        if O::ENABLED {
+                            let sub = self.sys.subtask(st);
+                            let cause = if self.dom.int(sub.eligible) == Some(now) {
+                                ReadyCause::Eligibility
+                            } else {
+                                ReadyCause::Predecessor
+                            };
+                            self.obs.on_event(&SchedEvent::Ready {
+                                id: sub.id,
+                                at: self.dom.to_rat(now),
+                                cause,
+                            });
+                        }
+                        self.ready.push(st);
+                    }
+                }
+            }
+            self.assign_batch(&mut s, now, None)?;
+        }
+
+        if O::ENABLED {
+            // Quanta still in flight when the last subtask was placed:
+            // announce their ends in completion order.
+            let mut pending: Vec<crate::emit::PendingEnd> = s
+                .running
+                .iter_mut()
+                .enumerate()
+                .filter_map(|(k, slot)| {
+                    slot.take().map(|(st, completion)| {
+                        (self.dom.to_rat(completion), k as u32, st, Rat::ZERO)
+                    })
+                })
+                .collect();
+            flush_ends(self.sys, &mut pending, self.obs);
+        }
+
+        Ok(Schedule::new(
+            self.sys,
+            QuantumModel::Dvq,
+            self.m,
+            s.placements,
+        ))
+    }
+
+    /// Assigns free processors to ready subtasks in priority order, then
+    /// announces residual idleness. Honors the bail-out contract: for each
+    /// dispatch, every fallible time conversion runs *before* any side
+    /// effect, so an unrepresentable value aborts with nothing half-done.
+    fn assign_batch(
+        &mut self,
+        s: &mut LoopState<D>,
+        now: D::T,
+        mut carried: Option<(SubtaskRef, Rat)>,
+    ) -> Result<(), Box<Bail>> {
+        // The rational value of `now` is only needed once something is
+        // emitted at this instant (a placement, a bail, an idle report);
+        // pure-drain batches skip the conversion entirely.
+        let mut now_r_slot: Option<Rat> = None;
+        loop {
+            let (st, c) = match carried.take() {
+                Some(p) => p,
+                None => {
+                    if s.free.is_empty() || self.ready.is_empty() {
+                        break;
+                    }
+                    let st = self.ready.pop_best().expect("ready nonempty");
+                    (st, checked_cost(self.cost.cost(self.sys, st), st))
+                }
+            };
+            // Fallible conversions first (completion, successor
+            // eligibility); side effects only once both are in hand.
+            let conv =
+                self.dom
+                    .add_cost(now, c)
+                    .and_then(|completion| match self.sys.subtask(st).succ {
+                        None => Some((completion, None)),
+                        Some(succ) => self
+                            .dom
+                            .int(self.sys.subtask(succ).eligible)
+                            .map(|e| (completion, Some((succ, e)))),
+                    });
+            let Some((completion, succ_at)) = conv else {
+                return Err(Box::new(Bail {
+                    now: lazy_rat(self.dom, now, &mut now_r_slot),
+                    pending: (st, c),
+                    state: migrate_dvq(self.dom, s),
+                }));
+            };
+            let now_r = lazy_rat(self.dom, now, &mut now_r_slot);
+            let Reverse(proc) = s.free.pop().expect("free nonempty in the assignment loop");
+            s.placements.push(Placement {
+                st,
+                proc,
+                start: now_r,
+                cost: c,
+                holds_until: self.dom.to_rat(completion),
+            });
+            s.placed += 1;
+            if O::ENABLED {
+                let sub = self.sys.subtask(st);
+                self.obs.on_event(&SchedEvent::QuantumStart {
+                    id: sub.id,
+                    proc,
+                    start: now_r,
+                    cost: c,
+                    holds_until: self.dom.to_rat(completion),
+                    deadline: sub.deadline,
+                    bbit: sub.bbit,
+                    group_deadline: sub.group_deadline,
+                });
+                s.running[proc as usize] = Some((st, completion));
+            }
+            s.events.push(Reverse(
+                self.dom.ev_key(completion, Event::ProcFree(proc).code()),
+            ));
+            // The successor becomes ready once both eligible and its
+            // predecessor (this subtask) has completed.
+            if let Some((succ, e)) = succ_at {
+                s.events.push(Reverse(
+                    self.dom
+                        .ev_key(e.max(completion), Event::Activate(succ).code()),
+                ));
+            }
+        }
+        if O::ENABLED && !s.free.is_empty() {
+            self.obs.on_event(&SchedEvent::Idle {
+                at: lazy_rat(self.dom, now, &mut now_r_slot),
+                procs: s.free.len() as u32,
+            });
+        }
+        Ok(())
+    }
+}
+
 /// The shared DVQ event loop, generic over the ready-set implementation.
+/// Picks the time tier: tick arithmetic when the cost model's denominator
+/// hint and the event span allow it, exact rationals otherwise — and
+/// migrates tick → exact mid-run on the first unrepresentable value.
 fn run_dvq<R: ReadySet, O: Observer>(
     sys: &TaskSystem,
     m: u32,
@@ -173,154 +617,56 @@ fn run_dvq<R: ReadySet, O: Observer>(
     obs: &mut O,
 ) -> Schedule {
     assert!(m >= 1, "need at least one processor");
-    let total = sys.num_subtasks();
-    let mut placements = Vec::with_capacity(total);
-
-    // Min-heap of (time, event).
-    let mut events: BinaryHeap<Reverse<(Time, Event)>> = BinaryHeap::new();
-    // Seed: every chain head activates at its eligibility time; every
-    // processor is free at time 0.
-    for task in sys.tasks() {
-        if let Some(head) = sys.task_subtask_refs(task.id).next() {
-            let e = sys.subtask(head).eligible;
-            events.push(Reverse((Time::int(e), Event::Activate(head))));
-        }
-    }
-    for k in 0..m {
-        events.push(Reverse((Time::ZERO, Event::ProcFree(k))));
-    }
-
-    let mut free: Vec<u32> = Vec::with_capacity(m as usize);
-    let mut placed = 0usize;
-    // Observability state: the in-flight quantum on each processor
-    // `(subtask, completion)`, for `QuantumEnd` emission at its `ProcFree`.
-    let mut running: Vec<Option<(SubtaskRef, Time)>> = if O::ENABLED {
-        vec![None; m as usize]
-    } else {
-        Vec::new()
-    };
-
-    while placed < total {
-        let Some(&Reverse((now, _))) = events.peek() else {
-            // Every unplaced subtask owes the queue either an Activate or
-            // the ProcFree that will trigger one, so an empty queue here is
-            // a lost-event bug in this driver — abort loudly (also in
-            // release builds) rather than looping forever on `placed <
-            // total`.
-            panic!(
-                "DVQ event queue drained with only {placed}/{total} subtasks placed: \
-                 an Activate/ProcFree event was lost (broken successor chain?)"
-            );
+    let scale = event_span(sys).and_then(|span| tick_scale(cost.denominator_hint(), span));
+    let bail = if let Some(scale) = scale {
+        let dom = TickTimes { scale };
+        let state = seed_dvq(&dom, sys, m);
+        let mut fast = DvqLoop {
+            dom: &dom,
+            sys,
+            m,
+            ready: &mut ready,
+            cost,
+            obs,
         };
-        if O::ENABLED {
-            obs.on_event(&SchedEvent::Tick { at: now });
+        match fast.run_dvq_tier(state, None) {
+            Ok(sched) => return sched,
+            Err(bail) => Some(*bail),
         }
-        // Drain the batch at `now`. The event ordering (ProcFree ascending
-        // by processor, then Activate) makes the emitted stream
-        // deterministic too.
-        while let Some(&Reverse((t, ev))) = events.peek() {
-            if t != now {
-                break;
-            }
-            events.pop();
-            match ev {
-                Event::ProcFree(k) => {
-                    if O::ENABLED {
-                        if let Some((st, completion)) = running[k as usize].take() {
-                            emit_end(sys, st, k, completion, Rat::ZERO, obs);
-                        }
-                    }
-                    free.push(k);
-                }
-                Event::Activate(st) => {
-                    if O::ENABLED {
-                        let s = sys.subtask(st);
-                        let cause = if now == Time::int(s.eligible) {
-                            ReadyCause::Eligibility
-                        } else {
-                            ReadyCause::Predecessor
-                        };
-                        obs.on_event(&SchedEvent::Ready {
-                            id: s.id,
-                            at: now,
-                            cause,
-                        });
-                    }
-                    ready.push(st);
-                }
-            }
-        }
-        free.sort_unstable();
-
-        // Assign free processors to ready subtasks in priority order.
-        while !free.is_empty() && !ready.is_empty() {
-            let st = ready.pop_best().expect("ready nonempty");
-            let proc = free.remove(0);
-            let c = checked_cost(cost.cost(sys, st), st);
-            let completion = now + c;
-            placements.push(Placement {
-                st,
-                proc,
-                start: now,
-                cost: c,
-                holds_until: completion,
-            });
-            placed += 1;
-            if O::ENABLED {
-                let s = sys.subtask(st);
-                obs.on_event(&SchedEvent::QuantumStart {
-                    id: s.id,
-                    proc,
-                    start: now,
-                    cost: c,
-                    holds_until: completion,
-                    deadline: s.deadline,
-                    bbit: s.bbit,
-                    group_deadline: s.group_deadline,
-                });
-                running[proc as usize] = Some((st, completion));
-            }
-            events.push(Reverse((completion, Event::ProcFree(proc))));
-            // The successor becomes ready once both eligible and its
-            // predecessor (this subtask) has completed.
-            if let Some(succ) = sys.subtask(st).succ {
-                let act = Time::int(sys.subtask(succ).eligible).max(completion);
-                events.push(Reverse((act, Event::Activate(succ))));
-            }
-        }
-        if O::ENABLED && !free.is_empty() {
-            obs.on_event(&SchedEvent::Idle {
-                at: now,
-                procs: free.len() as u32,
-            });
-        }
+    } else {
+        None
+    };
+    let dom = ExactTimes;
+    let (state, resume) = match bail {
+        Some(Bail {
+            now,
+            pending,
+            state,
+        }) => (state, Some((now, pending))),
+        None => (seed_dvq(&dom, sys, m), None),
+    };
+    let mut exact = DvqLoop {
+        dom: &dom,
+        sys,
+        m,
+        ready: &mut ready,
+        cost,
+        obs,
+    };
+    match exact.run_dvq_tier(state, resume) {
+        Ok(sched) => sched,
+        Err(_) => unreachable!("the exact time domain never bails"),
     }
-
-    if O::ENABLED {
-        // Quanta still in flight when the last subtask was placed: announce
-        // their ends in completion order.
-        let mut pending: Vec<crate::emit::PendingEnd> = running
-            .iter_mut()
-            .enumerate()
-            .filter_map(|(k, slot)| {
-                slot.take()
-                    .map(|(st, completion)| (completion, k as u32, st, Rat::ZERO))
-            })
-            .collect();
-        flush_ends(sys, &mut pending, obs);
-    }
-
-    Schedule::new(sys, QuantumModel::Dvq, m, placements)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pfair_core::Pd2;
-    use pfair_numeric::Rat;
+    use pfair_core::{ComparatorOnly, Pd2};
+    use pfair_numeric::{Rat, Time};
     use pfair_taskmodel::{release, SubtaskId, TaskId};
 
-    use crate::cost::{FixedCosts, FullQuantum};
+    use crate::cost::{ExactOnly, FixedCosts, FullQuantum};
 
     fn fig2_system() -> TaskSystem {
         release::periodic_named(
@@ -440,6 +786,156 @@ mod tests {
         busy.sort();
         for w in busy.windows(2) {
             assert!(w[0].1 <= w[1].0, "overlap on one processor");
+        }
+    }
+
+    #[test]
+    fn processors_assigned_in_ascending_index_order() {
+        // Regression for the free-list order: within one batch, the k-th
+        // pick by priority lands on the k-th smallest free processor index.
+        let sys = release::periodic(&[(1, 2); 6], 4);
+        let sched = simulate_dvq(&sys, 3, &Pd2, &mut FullQuantum);
+        let mut batches: std::collections::BTreeMap<Time, Vec<(SubtaskRef, u32)>> =
+            std::collections::BTreeMap::new();
+        for p in sched.placements() {
+            batches.entry(p.start).or_default().push((p.st, p.proc));
+        }
+        let cache: KeyCache<Pd2Key> = KeyCache::build(&sys);
+        for (start, mut batch) in batches {
+            // Priority order within the batch is the order the loop popped;
+            // the processors handed out must ascend with it.
+            batch.sort_by_key(|&(st, _)| cache.key(st));
+            let procs: Vec<u32> = batch.iter().map(|&(_, proc)| proc).collect();
+            let mut sorted = procs.clone();
+            sorted.sort_unstable();
+            assert_eq!(procs, sorted, "batch at {start:?} assigned out of order");
+        }
+    }
+
+    #[test]
+    fn duplicate_key_ties_pop_identically_keyed_and_comparator() {
+        // Same-weight tasks tie on every key stage except the id; both
+        // ready-set implementations must break those ties identically
+        // (satellite for the ComparatorReady tie assertion).
+        let sys = release::periodic(&[(1, 2); 5], 8);
+        let mut a = BucketReady::<Pd2Key>::new(&sys);
+        let mut b = ComparatorReady {
+            sys: &sys,
+            order: &Pd2,
+            items: Vec::new(),
+        };
+        for (st, _) in sys.iter_refs() {
+            a.push(st);
+            b.push(st);
+        }
+        while !a.is_empty() {
+            assert_eq!(a.pop_best(), b.pop_best());
+        }
+        assert!(b.is_empty() && b.pop_best().is_none() && a.pop_best().is_none());
+
+        // And end to end: the full schedules agree placement for placement.
+        let keyed = simulate_dvq(&sys, 2, &Pd2, &mut FullQuantum);
+        let scanned = simulate_dvq(&sys, 2, &ComparatorOnly(&Pd2), &mut FullQuantum);
+        for (st, _) in sys.iter_refs() {
+            assert_eq!(keyed.placement(st).start, scanned.placement(st).start);
+            assert_eq!(keyed.placement(st).proc, scanned.placement(st).proc);
+        }
+    }
+
+    #[test]
+    fn tick_times_match_exact_times() {
+        // The same workload down both tiers: FixedCosts publishes a
+        // denominator hint (tick fast path); ExactOnly withholds it (exact
+        // path). Schedules must be identical, placement for placement.
+        let sys = fig2_system();
+        let delta = Rat::new(1, 4);
+        let costs = FixedCosts::new(Rat::ONE)
+            .with(TaskId(0), 1, Rat::ONE - delta)
+            .with(TaskId(5), 1, Rat::ONE - delta);
+        assert_eq!(costs.denominator_hint(), Some(4), "fast path armed");
+        let fast = simulate_dvq(&sys, 2, &Pd2, &mut costs.clone());
+        let mut inner = costs;
+        let exact = simulate_dvq(&sys, 2, &Pd2, &mut ExactOnly(&mut inner));
+        assert_eq!(fast.placements(), exact.placements());
+    }
+
+    /// Lies about its grid: hints denominator 2 but emits a cost with
+    /// denominator 3 on the `trip`-th draw — forcing a mid-batch bail from
+    /// the tick tier to the exact tier.
+    struct WrongHint {
+        draws: usize,
+        trip: usize,
+    }
+
+    impl CostModel for WrongHint {
+        fn cost(&mut self, _sys: &TaskSystem, _st: SubtaskRef) -> Rat {
+            self.draws += 1;
+            if self.draws == self.trip {
+                Rat::new(1, 3)
+            } else {
+                Rat::new(1, 2)
+            }
+        }
+
+        fn denominator_hint(&self) -> Option<i64> {
+            Some(2)
+        }
+    }
+
+    /// Records every emission, for stream-identity checks.
+    struct Record(Vec<SchedEvent>);
+
+    impl Observer for Record {
+        fn on_event(&mut self, ev: &SchedEvent) {
+            self.0.push(ev.clone());
+        }
+    }
+
+    #[test]
+    fn mid_run_migration_is_invisible() {
+        // A wrong denominator hint must cost performance only: the run
+        // bails to exact arithmetic at the first off-grid cost, and both
+        // the schedule and the observed event stream are identical to an
+        // all-exact run of the same model.
+        let sys = release::periodic(&[(1, 2), (1, 3), (2, 5), (3, 4)], 30);
+        for trip in [1usize, 3, 7, 20] {
+            let mut migrating = Record(Vec::new());
+            let a = simulate_dvq_observed(
+                &sys,
+                2,
+                &Pd2,
+                &mut WrongHint { draws: 0, trip },
+                &mut migrating,
+            );
+            let mut all_exact = Record(Vec::new());
+            let mut inner = WrongHint { draws: 0, trip };
+            let b =
+                simulate_dvq_observed(&sys, 2, &Pd2, &mut ExactOnly(&mut inner), &mut all_exact);
+            assert_eq!(a.placements(), b.placements(), "trip = {trip}");
+            assert_eq!(migrating.0, all_exact.0, "trip = {trip}");
+        }
+    }
+
+    #[test]
+    fn far_deadlines_share_the_clamped_tail_bucket() {
+        // Deadline spans past MAX_BUCKETS clamp into the last bucket; the
+        // full-key in-bucket order keeps pops correct regardless.
+        let sys = release::periodic(&[(1, 2), (1, 2)], 4);
+        let mut ready = BucketReady::<Pd2Key>::new(&sys);
+        // Force a tiny bucket table so every push collides in the tail.
+        ready.buckets = vec![Vec::new(); 1];
+        ready.cursor = 0;
+        let mut scan = ComparatorReady {
+            sys: &sys,
+            order: &Pd2,
+            items: Vec::new(),
+        };
+        for (st, _) in sys.iter_refs() {
+            ready.push(st);
+            scan.push(st);
+        }
+        while !ready.is_empty() {
+            assert_eq!(ready.pop_best(), scan.pop_best());
         }
     }
 }

@@ -37,8 +37,9 @@ mod emit;
 pub mod schedule;
 pub mod sfq;
 pub mod staggered;
+mod tdomain;
 
-pub use cost::{CostModel, FixedCosts, FullQuantum, ScaledCost};
+pub use cost::{CostModel, ExactOnly, FixedCosts, FullQuantum, ScaledCost};
 pub use dvq::{simulate_dvq, simulate_dvq_observed};
 pub use schedule::{Placement, QuantumModel, Schedule};
 pub use sfq::{

@@ -18,6 +18,13 @@
 //! (EPDF/PD²/PF/PD) and [`simulate_sfq_pdb`] for the paper's PD^B
 //! procedure, which needs the extra readiness fact "did the predecessor
 //! run in slot `t − 1`" to form its `EB/PB/DB` partition.
+//!
+//! In the workspace's two-tier time representation (see the `dvq` module
+//! docs and `crate::tdomain`), SFQ *is* the integer tier by construction:
+//! every decision instant is an `i64` slot number, so there is no `QTime`
+//! scaling and no bail-out — only placement and completion bookkeeping
+//! ever touch rationals. The hot loop iterates a retained list of tasks
+//! with unfinished chains rather than rescanning every cursor each slot.
 
 use pfair_core::key::{EpdfKey, KeyCache, KeyDispatch, Pd2Key, PdKey, SubtaskKey};
 use pfair_core::pdb;
@@ -330,6 +337,15 @@ fn run_sfq_impl<O: Observer>(
     let mut cursor: Vec<(u32, u32)> = (0..sys.num_tasks())
         .map(|k| sys.task_span(pfair_taskmodel::TaskId(k as u32)))
         .collect();
+    // Tasks whose chains still have unscheduled subtasks, ascending; a
+    // task leaves the list for good once its cursor reaches its span end,
+    // so long-finished tasks stop costing the per-slot gather anything.
+    let mut active: Vec<u32> = (0..sys.num_tasks() as u32)
+        .filter(|&k| {
+            let (cur, hi) = cursor[k as usize];
+            cur < hi
+        })
+        .collect();
     let mut placed = 0usize;
     let mut t = 0i64;
     let mut ready: Vec<SubtaskRef> = Vec::with_capacity(sys.num_tasks());
@@ -354,12 +370,14 @@ fn run_sfq_impl<O: Observer>(
             flush_ends(sys, &mut pending_ends, obs);
             fresh_ready.clear();
         }
-        // Gather the (≤ one per task) ready subtasks.
+        // Gather the (≤ one per task) ready subtasks, dropping exhausted
+        // tasks from the active list as we go.
         ready.clear();
         let mut next_interesting = i64::MAX;
-        for &(cur, hi) in &cursor {
+        active.retain(|&k| {
+            let (cur, hi) = cursor[k as usize];
             if cur >= hi {
-                continue;
+                return false;
             }
             let st = SubtaskRef(cur);
             let s = sys.subtask(st);
@@ -382,7 +400,8 @@ fn run_sfq_impl<O: Observer>(
             } else {
                 next_interesting = next_interesting.min(ready_at);
             }
-        }
+            true
+        });
 
         if ready.is_empty() {
             // With nothing ready, the driver can only jump forward to the

@@ -48,6 +48,11 @@ impl CostModel for UniformCost {
         let num = self.rng.gen_range(self.min_num..=GRID);
         Rat::new(num, GRID)
     }
+
+    fn denominator_hint(&self) -> Option<i64> {
+        // Every draw is num/GRID; reduced denominators all divide GRID.
+        Some(GRID)
+    }
 }
 
 /// Bimodal costs: the full quantum with probability `full_percent`%, else
@@ -83,6 +88,10 @@ impl CostModel for BimodalCost {
         } else {
             self.low
         }
+    }
+
+    fn denominator_hint(&self) -> Option<i64> {
+        i64::try_from(self.low.den()).ok()
     }
 }
 
@@ -121,6 +130,11 @@ impl CostModel for AdversarialYield {
         } else {
             Rat::ONE
         }
+    }
+
+    fn denominator_hint(&self) -> Option<i64> {
+        // 1 − δ has the same reduced denominator as δ; 1 divides it.
+        i64::try_from(self.delta.den()).ok()
     }
 }
 
@@ -163,6 +177,11 @@ impl CostModel for PartialFinalSubtask {
         } else {
             Rat::ONE
         }
+    }
+
+    fn denominator_hint(&self) -> Option<i64> {
+        // Costs are `frac` or 1; both denominators divide `frac`'s.
+        i64::try_from(self.frac.den()).ok()
     }
 }
 
@@ -226,6 +245,31 @@ mod tests {
                 assert_eq!(c, Rat::new(2, 5), "job-final subtask {:?}", s.id);
             } else {
                 assert_eq!(c, Rat::ONE, "mid-job subtask {:?}", s.id);
+            }
+        }
+    }
+
+    #[test]
+    fn denominator_hints_cover_every_draw() {
+        // Each generator's hint must be a multiple of every reduced
+        // denominator it can emit — the contract the simulators' tick fast
+        // path relies on to never bail on these models.
+        let sys = release::periodic(&[(3, 4), (1, 2)], 40);
+        let models: Vec<Box<dyn CostModel>> = vec![
+            Box::new(UniformCost::new(Rat::new(1, 5), 11)),
+            Box::new(BimodalCost::new(40, Rat::new(2, 7), 12)),
+            Box::new(AdversarialYield::new(Rat::new(1, 1000), 60, 13)),
+            Box::new(PartialFinalSubtask::new(Rat::new(3, 8))),
+        ];
+        for mut m in models {
+            let hint = m.denominator_hint().expect("all costgen models hint");
+            for (st, _) in sys.iter_refs() {
+                let c = m.cost(&sys, st);
+                assert_eq!(
+                    hint % c.den_i64(),
+                    0,
+                    "cost {c} off the hinted grid 1/{hint}"
+                );
             }
         }
     }

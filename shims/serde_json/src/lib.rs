@@ -9,7 +9,8 @@
 
 use core::fmt;
 
-use serde::{Deserialize, Serialize, Value};
+pub use serde::Value;
+use serde::{Deserialize, Serialize};
 
 /// A serialization or parse error.
 #[derive(Clone, Debug)]

@@ -30,6 +30,16 @@
 //! * `--seed <s>`     base seed; trial `k` uses seed `s + k` (default 1)
 //! * `--threads <t>`  worker threads (default: available parallelism)
 //! * `--no-shrink`    report violations without minimizing them
+//!
+//! The `perf` subcommand is a wall-clock ratchet over the keyed DVQ hot
+//! path (the bench suite's `dvq_keyed/1000` workload). `--update PATH`
+//! writes `bench-baseline.json` for the current machine; `--check PATH`
+//! exits 1 if ns/quantum regressed more than 15% over it:
+//!
+//! ```text
+//! cargo run --release --bin pfairsim -- perf --update bench-baseline.json
+//! cargo run --release --bin pfairsim -- perf --quick --check bench-baseline.json
+//! ```
 
 use pfair::conformance::{generate_case, run_campaign, CampaignConfig, Case, GenConfig, REFERENCE};
 use pfair::core::Algorithm;
@@ -45,9 +55,175 @@ fn usage() -> ! {
          \u{20}               [--cost R] [--horizon N] [--res N] [--json]\n\
          \u{20}               [--metrics] [--events PATH] WEIGHT [WEIGHT ...]\n\
          \u{20}      pfairsim fuzz [--trials N] [--seconds S] [--seed S] [--threads T] [--no-shrink]\n\
+         \u{20}      pfairsim perf (--check PATH | --update PATH) [--quick] [--plant-slowdown F]\n\
          example: pfairsim --m 2 --model dvq --cost 7/8 1/6 1/6 1/6 1/2 1/2 1/2"
     );
     std::process::exit(2)
+}
+
+/// The perf ratchet's workload: the bench suite's n = 1000 keyed-PD² DVQ
+/// case (`keyed_vs_comparator/dvq_keyed/1000`), bit-for-bit — same weight
+/// cycle, same release seed, same stochastic cost model.
+fn perf_workload() -> (TaskSystem, u32) {
+    let base = [
+        (1i64, 2i64),
+        (1, 3),
+        (2, 5),
+        (3, 8),
+        (1, 6),
+        (5, 12),
+        (1, 4),
+        (7, 24),
+        (2, 3),
+        (1, 8),
+    ];
+    let weights: Vec<Weight> = (0..1000)
+        .map(|i| {
+            let (e, p) = base[i % base.len()];
+            Weight::new(e, p)
+        })
+        .collect();
+    let util: Rat = weights.iter().map(|w| w.as_rat()).sum();
+    let m = u32::try_from(util.ceil()).expect("perf workload utilization fits u32");
+    let sys = pfair::workload::releasegen::generate(
+        &weights,
+        &pfair::workload::ReleaseConfig::periodic(24),
+        46,
+    );
+    (sys, m)
+}
+
+/// Regression threshold: fail when the measured ns/quantum exceeds the
+/// baseline by more than this fraction. Mirrors `lint-baseline.txt`'s
+/// ratchet spirit: the baseline may be re-tightened any time with
+/// `--update`, but CI never lets it silently regress.
+const PERF_TOLERANCE: f64 = 0.15;
+
+/// The `perf` subcommand: a quick wall-clock ratchet over the hot keyed
+/// DVQ path. `--update PATH` (re)writes the baseline for this machine;
+/// `--check PATH` measures and exits 1 if ns/quantum regressed more than
+/// 15% over it. `--quick` trims repetitions for CI; `--plant-slowdown F`
+/// multiplies the measured time by `F` — a test hook that proves the
+/// ratchet actually trips (see EXPERIMENTS.md). Exits 2 on bad args or
+/// unreadable baselines.
+fn perf(mut args: std::env::Args) -> ! {
+    let mut check: Option<String> = None;
+    let mut update: Option<String> = None;
+    let mut quick = false;
+    let mut plant: f64 = 1.0;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--check" => check = Some(args.next().unwrap_or_else(|| usage())),
+            "--update" => update = Some(args.next().unwrap_or_else(|| usage())),
+            "--quick" => quick = true,
+            "--plant-slowdown" => {
+                plant = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    if check.is_none() && update.is_none() {
+        usage();
+    }
+
+    let (sys, m) = perf_workload();
+    let quanta = sys.num_subtasks() as u64;
+    // Each rep is only a few ms, so even `--quick` can afford a deep
+    // min: noise on shared CI hosts easily exceeds the 15% tolerance
+    // with too few samples.
+    let (warmup, reps) = if quick { (2, 12) } else { (3, 30) };
+    for _ in 0..warmup {
+        let mut cost = UniformCost::new(Rat::new(1, 2), 7);
+        std::hint::black_box(simulate_dvq(&sys, m, &Pd2, &mut cost));
+    }
+    // Minimum over repetitions: the robust statistic on a noisy host —
+    // every perturbation only ever adds time.
+    let mut best = std::time::Duration::MAX;
+    for _ in 0..reps {
+        let mut cost = UniformCost::new(Rat::new(1, 2), 7);
+        let t = std::time::Instant::now();
+        std::hint::black_box(simulate_dvq(&sys, m, &Pd2, &mut cost));
+        best = best.min(t.elapsed());
+    }
+    #[allow(clippy::cast_precision_loss)]
+    let ns_per_quantum = best.as_nanos() as f64 / quanta as f64 * plant;
+    println!(
+        "perf: dvq_keyed/1000 — {quanta} quanta in {best:?} (min of {reps}) \
+         = {ns_per_quantum:.1} ns/quantum{}",
+        if plant != 1.0 {
+            format!(" [planted x{plant}]")
+        } else {
+            String::new()
+        }
+    );
+
+    if let Some(path) = update {
+        let body = format!(
+            "{{\"bench\": \"perf/dvq_keyed/1000\", \"quanta\": {quanta}, \
+             \"ns_per_quantum\": {ns_per_quantum:.1}}}\n"
+        );
+        if let Err(e) = std::fs::write(&path, body) {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        }
+        println!("baseline written to {path}");
+        std::process::exit(0);
+    }
+
+    let path = check.expect("checked above: --check or --update is present");
+    let body = match std::fs::read_to_string(&path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!(
+                "cannot read baseline {path}: {e}\n\
+                 regenerate with: cargo run --release --bin pfairsim -- perf --update {path}"
+            );
+            std::process::exit(2);
+        }
+    };
+    #[allow(clippy::cast_precision_loss)]
+    fn num_field(v: &serde_json::Value, name: &str) -> Option<f64> {
+        match *v.field(name).ok()? {
+            serde_json::Value::Float(x) => Some(x),
+            serde_json::Value::Int(n) => Some(n as f64),
+            _ => None,
+        }
+    }
+    let baseline: f64 = serde_json::from_str::<serde_json::Value>(&body)
+        .ok()
+        .and_then(|v| num_field(&v, "ns_per_quantum"))
+        .unwrap_or_else(|| {
+            eprintln!("baseline {path} has no numeric `ns_per_quantum` field");
+            std::process::exit(2);
+        });
+    let limit = baseline * (1.0 + PERF_TOLERANCE);
+    println!(
+        "baseline {baseline:.1} ns/quantum, limit {limit:.1} (+{:.0}%)",
+        PERF_TOLERANCE * 100.0
+    );
+    if ns_per_quantum > limit {
+        eprintln!(
+            "perf regression: {ns_per_quantum:.1} ns/quantum exceeds {limit:.1} \
+             ({baseline:.1} +{:.0}%)\n\
+             if intentional, regenerate with: \
+             cargo run --release --bin pfairsim -- perf --update {path}",
+            PERF_TOLERANCE * 100.0
+        );
+        std::process::exit(1);
+    }
+    if ns_per_quantum < baseline * (1.0 - PERF_TOLERANCE) {
+        println!(
+            "note: {:.0}% faster than baseline — consider re-tightening with \
+             `cargo run --release --bin pfairsim -- perf --update {path}`",
+            (1.0 - ns_per_quantum / baseline) * 100.0
+        );
+    }
+    println!("perf ratchet ok");
+    std::process::exit(0)
 }
 
 /// The `fuzz` subcommand: a seeded differential conformance campaign
@@ -169,6 +345,12 @@ fn main() {
         let _ = args.next();
         let _ = args.next();
         fuzz(args);
+    }
+    if rest.first().map(String::as_str) == Some("perf") {
+        let mut args = std::env::args();
+        let _ = args.next();
+        let _ = args.next();
+        perf(args);
     }
     let mut m: u32 = 2;
     let mut model = "sfq".to_string();

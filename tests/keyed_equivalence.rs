@@ -162,6 +162,58 @@ fn fig6_shifted_system_identical_under_keyed_dispatch() {
     assert!(check_window_containment(&tau, &sched).is_empty());
 }
 
+/// Asserts the integer-tick fast path (taken when the cost model hints its
+/// denominator grid) and the exact-rational path ([`ExactOnly`] withholds
+/// the hint) produce identical schedules under both event-driven models.
+fn assert_tick_matches_exact(
+    sys: &TaskSystem,
+    m: u32,
+    order: &dyn PriorityOrder,
+    mk_cost: &dyn Fn() -> FixedCosts,
+) {
+    let mut fast_cost = mk_cost();
+    assert!(
+        fast_cost.denominator_hint().is_some(),
+        "cost model must hint for the tick path to engage"
+    );
+    let fast_dvq = simulate_dvq(sys, m, order, &mut fast_cost);
+    let exact_dvq = simulate_dvq(sys, m, order, &mut ExactOnly(&mut mk_cost()));
+    assert_same_schedule(
+        sys,
+        &fast_dvq,
+        &exact_dvq,
+        order.name(),
+        "DVQ tick-vs-exact",
+    );
+
+    let fast_stag = simulate_staggered(sys, m, order, &mut mk_cost());
+    let exact_stag = simulate_staggered(sys, m, order, &mut ExactOnly(&mut mk_cost()));
+    assert_same_schedule(
+        sys,
+        &fast_stag,
+        &exact_stag,
+        order.name(),
+        "staggered tick-vs-exact",
+    );
+}
+
+#[test]
+fn fig2_tick_path_matches_exact_path() {
+    let sys = fig2_system();
+    for alg in [Algorithm::Epdf, Algorithm::Pd2, Algorithm::Pd] {
+        assert_tick_matches_exact(&sys, 2, alg.order(), &|| FixedCosts::new(Rat::ONE));
+        assert_tick_matches_exact(&sys, 2, alg.order(), &fig2b_costs);
+    }
+}
+
+#[test]
+fn fig3_tick_path_matches_exact_path() {
+    let sys = fig3_system();
+    for alg in [Algorithm::Epdf, Algorithm::Pd2, Algorithm::Pd] {
+        assert_tick_matches_exact(&sys, 3, alg.order(), &fig3_costs);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
@@ -219,6 +271,36 @@ proptest! {
             for (a, b) in ks.placements().iter().zip(cs.placements()) {
                 prop_assert_eq!((a.st, a.proc, a.start), (b.st, b.proc, b.start));
             }
+        }
+    }
+
+    /// The integer-tick fast path is invisible on random GIS systems: with
+    /// the hint engaged and withheld (`ExactOnly`), DVQ and staggered
+    /// schedules coincide for all three keyed orders.
+    #[test]
+    fn prop_tick_path_matches_exact_on_random_gis(seed in 0u64..10_000) {
+        let ws = random_weights(&TaskGenConfig::full(3, 5), seed);
+        let sys = releasegen::generate(&ws, &ReleaseConfig::gis(10), seed);
+        prop_assume!(sys.num_subtasks() >= 2);
+        let mk = || {
+            let mut c = FixedCosts::new(Rat::ONE);
+            for (_, s) in sys.iter_refs() {
+                match (s.id.index + u64::from(s.id.task.0)) % 4 {
+                    0 => c = c.with(s.id.task, s.id.index, Rat::new(3, 4)),
+                    2 => c = c.with(s.id.task, s.id.index, Rat::new(5, 6)),
+                    _ => {}
+                }
+            }
+            c
+        };
+        for alg in [Algorithm::Epdf, Algorithm::Pd2, Algorithm::Pd] {
+            let order = alg.order();
+            let fd = simulate_dvq(&sys, 3, order, &mut mk());
+            let ed = simulate_dvq(&sys, 3, order, &mut ExactOnly(&mut mk()));
+            prop_assert_eq!(fd.placements(), ed.placements());
+            let fs = simulate_staggered(&sys, 3, order, &mut mk());
+            let es = simulate_staggered(&sys, 3, order, &mut ExactOnly(&mut mk()));
+            prop_assert_eq!(fs.placements(), es.placements());
         }
     }
 }
