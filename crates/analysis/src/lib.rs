@@ -64,7 +64,10 @@ pub use displacement::{displacement, displacement_stats, DisplacementStats};
 pub use jobs::{all_jobs, jobs_of, Job};
 pub use lag::{ideal_allocation, max_lag_over_slots, received_allocation, task_lag, total_lag};
 pub use lemmas::{check_lemma1, Lemma1Violation};
-pub use overhead::{contention_profile, migration_stats, peak_simultaneous_starts, MigrationStats};
+pub use overhead::{
+    contention_profile, context_switch_stats, migration_stats, peak_simultaneous_starts,
+    MigrationStats, SwitchStats,
+};
 pub use report::{schedule_report, ScheduleReport};
 pub use response::{response_stats, subtask_response, ResponseStats};
 pub use schedulability::{flow_schedulable, FlowSchedule, WindowMode};

@@ -74,6 +74,59 @@ pub fn migration_stats(sys: &TaskSystem, sched: &Schedule) -> MigrationStats {
     }
 }
 
+/// Per-processor context-switch accounting.
+///
+/// A *chunk* is a maximal run of placements on one processor executing the
+/// same task back-to-back: each placement starts exactly where the previous
+/// one released the processor (`holds_until`). Every chunk after the first
+/// on a processor begins with a context switch — the processor either
+/// picked up a different task or sat idle in between. Boundary-Fair
+/// scheduling exists to shrink this number relative to per-slot Pfair
+/// decisions, so the golden figure tests compare it across engine families.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SwitchStats {
+    /// Maximal contiguous same-task runs, summed over processors.
+    pub chunks: usize,
+    /// Processors that executed at least one quantum.
+    pub busy_procs: usize,
+}
+
+impl SwitchStats {
+    /// Context switches: every chunk after the first per busy processor.
+    #[must_use]
+    pub fn switches(&self) -> usize {
+        self.chunks - self.busy_procs
+    }
+}
+
+/// Counts contiguous execution chunks per processor.
+#[must_use]
+pub fn context_switch_stats(sys: &TaskSystem, sched: &Schedule) -> SwitchStats {
+    // (proc, start, holds_until, task) per placement, in execution order.
+    let mut runs: Vec<(u32, Time, Time, u32)> = Vec::new();
+    for task in sys.tasks() {
+        for st in sys.task_subtask_refs(task.id) {
+            let p = sched.placement(st);
+            runs.push((p.proc, p.start, p.holds_until, task.id.0));
+        }
+    }
+    runs.sort_unstable();
+    let mut chunks = 0usize;
+    let mut busy_procs = 0usize;
+    let mut prev: Option<(u32, Time, u32)> = None;
+    for (proc, start, holds_until, task) in runs {
+        let continues = prev == Some((proc, start, task));
+        if !continues {
+            chunks += 1;
+            if prev.is_none_or(|(p, _, _)| p != proc) {
+                busy_procs += 1;
+            }
+        }
+        prev = Some((proc, holds_until, task));
+    }
+    SwitchStats { chunks, busy_procs }
+}
+
 /// The simultaneous-start profile: for each distinct commencement instant,
 /// how many quanta begin at exactly that instant. Returned as a histogram
 /// `counts[k]` = number of instants at which exactly `k+1` quanta start.
@@ -155,6 +208,28 @@ mod tests {
         // Deterministic assignment keeps each task on one processor here.
         assert_eq!(m.migrations, 0);
         assert_eq!(m.migration_rate(), 0.0);
+    }
+
+    #[test]
+    fn context_switches_on_a_dedicated_processor_schedule() {
+        // Two half-weight tasks on two processors: PD²-SFQ parks each on
+        // its own processor, but each executes in alternating slots, so
+        // every occupied slot starts a fresh chunk (idle gaps in between).
+        let sys = release::periodic(&[(1, 2), (1, 2)], 8);
+        let sched = simulate_sfq(&sys, 2, &Pd2, &mut FullQuantum);
+        let s = context_switch_stats(&sys, &sched);
+        assert_eq!(s.busy_procs, 2);
+        assert_eq!(s.chunks, 8);
+        assert_eq!(s.switches(), 6);
+    }
+
+    #[test]
+    fn full_utilization_single_task_is_one_chunk() {
+        let sys = release::periodic(&[(1, 1)], 6);
+        let sched = simulate_sfq(&sys, 1, &Pd2, &mut FullQuantum);
+        let s = context_switch_stats(&sys, &sched);
+        assert_eq!(s.chunks, 1);
+        assert_eq!(s.switches(), 0);
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Bench E7: scheduler cost — the practicality dimension of §1. Measures
 //! simulated subtasks per second for each algorithm (EPDF, PD², PF, PD,
-//! PD^B) and each quantum model (SFQ, DVQ, staggered), scaling the task
-//! count and the processor count.
+//! PD^B), each quantum model (SFQ, DVQ, staggered) and the competing
+//! optimal families (BF, maxflow), scaling the task count and the
+//! processor count.
 //!
 //! Run with `cargo bench -p pfair-bench --bench throughput`.
 
@@ -58,6 +59,15 @@ fn bench_models(c: &mut Criterion) {
     });
     g.bench_function("staggered", |b| {
         b.iter(|| simulate_staggered(std::hint::black_box(&sys), 8, &Pd2, &mut FullQuantum))
+    });
+    // The competing optimal families: BF decides only at period
+    // boundaries (so it should dominate this group), maxflow pays for a
+    // Dinic solve over the PF-window network.
+    g.bench_function("bf", |b| {
+        b.iter(|| simulate_bf(std::hint::black_box(&sys), 8, &mut FullQuantum))
+    });
+    g.bench_function("flow", |b| {
+        b.iter(|| simulate_flow(std::hint::black_box(&sys), 8, &mut FullQuantum))
     });
     g.finish();
 }

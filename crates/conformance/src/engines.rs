@@ -10,8 +10,8 @@ use pfair_core::Pd2;
 use pfair_numeric::Rat;
 use pfair_obs::{BlockingObserver, BlockingRecord, LagObserver};
 use pfair_sim::{
-    simulate_dvq, simulate_dvq_observed, simulate_sfq, simulate_sfq_observed, simulate_sfq_pdb,
-    simulate_staggered, CostModel, Schedule,
+    simulate_bf, simulate_dvq, simulate_dvq_observed, simulate_flow, simulate_sfq,
+    simulate_sfq_observed, simulate_sfq_pdb, simulate_staggered, CostModel, Schedule,
 };
 use pfair_taskmodel::TaskSystem;
 
@@ -66,6 +66,11 @@ pub struct Engines {
     pub staggered: SimFn,
     /// SFQ/PD^B simulator.
     pub pdb: PdbFn,
+    /// Boundary-Fair simulator (invariants call it only on synchronous
+    /// periodic cases — the class BF is defined on).
+    pub bf: PdbFn,
+    /// Flow-network simulator.
+    pub flow: PdbFn,
     /// DVQ simulator with the streaming blocking detector attached.
     pub streaming_blocking: ObservedDvqFn,
     /// Observed run with the streaming LAG accountant attached.
@@ -115,6 +120,8 @@ pub const REFERENCE: Engines = Engines {
     dvq: simulate_dvq,
     staggered: simulate_staggered,
     pdb: simulate_sfq_pdb,
+    bf: simulate_bf,
+    flow: simulate_flow,
     streaming_blocking: dvq_streaming_blocking,
     lag_probe: streaming_lag_probe,
 };

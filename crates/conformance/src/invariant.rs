@@ -110,15 +110,18 @@ pub fn check_one(name: &str, case: &Case, engines: &Engines) -> Result<(), Failu
 /// first, expensive cross-engine comparisons last).
 #[must_use]
 pub fn bank() -> &'static [&'static dyn Invariant] {
-    static BANK: [&dyn Invariant; 12] = [
+    static BANK: [&dyn Invariant; 15] = [
         &StructuralValidity,
         &AllocationConservation,
         &SfqZeroTardiness,
         &DvqTardinessBound,
         &PdbTardinessBound,
+        &BfBoundaryConservation,
+        &FlowSolutionValidity,
         &MaxflowAgreement,
         &KeyedComparatorEquality,
         &SfqDvqFullCostAgreement,
+        &Predictability,
         &PdbTable1Conformance,
         &OnlineOfflineEquivalence,
         &HyperperiodPeriodicity,
@@ -302,6 +305,328 @@ impl Invariant for PdbTardinessBound {
                 "PD^B tardiness {:?} > 1 (Theorem 2 bound, {} misses)",
                 stats.max, stats.misses
             ));
+        }
+        Ok(())
+    }
+}
+
+/// `true` iff the case is a synchronous periodic system: indices `1..n`
+/// with no IS offsets and no early releasing (partial trailing jobs
+/// allowed) — exactly the class [`pfair_sim::simulate_bf`] is defined on.
+fn is_sync_periodic(case: &Case) -> bool {
+    case.spec.tasks.iter().all(|t| {
+        t.subtasks
+            .iter()
+            .enumerate()
+            .all(|(k, s)| s.index == k as u64 + 1 && s.theta == 0 && s.early == 0)
+    })
+}
+
+/// Slot-engine discipline shared by the BF and flow checkers: every
+/// processor index below `m`, no processor double-booked in a slot, and no
+/// task on two processors in one slot. Capacity `≤ m` per slot follows.
+fn check_slot_discipline(sys: &TaskSystem, sched: &Schedule, m: u32) -> Result<(), String> {
+    if let Some(pl) = sched.placements().iter().find(|pl| pl.proc >= m) {
+        return Err(format!(
+            "{} on processor {} ≥ m = {m}",
+            describe(sys, pl.st),
+            pl.proc
+        ));
+    }
+    let mut by_proc: Vec<(i64, u32)> = Vec::with_capacity(sched.placements().len());
+    let mut by_task: Vec<(i64, u32)> = Vec::with_capacity(sched.placements().len());
+    for pl in sched.placements() {
+        assert!(
+            pl.start.den() == 1,
+            "expected integral slot start, got {:?}",
+            pl.start
+        );
+        by_proc.push((pl.start.num_i64(), pl.proc));
+        by_task.push((pl.start.num_i64(), sys.subtask(pl.st).id.task.0));
+    }
+    by_proc.sort_unstable();
+    if let Some(w) = by_proc.windows(2).find(|w| w[0] == w[1]) {
+        return Err(format!(
+            "slot {}: processor {} double-booked",
+            w[0].0, w[0].1
+        ));
+    }
+    by_task.sort_unstable();
+    if let Some(w) = by_task.windows(2).find(|w| w[0] == w[1]) {
+        return Err(format!(
+            "slot {}: task T{} runs on two processors at once",
+            w[0].0, w[0].1
+        ));
+    }
+    Ok(())
+}
+
+/// Boundary-Fair conservation: the BF schedule must match an independent
+/// re-derivation of the family's allocation rules, interval by interval —
+/// per boundary interval `[b, b′)` every task receives exactly its
+/// mandatory units `⌊fluid(b′) − alloc(b)⌋` plus at most one optional
+/// unit, optional units granted from spare capacity in urgency order
+/// (largest fractional remainder, earliest next own boundary, task id) —
+/// together with the slot discipline, intra-task precedence, and
+/// containment of every unit inside its job window (which is what makes
+/// BF meet every *job* deadline despite ignoring Pfair subtask windows).
+#[derive(Debug)]
+struct BfBoundaryConservation;
+
+impl Invariant for BfBoundaryConservation {
+    fn name(&self) -> &'static str {
+        "bf-boundary-conservation"
+    }
+
+    fn applies(&self, case: &Case) -> bool {
+        is_sync_periodic(case)
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn check(&self, case: &Case, engines: &Engines) -> Result<(), String> {
+        let sys = &case.sys;
+        let m = case.spec.m;
+        let sched = (engines.bf)(sys, m, &mut case.cost_model());
+        if sched.placements().len() != sys.num_subtasks() {
+            return Err(format!(
+                "BF placed {} of {} subtasks",
+                sched.placements().len(),
+                sys.num_subtasks()
+            ));
+        }
+        check_slot_discipline(sys, &sched, m)?;
+        let slots = slot_of(&sched);
+        let mut slot = vec![0i64; sys.num_subtasks()];
+        for &(st, t) in &slots {
+            slot[st.idx()] = t;
+        }
+
+        // Intra-task precedence and job-window containment.
+        for task in sys.tasks() {
+            let (e, p) = (task.weight.e(), task.weight.p());
+            let mut prev: Option<i64> = None;
+            for (j, st) in sys.task_subtask_refs(task.id).enumerate() {
+                let t = slot[st.idx()];
+                if let Some(pt) = prev {
+                    if pt >= t {
+                        return Err(format!(
+                            "{} at slot {t} does not follow its predecessor (slot {pt})",
+                            describe(sys, st)
+                        ));
+                    }
+                }
+                prev = Some(t);
+                let job = i64::try_from(j).expect("subtask count fits i64") / e;
+                if t < job * p || t + 1 > (job + 1) * p {
+                    return Err(format!(
+                        "{} at slot {t} outside its job window [{}, {})",
+                        describe(sys, st),
+                        job * p,
+                        (job + 1) * p
+                    ));
+                }
+            }
+        }
+
+        // Independent re-derivation of the allocation table: boundaries,
+        // then per-interval mandatory + optional units in exact rationals.
+        let n_tasks = sys.num_tasks();
+        let mut bounds = vec![0i64];
+        for task in sys.tasks() {
+            let n = sys.task_subtasks(task.id).len() as i64;
+            if n == 0 {
+                continue;
+            }
+            let (e, p) = (task.weight.e(), task.weight.p());
+            let jobs = (n + e - 1) / e;
+            bounds.extend((1..=jobs).map(|k| k * p));
+        }
+        bounds.sort_unstable();
+        bounds.dedup();
+        let end = *bounds.last().expect("boundary 0 always present");
+        if let Some(&(st, t)) = slots.iter().find(|&&(_, t)| t < 0 || t >= end) {
+            return Err(format!(
+                "{} at slot {t} outside the boundary horizon [0, {end})",
+                describe(sys, st)
+            ));
+        }
+
+        let mut task_slots: Vec<Vec<i64>> = vec![Vec::new(); n_tasks];
+        for &(st, t) in &slots {
+            task_slots[sys.subtask(st).id.task.idx()].push(t);
+        }
+        let mut alloc = vec![0i64; n_tasks];
+        for w in bounds.windows(2) {
+            let (b, b2) = (w[0], w[1]);
+            let len = b2 - b;
+            let mut expect = vec![0i64; n_tasks];
+            let mut spare = i64::from(m) * len;
+            let mut cands: Vec<(Rat, i64, usize)> = Vec::new();
+            for (k, task) in sys.tasks().iter().enumerate() {
+                let n = sys.task_subtasks(task.id).len() as i64;
+                if alloc[k] >= n {
+                    continue;
+                }
+                let fluid = (task.weight.as_rat() * Rat::int(b2)).min(Rat::int(n));
+                let pw = fluid - Rat::int(alloc[k]);
+                if !pw.is_positive() {
+                    continue;
+                }
+                let mand = pw.floor();
+                if mand > len || spare < mand {
+                    return Err(format!(
+                        "interval [{b}, {b2}): derived mandatory demand for task T{k} \
+                         ({mand} units) exceeds the interval — the case is infeasible, \
+                         which the campaign filter should have excluded"
+                    ));
+                }
+                expect[k] = mand;
+                spare -= mand;
+                let frac = pw - Rat::int(mand);
+                if frac.is_positive() && mand < len {
+                    let next_own = (b / task.weight.p() + 1) * task.weight.p();
+                    cands.push((frac, next_own, k));
+                }
+            }
+            cands.sort_by(|x, y| {
+                y.0.cmp(&x.0)
+                    .then_with(|| x.1.cmp(&y.1))
+                    .then_with(|| x.2.cmp(&y.2))
+            });
+            for &(_, _, k) in cands
+                .iter()
+                .take(usize::try_from(spare).expect("spare is nonnegative"))
+            {
+                expect[k] += 1;
+            }
+            for (k, want) in expect.iter().enumerate() {
+                let got = task_slots[k].iter().filter(|&&t| b <= t && t < b2).count();
+                let got = i64::try_from(got).expect("unit count fits i64");
+                if got != *want {
+                    return Err(format!(
+                        "interval [{b}, {b2}): task T{k} received {got} units, \
+                         the BF allocation rules say {want}"
+                    ));
+                }
+                alloc[k] += want;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Flow-solution validity: every placement the flow engine extracts must
+/// sit inside its subtask's PF-window (hence zero tardiness), respect the
+/// slot discipline (capacity, processor and task exclusivity), and honor
+/// intra-task precedence — i.e. the claimed max-flow solution really is a
+/// window-valid schedule, independently re-checked against the task model.
+#[derive(Debug)]
+struct FlowSolutionValidity;
+
+impl Invariant for FlowSolutionValidity {
+    fn name(&self) -> &'static str {
+        "flow-solution-validity"
+    }
+
+    fn check(&self, case: &Case, engines: &Engines) -> Result<(), String> {
+        let sys = &case.sys;
+        let m = case.spec.m;
+        let sched = (engines.flow)(sys, m, &mut case.cost_model());
+        if sched.placements().len() != sys.num_subtasks() {
+            return Err(format!(
+                "flow engine placed {} of {} subtasks",
+                sched.placements().len(),
+                sys.num_subtasks()
+            ));
+        }
+        check_slot_discipline(sys, &sched, m)?;
+        let slots = slot_of(&sched);
+        let mut slot = vec![0i64; sys.num_subtasks()];
+        for &(st, t) in &slots {
+            slot[st.idx()] = t;
+        }
+        for (st, s) in sys.iter_refs() {
+            let t = slot[st.idx()];
+            if t < s.release || t >= s.deadline {
+                return Err(format!(
+                    "{} placed at slot {t} outside its PF-window [{}, {})",
+                    describe(sys, st),
+                    s.release,
+                    s.deadline
+                ));
+            }
+            if let Some(p) = s.pred {
+                if slot[p.idx()] >= t {
+                    return Err(format!(
+                        "{} at slot {t} does not follow its predecessor (slot {})",
+                        describe(sys, st),
+                        slot[p.idx()]
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Predictability (Cucu-Grosjean sense) of the cost-independent families:
+/// the slot engines — SFQ, BF, flow — commit to `(slot, processor)`
+/// assignments without consulting actual execution costs, so replacing
+/// the case's costs by the worst case (a full quantum) must leave every
+/// assignment unchanged. DVQ is deliberately *not* covered: its
+/// event-driven dispatch has genuine scheduling anomalies — shrinking one
+/// cost reorders later dispatches (see EXPERIMENTS.md).
+#[derive(Debug)]
+struct Predictability;
+
+impl Invariant for Predictability {
+    fn name(&self) -> &'static str {
+        "predictability"
+    }
+
+    fn applies(&self, case: &Case) -> bool {
+        // With no cost overrides the two runs are literally the same call.
+        !case.spec.costs.is_empty()
+    }
+
+    fn check(&self, case: &Case, engines: &Engines) -> Result<(), String> {
+        let sys = &case.sys;
+        let m = case.spec.m;
+        let mut runs: Vec<(&str, Schedule, Schedule)> = vec![
+            (
+                "sfq",
+                (engines.sfq)(sys, m, engines.keyed_order, &mut case.cost_model()),
+                (engines.sfq)(sys, m, engines.keyed_order, &mut FullQuantum),
+            ),
+            (
+                "flow",
+                (engines.flow)(sys, m, &mut case.cost_model()),
+                (engines.flow)(sys, m, &mut FullQuantum),
+            ),
+        ];
+        if is_sync_periodic(case) {
+            runs.push((
+                "bf",
+                (engines.bf)(sys, m, &mut case.cost_model()),
+                (engines.bf)(sys, m, &mut FullQuantum),
+            ));
+        }
+        for (label, actual, worst) in &runs {
+            for (st, _) in sys.iter_refs() {
+                let a = actual.placement(st);
+                let b = worst.placement(st);
+                if a.start != b.start || a.proc != b.proc {
+                    return Err(format!(
+                        "{label}: {} moves when costs shrink below the worst case — \
+                         (start {:?}, proc {}) with actual costs vs (start {:?}, proc {}) at full cost",
+                        describe(sys, st),
+                        a.start,
+                        a.proc,
+                        b.start,
+                        b.proc
+                    ));
+                }
+            }
         }
         Ok(())
     }

@@ -10,8 +10,13 @@
 //!   from the theorems: schedule validity, the Theorem 2 and Theorem 3
 //!   tardiness bounds, PD²-SFQ optimality, allocation conservation,
 //!   maxflow-oracle agreement, keyed-vs-comparator equality,
-//!   online/offline equivalence, PD^B Table-1 conformance, and
-//!   hyperperiod periodicity.
+//!   online/offline equivalence, PD^B Table-1 conformance, hyperperiod
+//!   periodicity — plus the competing-family laws: Boundary-Fair
+//!   boundary conservation (an independent re-derivation of the BF
+//!   allocation rules), flow-solution validity (window containment,
+//!   capacity, precedence), and Cucu-Grosjean predictability of the
+//!   cost-independent slot engines (SFQ, BF, flow — deliberately *not*
+//!   DVQ, whose anomalies are real; see EXPERIMENTS.md).
 //! * [`gen`] — a seeded case generator: one `u64` deterministically picks
 //!   the processor count, weight distribution, utilization, release model
 //!   and actual-cost model, materialized into a serializable

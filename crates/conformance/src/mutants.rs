@@ -13,6 +13,7 @@ use core::cmp::Ordering;
 use pfair_core::pdb;
 use pfair_core::priority::PriorityOrder;
 use pfair_core::{Pd2, Pd2NoGroupDeadline};
+use pfair_maxflow::{EdgeId, FlowNetwork};
 use pfair_numeric::{Rat, Time};
 use pfair_obs::{BlockingObserver, BlockingRecord};
 use pfair_sim::cost::checked_cost;
@@ -89,6 +90,42 @@ pub fn mutants() -> Vec<Mutant> {
             engines: Engines {
                 name: "dvq-eager-successor",
                 dvq: simulate_dvq_eager,
+                ..REFERENCE
+            },
+        },
+        Mutant {
+            name: "bf-optional-by-id",
+            description: "Boundary-Fair that grants optional units in task-id order instead of largest-remainder urgency",
+            engines: Engines {
+                name: "bf-optional-by-id",
+                bf: simulate_bf_optional_by_id,
+                ..REFERENCE
+            },
+        },
+        Mutant {
+            name: "bf-mandatory-only",
+            description: "Boundary-Fair that never grants optional units (mandatory floor only)",
+            engines: Engines {
+                name: "bf-mandatory-only",
+                bf: simulate_bf_mandatory_only,
+                ..REFERENCE
+            },
+        },
+        Mutant {
+            name: "flow-overfull-slot",
+            description: "flow engine whose slot → sink edges carry capacity m + 1 instead of m",
+            engines: Engines {
+                name: "flow-overfull-slot",
+                flow: simulate_flow_overfull,
+                ..REFERENCE
+            },
+        },
+        Mutant {
+            name: "flow-window-slip",
+            description: "flow engine whose subtask windows extend one slot past the deadline (deadline inclusive instead of exclusive)",
+            engines: Engines {
+                name: "flow-window-slip",
+                flow: simulate_flow_window_slip,
                 ..REFERENCE
             },
         },
@@ -522,4 +559,253 @@ fn simulate_dvq_cost_blind(
     _cost: &mut dyn CostModel,
 ) -> Schedule {
     simulate_dvq(sys, m, order, &mut pfair_sim::FullQuantum)
+}
+
+/// Which optional-unit policy a Boundary-Fair mutant runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum BfOptionalPolicy {
+    /// BUG: grant optional units in plain task-id order, discarding the
+    /// largest-remainder / next-own-boundary urgency.
+    ByIdOrder,
+    /// BUG: never grant optional units at all.
+    Never,
+}
+
+/// The Boundary-Fair chassis both BF mutants share: boundaries, exact
+/// fluid pending work, mandatory floors and McNaughton wrap-around exactly
+/// as the reference, with the optional-unit stage swapped for `policy`.
+/// Overruns are clamped instead of asserted so the broken allocation flows
+/// through to the schedule, where the conservation invariant can see it.
+fn bf_mutant_schedule(
+    sys: &TaskSystem,
+    m: u32,
+    cost: &mut dyn CostModel,
+    policy: BfOptionalPolicy,
+) -> Schedule {
+    let n_tasks = sys.num_tasks();
+    let mut bounds = vec![0i64];
+    for task in sys.tasks() {
+        let n = sys.task_subtasks(task.id).len() as i64;
+        if n == 0 {
+            continue;
+        }
+        let (e, p) = (task.weight.e(), task.weight.p());
+        let jobs = (n + e - 1) / e;
+        bounds.extend((1..=jobs).map(|k| k * p));
+    }
+    bounds.sort_unstable();
+    bounds.dedup();
+
+    let mut alloc = vec![0i64; n_tasks];
+    let mut cursor: Vec<u32> = (0..n_tasks)
+        .map(|k| {
+            sys.task_span(TaskId(u32::try_from(k).expect("task count fits u32")))
+                .0
+        })
+        .collect();
+    let mut placements = Vec::with_capacity(sys.num_subtasks());
+    let mut a = vec![0i64; n_tasks];
+    let mut cands: Vec<(Rat, i64, usize)> = Vec::new();
+    for w in bounds.windows(2) {
+        let (b, b2) = (w[0], w[1]);
+        let len = b2 - b;
+        a.iter_mut().for_each(|x| *x = 0);
+        cands.clear();
+        let mut used = 0i64;
+        for (k, task) in sys.tasks().iter().enumerate() {
+            let n = sys.task_subtasks(task.id).len() as i64;
+            if alloc[k] >= n {
+                continue;
+            }
+            let fluid = (task.weight.as_rat() * Rat::int(b2)).min(Rat::int(n));
+            let pw = fluid - Rat::int(alloc[k]);
+            if !pw.is_positive() {
+                continue;
+            }
+            let mand = pw.floor().min(len);
+            a[k] = mand;
+            used += mand;
+            let frac = pw - Rat::int(pw.floor());
+            if frac.is_positive() && mand < len {
+                let next_own = (b / task.weight.p() + 1) * task.weight.p();
+                cands.push((frac, next_own, k));
+            }
+        }
+        let spare = (i64::from(m) * len - used).max(0);
+        match policy {
+            BfOptionalPolicy::ByIdOrder => cands.sort_unstable_by_key(|c| c.2),
+            BfOptionalPolicy::Never => cands.clear(),
+        }
+        for &(_, _, k) in cands
+            .iter()
+            .take(usize::try_from(spare).expect("spare is nonnegative"))
+        {
+            a[k] += 1;
+        }
+
+        let mut tape = 0i64;
+        for k in 0..n_tasks {
+            if a[k] == 0 {
+                continue;
+            }
+            let mut mine: Vec<(i64, u32)> = (0..a[k])
+                .map(|j| {
+                    let cell = tape + j;
+                    (
+                        b + cell % len,
+                        u32::try_from(cell / len).expect("strip index fits u32"),
+                    )
+                })
+                .collect();
+            tape += a[k];
+            mine.sort_unstable();
+            for (slot, proc) in mine {
+                let st = SubtaskRef(cursor[k]);
+                cursor[k] += 1;
+                alloc[k] += 1;
+                let c = checked_cost(cost.cost(sys, st), st);
+                placements.push(Placement {
+                    st,
+                    proc,
+                    start: Rat::int(slot),
+                    cost: c,
+                    holds_until: Rat::int(slot + 1),
+                });
+            }
+        }
+    }
+    Schedule::new(sys, QuantumModel::Bf, m, placements)
+}
+
+/// BF with optional units granted by task id instead of urgency.
+fn simulate_bf_optional_by_id(sys: &TaskSystem, m: u32, cost: &mut dyn CostModel) -> Schedule {
+    bf_mutant_schedule(sys, m, cost, BfOptionalPolicy::ByIdOrder)
+}
+
+/// BF that never grants optional units.
+fn simulate_bf_mandatory_only(sys: &TaskSystem, m: u32, cost: &mut dyn CostModel) -> Schedule {
+    bf_mutant_schedule(sys, m, cost, BfOptionalPolicy::Never)
+}
+
+/// Which capacity bug a flow mutant plants in the PF-window network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum FlowBug {
+    /// BUG: slot → sink edges carry `m + 1`, so a slot can overfill.
+    OverfullSlot,
+    /// BUG: window edges extend through the deadline slot (inclusive), so
+    /// a subtask can land one slot late.
+    WindowSlip,
+}
+
+/// The flow-network chassis both flow mutants share: the same
+/// deterministic PF-window network as the reference engine, built in one
+/// pass and solved with a single Dinic run, with `bug` planted. The
+/// extraction skips the reference's per-slot capacity assert so the
+/// broken solution flows through to the schedule.
+fn flow_mutant_schedule(
+    sys: &TaskSystem,
+    m: u32,
+    cost: &mut dyn CostModel,
+    bug: FlowBug,
+) -> Schedule {
+    let n = sys.num_subtasks();
+    if n == 0 {
+        return Schedule::new(sys, QuantumModel::Flow, m, Vec::new());
+    }
+    let slip = i64::from(bug == FlowBug::WindowSlip);
+    let horizon = sys.max_deadline() + slip;
+    let slot_cap = i64::from(m) + i64::from(bug == FlowBug::OverfullSlot);
+
+    let n_tasks = sys.num_tasks();
+    let mut ts_base = vec![0usize; n_tasks];
+    let mut task_lo = vec![0i64; n_tasks];
+    let mut task_hi = vec![0i64; n_tasks];
+    let mut next = 1 + n;
+    for (k, task) in sys.tasks().iter().enumerate() {
+        let subs = sys.task_subtasks(task.id);
+        ts_base[k] = next;
+        if subs.is_empty() {
+            continue;
+        }
+        task_lo[k] = subs.iter().map(|s| s.release).min().expect("nonempty");
+        task_hi[k] = subs.iter().map(|s| s.deadline).max().expect("nonempty") + slip;
+        next += usize::try_from(task_hi[k] - task_lo[k]).expect("window span fits usize");
+    }
+    let slot_base = next;
+    let horizon_len = usize::try_from(horizon).expect("horizon fits usize");
+    let sink = slot_base + horizon_len;
+    let mut net = FlowNetwork::new(sink + 1);
+
+    for t in 0..horizon_len {
+        net.add_edge(slot_base + t, sink, slot_cap);
+    }
+    let mut window_edges: Vec<(EdgeId, SubtaskRef, i64)> = Vec::new();
+    for (k, task) in sys.tasks().iter().enumerate() {
+        for st in sys.task_subtask_refs(task.id) {
+            let s = sys.subtask(st);
+            net.add_edge(0, 1 + st.idx(), 1);
+            for slot in s.release..s.deadline + slip {
+                let ts = ts_base[k] + usize::try_from(slot - task_lo[k]).expect("in range");
+                let eid = net.add_edge(1 + st.idx(), ts, 1);
+                window_edges.push((eid, st, slot));
+            }
+        }
+        for slot in task_lo[k]..task_hi[k] {
+            let ts = ts_base[k] + usize::try_from(slot - task_lo[k]).expect("in range");
+            let slot_idx = usize::try_from(slot).expect("in range");
+            net.add_edge(ts, slot_base + slot_idx, 1);
+        }
+    }
+    let saturated = net.max_flow(0, sink);
+    assert!(
+        saturated == i64::try_from(n).expect("subtask count fits i64"),
+        "flow mutant: max flow {saturated} < {n} subtasks"
+    );
+
+    let mut slot_of: Vec<Option<i64>> = vec![None; n];
+    for &(eid, st, slot) in &window_edges {
+        if net.flow(eid) == 1 {
+            slot_of[st.idx()] = Some(slot);
+        }
+    }
+    let mut by_slot: Vec<(i64, SubtaskRef)> = slot_of
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let i_u32 = u32::try_from(i).expect("subtask count fits u32");
+            (
+                s.expect("saturation places every subtask"),
+                SubtaskRef(i_u32),
+            )
+        })
+        .collect();
+    by_slot.sort_unstable();
+    let mut placements = Vec::with_capacity(n);
+    let mut i = 0;
+    while i < by_slot.len() {
+        let slot = by_slot[i].0;
+        let run = by_slot[i..].iter().take_while(|x| x.0 == slot).count();
+        for (proc, &(_, st)) in by_slot[i..i + run].iter().enumerate() {
+            let c = checked_cost(cost.cost(sys, st), st);
+            placements.push(Placement {
+                st,
+                proc: u32::try_from(proc).expect("proc fits u32"),
+                start: Rat::int(slot),
+                cost: c,
+                holds_until: Rat::int(slot + 1),
+            });
+        }
+        i += run;
+    }
+    Schedule::new(sys, QuantumModel::Flow, m, placements)
+}
+
+/// Flow engine with per-slot capacity `m + 1`.
+fn simulate_flow_overfull(sys: &TaskSystem, m: u32, cost: &mut dyn CostModel) -> Schedule {
+    flow_mutant_schedule(sys, m, cost, FlowBug::OverfullSlot)
+}
+
+/// Flow engine whose windows include the deadline slot.
+fn simulate_flow_window_slip(sys: &TaskSystem, m: u32, cost: &mut dyn CostModel) -> Schedule {
+    flow_mutant_schedule(sys, m, cost, FlowBug::WindowSlip)
 }

@@ -443,7 +443,7 @@ struct EngineSpec {
 /// `Blocked` appears in no engine set by construction: it is synthesized
 /// by `BlockingObserver`, and the collection below is restricted to the
 /// emitting crates (`sim`, `online`).
-const ENGINES: [EngineSpec; 5] = [
+const ENGINES: [EngineSpec; 7] = [
     EngineSpec {
         name: "sfq",
         prefix: "simulate_sfq",
@@ -457,6 +457,16 @@ const ENGINES: [EngineSpec; 5] = [
     EngineSpec {
         name: "staggered",
         prefix: "simulate_staggered",
+        exempt: &["Released", "Blocked"],
+    },
+    EngineSpec {
+        name: "bf",
+        prefix: "simulate_bf",
+        exempt: &["Released", "Blocked"],
+    },
+    EngineSpec {
+        name: "flow",
+        prefix: "simulate_flow",
         exempt: &["Released", "Blocked"],
     },
     EngineSpec {

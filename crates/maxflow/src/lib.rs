@@ -91,9 +91,15 @@ impl FlowNetwork {
         self.edges[e.0 as usize + 1].cap
     }
 
-    /// Computes the maximum `s → t` flow (Dinic). May be called once; the
-    /// network then holds the residual state interrogated via
-    /// [`Self::flow`].
+    /// Augments the `s → t` flow to its maximum (Dinic) and returns the
+    /// flow **added by this call**. The network holds its residual state
+    /// between calls, so the method is *incremental*: callers may add
+    /// edges with [`Self::add_edge`] after a solve and call `max_flow`
+    /// again — only the new augmenting paths are found, previous flow is
+    /// never recomputed (the flow-network scheduling engine patches its
+    /// per-task demand into the graph this way). The cumulative flow is
+    /// the sum of the values returned across calls; per-edge flow is
+    /// interrogated via [`Self::flow`].
     ///
     /// # Panics
     /// Panics if `s == t`.
@@ -213,6 +219,66 @@ mod tests {
         net.add_edge(1, 3, 1);
         net.add_edge(2, 3, 1);
         assert_eq!(net.max_flow(0, 3), 2);
+    }
+
+    #[test]
+    fn incremental_reaugment_matches_fresh_solve() {
+        // Solve, then patch in new edges and re-solve: the cumulative flow
+        // and every per-edge flow must match a fresh single-shot solve on
+        // the full graph. (The flow-network scheduling engine adds one
+        // task's demand at a time and re-augments; this is the contract it
+        // leans on.)
+        let full_edges: &[(usize, usize, i64)] = &[
+            (0, 1, 3),
+            (0, 2, 2),
+            (1, 3, 2),
+            (1, 4, 2),
+            (2, 4, 2),
+            (3, 5, 3),
+            (4, 5, 2),
+        ];
+        let mut fresh = FlowNetwork::new(6);
+        for &(a, b, c) in full_edges {
+            fresh.add_edge(a, b, c);
+        }
+        let fresh_total = fresh.max_flow(0, 5);
+
+        let mut inc = FlowNetwork::new(6);
+        let mut inc_ids = Vec::new();
+        let mut inc_total = 0;
+        for chunk in full_edges.chunks(3) {
+            for &(a, b, c) in chunk {
+                inc_ids.push((inc.add_edge(a, b, c), a, b, c));
+            }
+            inc_total += inc.max_flow(0, 5);
+        }
+        assert_eq!(inc_total, fresh_total);
+        // The incremental result is still a valid flow: within capacity on
+        // every edge, conserved at every interior node. (Flow *values* per
+        // edge may legitimately differ from the fresh solve's — max-flow
+        // decompositions are not unique.)
+        let mut net_at: [i64; 6] = [0; 6];
+        for &(id, a, b, c) in &inc_ids {
+            let f = inc.flow(id);
+            assert!(f >= 0 && f <= c, "edge {a}->{b}: flow {f} outside [0, {c}]");
+            net_at[a] -= f;
+            net_at[b] += f;
+        }
+        for (node, &nf) in net_at.iter().enumerate() {
+            if node != 0 && node != 5 {
+                assert_eq!(nf, 0, "conservation violated at node {node}");
+            }
+        }
+        assert_eq!(net_at[5], inc_total);
+    }
+
+    #[test]
+    fn resolve_without_new_edges_adds_nothing() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 4);
+        net.add_edge(1, 2, 4);
+        assert_eq!(net.max_flow(0, 2), 4);
+        assert_eq!(net.max_flow(0, 2), 0, "saturated: second call is a no-op");
     }
 
     #[test]

@@ -916,6 +916,141 @@ mod tests {
         }
     }
 
+    use proptest::prelude::*;
+
+    /// Pops both ready sets dry, asserting they agree pop for pop.
+    fn drain_and_compare(bucket: &mut BucketReady<Pd2Key>, scan: &mut ComparatorReady<'_>) {
+        while !bucket.is_empty() {
+            assert_eq!(bucket.pop_best(), scan.pop_best());
+        }
+        assert!(scan.is_empty());
+        assert!(bucket.pop_best().is_none() && scan.pop_best().is_none());
+    }
+
+    proptest! {
+        /// Arbitrary push/pop interleavings agree with the comparator scan.
+        /// Pushes arrive latest-deadline first, so a push after a pop run
+        /// lands *before* the monotone cursor and must rewind it — the
+        /// regression surface of the bucketed queue's one mutable
+        /// shortcut.
+        #[test]
+        fn prop_bucket_interleaving_matches_comparator(
+            raw in proptest::collection::vec((1i64..=6, 1i64..=6), 1..4),
+            ops in proptest::collection::vec(0u8..2, 1..60),
+        ) {
+            let weights: Vec<(i64, i64)> =
+                raw.iter().map(|&(a, p)| (a.min(p), p)).collect();
+            let sys = release::periodic(&weights, 12);
+            let mut bucket = BucketReady::<Pd2Key>::new(&sys);
+            let mut scan = ComparatorReady {
+                sys: &sys,
+                order: &Pd2,
+                items: Vec::new(),
+            };
+            let mut pending: Vec<SubtaskRef> = sys.iter_refs().map(|(st, _)| st).collect();
+            pending.sort_by_key(|&st| sys.subtask(st).deadline); // pop() yields latest first
+            for &op in &ops {
+                if op == 1 {
+                    if let Some(st) = pending.pop() {
+                        bucket.push(st);
+                        scan.push(st);
+                    }
+                } else {
+                    prop_assert_eq!(bucket.pop_best(), scan.pop_best());
+                }
+            }
+            for st in pending {
+                bucket.push(st);
+                scan.push(st);
+            }
+            drain_and_compare(&mut bucket, &mut scan);
+        }
+
+        /// A bucket table squeezed to an arbitrary tiny width (the
+        /// MAX_BUCKETS clamp in miniature: every deadline past the end
+        /// shares the tail bucket) still pops in exactly the comparator
+        /// order, because in-bucket order uses the full key.
+        #[test]
+        fn prop_clamped_width_still_pops_in_order(
+            raw in proptest::collection::vec((1i64..=6, 1i64..=6), 1..4),
+            width in 1usize..4,
+        ) {
+            let weights: Vec<(i64, i64)> =
+                raw.iter().map(|&(a, p)| (a.min(p), p)).collect();
+            let sys = release::periodic(&weights, 12);
+            let mut bucket = BucketReady::<Pd2Key>::new(&sys);
+            bucket.buckets = vec![Vec::new(); width];
+            bucket.cursor = 0;
+            let mut scan = ComparatorReady {
+                sys: &sys,
+                order: &Pd2,
+                items: Vec::new(),
+            };
+            for (st, _) in sys.iter_refs() {
+                bucket.push(st);
+                scan.push(st);
+            }
+            drain_and_compare(&mut bucket, &mut scan);
+        }
+
+        /// Adversarial deadline collisions: many identical-weight tasks tie
+        /// on every key stage except the id, piling into the same buckets.
+        /// The in-bucket heap must still break every tie exactly as the
+        /// comparator does.
+        #[test]
+        fn prop_deadline_collisions_tie_break_identically(
+            count in 1usize..16,
+            p in 1i64..=4,
+            ops in proptest::collection::vec(0u8..2, 1..48),
+        ) {
+            let weights = vec![(1, p); count];
+            let sys = release::periodic(&weights, 2 * p);
+            let mut bucket = BucketReady::<Pd2Key>::new(&sys);
+            let mut scan = ComparatorReady {
+                sys: &sys,
+                order: &Pd2,
+                items: Vec::new(),
+            };
+            let mut pending: Vec<SubtaskRef> = sys.iter_refs().map(|(st, _)| st).collect();
+            pending.reverse(); // push ascending subtask ids
+            for &op in &ops {
+                if op == 1 {
+                    if let Some(st) = pending.pop() {
+                        bucket.push(st);
+                        scan.push(st);
+                    }
+                } else {
+                    prop_assert_eq!(bucket.pop_best(), scan.pop_best());
+                }
+            }
+            for st in pending {
+                bucket.push(st);
+                scan.push(st);
+            }
+            drain_and_compare(&mut bucket, &mut scan);
+        }
+    }
+
+    #[test]
+    fn bucket_width_clamps_at_max_buckets() {
+        // A deadline span wider than MAX_BUCKETS must clamp the table and
+        // still pop correctly (the far tail shares the last bucket).
+        let sys = release::periodic(&[(1, 2), (1, 1 << 17)], 12); // span ≫ MAX_BUCKETS
+        let ready = BucketReady::<Pd2Key>::new(&sys);
+        assert_eq!(ready.buckets.len(), MAX_BUCKETS);
+        let mut ready = ready;
+        let mut scan = ComparatorReady {
+            sys: &sys,
+            order: &Pd2,
+            items: Vec::new(),
+        };
+        for (st, _) in sys.iter_refs() {
+            ready.push(st);
+            scan.push(st);
+        }
+        drain_and_compare(&mut ready, &mut scan);
+    }
+
     #[test]
     fn far_deadlines_share_the_clamped_tail_bucket() {
         // Deadline spans past MAX_BUCKETS clamp into the last bucket; the

@@ -15,6 +15,20 @@
 //!   quanta whose boundaries on processor `k` are offset by `k/M`;
 //!   synchronized but not aligned, still non-work-conserving.
 //!
+//! Two further engine *families* compete with the Pfair variants under the
+//! same conformance roof (both slot-based, replayed through the shared
+//! `TimeDomain`-generic driver in `slotplay`):
+//!
+//! * [`bf`] — **Boundary-Fair** scheduling (Zhu/Mossé/Melhem, DP-Fair):
+//!   allocation decisions only at period boundaries, McNaughton wrap-around
+//!   layout in between. Meets every *job* deadline on feasible periodic
+//!   systems while making far fewer scheduling decisions than any per-slot
+//!   Pfair scheduler — at the price of ignoring Pfair subtask windows.
+//! * [`flow`] — **flow-network** scheduling (Cho & Easwaran): per-slot
+//!   allocations extracted from a saturating Dinic max flow over the
+//!   PF-window network, patched incrementally task by task. Window-valid
+//!   and zero-tardiness on feasible systems.
+//!
 //! All simulators consume a [`pfair_taskmodel::TaskSystem`] plus a
 //! [`cost::CostModel`] assigning each subtask its *actual*
 //! execution cost `c(T_i) ∈ (0, 1]`, and produce a [`Schedule`] — the
@@ -31,16 +45,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bf;
 pub mod cost;
 pub mod dvq;
 mod emit;
+pub mod flow;
 pub mod schedule;
 pub mod sfq;
+mod slotplay;
 pub mod staggered;
 mod tdomain;
 
+pub use bf::{bf_boundaries, is_boundary_periodic, simulate_bf, simulate_bf_observed};
 pub use cost::{CostModel, ExactOnly, FixedCosts, FullQuantum, ScaledCost};
 pub use dvq::{simulate_dvq, simulate_dvq_observed};
+pub use flow::{simulate_flow, simulate_flow_observed};
 pub use schedule::{Placement, QuantumModel, Schedule};
 pub use sfq::{
     run_sfq_observed, simulate_sfq, simulate_sfq_affine, simulate_sfq_affine_observed,

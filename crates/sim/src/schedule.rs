@@ -13,6 +13,12 @@ pub enum QuantumModel {
     Dvq,
     /// Staggered fixed-size quanta (per-processor offsets `k/M`).
     Staggered,
+    /// Boundary-Fair: fixed-size quanta, decisions at period boundaries
+    /// only (integral decision times, non-work-conserving).
+    Bf,
+    /// Flow-network: per-slot allocations extracted from a saturating max
+    /// flow over the PF-window network (integral decision times).
+    Flow,
 }
 
 impl core::fmt::Display for QuantumModel {
@@ -21,6 +27,8 @@ impl core::fmt::Display for QuantumModel {
             QuantumModel::Sfq => "SFQ",
             QuantumModel::Dvq => "DVQ",
             QuantumModel::Staggered => "staggered",
+            QuantumModel::Bf => "BF",
+            QuantumModel::Flow => "flow",
         })
     }
 }

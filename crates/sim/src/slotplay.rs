@@ -1,0 +1,146 @@
+//! Shared replay driver for the *slot-table* engines (BF, flow-network).
+//!
+//! Unlike the event-driven simulators, the BF and flow engines decide the
+//! complete mapping `subtask → (slot, processor)` up front — BF at period
+//! boundaries, the flow engine by solving a max-flow instance. What remains
+//! identical between them is the act of turning that table into a
+//! [`Schedule`] while threading the cost model and the observer: visiting
+//! slots in order, announcing quantum ends before the next decision
+//! instant, and emitting `Tick`/`Ready`/`QuantumStart`/`Idle` exactly the
+//! way the per-slot SFQ driver does.
+//!
+//! The replay loop is written once over [`TimeDomain`], the same
+//! abstraction the DVQ/staggered event loops run in. Slot engines only ever
+//! instantiate the exact tier: every decision instant is an integral slot,
+//! there is no event heap to speed up, and costs enter only as completion
+//! offsets — so the tick tier would buy nothing, but keeping the arithmetic
+//! behind the trait keeps the loop shaped like its event-driven siblings.
+
+use pfair_obs::{Observer, ReadyCause, SchedEvent};
+use pfair_taskmodel::{SubtaskRef, TaskSystem};
+
+use crate::cost::{checked_cost, CostModel};
+use crate::emit::{flush_ends, PendingEnd};
+use crate::schedule::{Placement, QuantumModel, Schedule};
+use crate::tdomain::{ExactTimes, TimeDomain};
+
+/// One decided cell of a slot table: `st` runs in slot `[slot, slot + 1)`
+/// on processor `proc`.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Cell {
+    /// The (integral) slot.
+    pub slot: i64,
+    /// The processor, in `0..m`.
+    pub proc: u32,
+    /// The subtask.
+    pub st: SubtaskRef,
+}
+
+/// Replays a decided slot table into a [`Schedule`], emitting the standard
+/// event stream along the way.
+pub(crate) fn replay<O: Observer>(
+    sys: &TaskSystem,
+    model: QuantumModel,
+    m: u32,
+    cells: Vec<Cell>,
+    cost: &mut dyn CostModel,
+    obs: &mut O,
+) -> Schedule {
+    replay_in(&ExactTimes, sys, model, m, cells, cost, obs)
+        .expect("the exact time domain is infallible")
+}
+
+fn replay_in<D: TimeDomain, O: Observer>(
+    dom: &D,
+    sys: &TaskSystem,
+    model: QuantumModel,
+    m: u32,
+    mut cells: Vec<Cell>,
+    cost: &mut dyn CostModel,
+    obs: &mut O,
+) -> Option<Schedule> {
+    cells.sort_unstable_by_key(|c| (c.slot, c.proc));
+    let mut placements = Vec::with_capacity(cells.len());
+    // Slot each subtask ran in (for the readiness cause of successors).
+    let mut slot_of: Vec<Option<i64>> = vec![None; sys.num_subtasks()];
+    let mut pending_ends: Vec<PendingEnd> = Vec::new();
+
+    let mut i = 0;
+    while i < cells.len() {
+        let t = cells[i].slot;
+        let end = i + cells[i..].iter().take_while(|c| c.slot == t).count();
+        let batch = &cells[i..end];
+        // Every quantum from an earlier slot completed at or before `t`
+        // (costs are ≤ 1): announce those ends before this slot emits.
+        if O::ENABLED {
+            flush_ends(sys, &mut pending_ends, obs);
+            obs.on_event(&SchedEvent::Tick {
+                at: dom.to_rat(dom.int(t)?),
+            });
+            // Slot engines commit to dispatch instants ahead of time, so a
+            // subtask's observable readiness *is* its dispatch slot; the
+            // cause still records what gated it last (chain vs eligibility).
+            for cell in batch {
+                let s = sys.subtask(cell.st);
+                let pred_done_at = match s.pred {
+                    None => i64::MIN,
+                    Some(p) => slot_of[p.idx()].expect("slot table respects precedence") + 1,
+                };
+                let cause = if pred_done_at > s.eligible {
+                    ReadyCause::Predecessor
+                } else {
+                    ReadyCause::Eligibility
+                };
+                obs.on_event(&SchedEvent::Ready {
+                    id: s.id,
+                    at: dom.to_rat(dom.int(t)?),
+                    cause,
+                });
+            }
+        }
+        for cell in batch {
+            let start = dom.int(t)?;
+            let holds_until = dom.add_one(start)?;
+            let c = checked_cost(cost.cost(sys, cell.st), cell.st);
+            placements.push(Placement {
+                st: cell.st,
+                proc: cell.proc,
+                start: dom.to_rat(start),
+                cost: c,
+                holds_until: dom.to_rat(holds_until),
+            });
+            slot_of[cell.st.idx()] = Some(t);
+            if O::ENABLED {
+                let s = sys.subtask(cell.st);
+                obs.on_event(&SchedEvent::QuantumStart {
+                    id: s.id,
+                    proc: cell.proc,
+                    start: dom.to_rat(start),
+                    cost: c,
+                    holds_until: dom.to_rat(holds_until),
+                    deadline: s.deadline,
+                    bbit: s.bbit,
+                    group_deadline: s.group_deadline,
+                });
+                pending_ends.push((
+                    dom.to_rat(dom.add_cost(start, c)?),
+                    cell.proc,
+                    cell.st,
+                    dom.to_rat(holds_until) - dom.to_rat(start) - c,
+                ));
+            }
+        }
+        if O::ENABLED && batch.len() < m as usize {
+            obs.on_event(&SchedEvent::Idle {
+                at: dom.to_rat(dom.int(t)?),
+                procs: m - batch.len() as u32,
+            });
+        }
+        i = end;
+    }
+
+    if O::ENABLED {
+        flush_ends(sys, &mut pending_ends, obs);
+    }
+    Some(Schedule::new(sys, model, m, placements))
+}

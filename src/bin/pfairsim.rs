@@ -10,8 +10,9 @@
 //! mode explicitly. Options:
 //!
 //! * `--m <n>`        processors (default 2)
-//! * `--model <x>`    `sfq` | `dvq` | `staggered` | `pdb` (default `sfq`)
-//! * `--alg <x>`      `epdf` | `pd2` | `pf` | `pd` (default `pd2`; ignored for `pdb`)
+//! * `--model <x>`    `sfq` | `dvq` | `staggered` | `pdb` | `bf` | `flow` (default `sfq`)
+//! * `--alg <x>`      `epdf` | `pd2` | `pf` | `pd` (default `pd2`; ignored for
+//!   `pdb`, `bf` and `flow`, whose selection procedures are built in)
 //! * `--cost <r>`     fixed actual cost for every subtask, e.g. `7/8` (default 1)
 //! * `--horizon <n>`  generate subtasks while `r < horizon` (default one hyperperiod-ish 24)
 //! * `--res <n>`      Gantt cells per slot (default 4)
@@ -25,11 +26,13 @@
 //! the reference engines (see `pfair::conformance`) and exits non-zero if
 //! any invariant is violated:
 //!
-//! * `--trials <n>`   number of generated cases (default 1000)
-//! * `--seconds <s>`  wall-clock budget; stops early when exceeded
-//! * `--seed <s>`     base seed; trial `k` uses seed `s + k` (default 1)
-//! * `--threads <t>`  worker threads (default: available parallelism)
-//! * `--no-shrink`    report violations without minimizing them
+//! * `--trials <n>`     number of generated cases (default 1000)
+//! * `--seconds <s>`    wall-clock budget; stops early when exceeded
+//! * `--seed <s>`       base seed; trial `k` uses seed `s + k` (default 1)
+//! * `--threads <t>`    worker threads (default: available parallelism)
+//! * `--no-shrink`      report violations without minimizing them
+//! * `--repro-out <p>`  on violation, also write the (shrunk) repro specs
+//!   to `p` as a JSON array — what the CI smoke job uploads as an artifact
 //!
 //! The `perf` subcommand is a wall-clock ratchet over the keyed DVQ hot
 //! path (the bench suite's `dvq_keyed/1000` workload). `--update PATH`
@@ -49,12 +52,27 @@ fn parse_rat(s: &str) -> Option<Rat> {
     s.parse().ok()
 }
 
+/// Boundary-Fair is defined only for synchronous periodic systems; a
+/// pointed message beats the engine's assertion when the gate fails.
+/// (Every system `pfairsim run` builds today is synchronous periodic, so
+/// this is a guard against future release-model flags, not live paths.)
+fn require_boundary_periodic(sys: &TaskSystem) {
+    if !is_boundary_periodic(sys) {
+        eprintln!(
+            "--model bf needs a synchronous periodic system (subtasks 1..n, \
+             no IS offsets, no early releases); use sfq/dvq/flow for GIS workloads"
+        );
+        std::process::exit(2);
+    }
+}
+
 fn usage() -> ! {
     eprintln!(
-        "usage: pfairsim [run] [--m N] [--model sfq|dvq|staggered|pdb] [--alg epdf|pd2|pf|pd]\n\
+        "usage: pfairsim [run] [--m N] [--model sfq|dvq|staggered|pdb|bf|flow] [--alg epdf|pd2|pf|pd]\n\
          \u{20}               [--cost R] [--horizon N] [--res N] [--json]\n\
          \u{20}               [--metrics] [--events PATH] WEIGHT [WEIGHT ...]\n\
          \u{20}      pfairsim fuzz [--trials N] [--seconds S] [--seed S] [--threads T] [--no-shrink]\n\
+         \u{20}                    [--repro-out PATH]\n\
          \u{20}      pfairsim perf (--check PATH | --update PATH) [--quick] [--plant-slowdown F]\n\
          example: pfairsim --m 2 --model dvq --cost 7/8 1/6 1/6 1/6 1/2 1/2 1/2"
     );
@@ -99,6 +117,55 @@ fn perf_workload() -> (TaskSystem, u32) {
 /// `--update`, but CI never lets it silently regress.
 const PERF_TOLERANCE: f64 = 0.15;
 
+/// The bench the ratchet measures; `--check` refuses a baseline naming
+/// anything else (a stale or foreign artifact must not green-light CI).
+const PERF_BENCH: &str = "perf/dvq_keyed/1000";
+
+/// Reads and validates a `--check` baseline. Exits 2 with a pointed,
+/// panic-free message on a missing file, invalid JSON, a baseline naming
+/// a different bench, or a missing/non-numeric `ns_per_quantum` field.
+fn read_baseline(path: &str) -> f64 {
+    let regen =
+        format!("regenerate with: cargo run --release --bin pfairsim -- perf --update {path}");
+    let body = match std::fs::read_to_string(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("cannot read baseline {path}: {e}\n{regen}");
+            std::process::exit(2);
+        }
+    };
+    let v = match serde_json::from_str::<serde_json::Value>(&body) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("baseline {path} is not valid JSON: {e}\n{regen}");
+            std::process::exit(2);
+        }
+    };
+    match v.field("bench") {
+        Ok(serde_json::Value::Str(name)) if name == PERF_BENCH => {}
+        Ok(serde_json::Value::Str(name)) => {
+            eprintln!(
+                "baseline {path} is for bench {name:?}; this ratchet measures {PERF_BENCH:?}\n{regen}"
+            );
+            std::process::exit(2);
+        }
+        _ => {
+            eprintln!("baseline {path} has no `bench` name\n{regen}");
+            std::process::exit(2);
+        }
+    }
+    #[allow(clippy::cast_precision_loss)]
+    let num = match v.field("ns_per_quantum") {
+        Ok(&serde_json::Value::Float(x)) => Some(x),
+        Ok(&serde_json::Value::Int(n)) => Some(n as f64),
+        _ => None,
+    };
+    num.unwrap_or_else(|| {
+        eprintln!("baseline {path} has no numeric `ns_per_quantum` field\n{regen}");
+        std::process::exit(2);
+    })
+}
+
 /// The `perf` subcommand: a quick wall-clock ratchet over the hot keyed
 /// DVQ path. `--update PATH` (re)writes the baseline for this machine;
 /// `--check PATH` measures and exits 1 if ns/quantum regressed more than
@@ -129,6 +196,11 @@ fn perf(mut args: std::env::Args) -> ! {
     if check.is_none() && update.is_none() {
         usage();
     }
+
+    // Read and validate the baseline BEFORE measuring: a missing, corrupt
+    // or mismatched baseline should fail in milliseconds with a pointed
+    // message, not after thirty timed repetitions.
+    let baseline: Option<f64> = check.as_deref().map(read_baseline);
 
     let (sys, m) = perf_workload();
     let quanta = sys.num_subtasks() as u64;
@@ -163,7 +235,7 @@ fn perf(mut args: std::env::Args) -> ! {
 
     if let Some(path) = update {
         let body = format!(
-            "{{\"bench\": \"perf/dvq_keyed/1000\", \"quanta\": {quanta}, \
+            "{{\"bench\": \"{PERF_BENCH}\", \"quanta\": {quanta}, \
              \"ns_per_quantum\": {ns_per_quantum:.1}}}\n"
         );
         if let Err(e) = std::fs::write(&path, body) {
@@ -175,31 +247,7 @@ fn perf(mut args: std::env::Args) -> ! {
     }
 
     let path = check.expect("checked above: --check or --update is present");
-    let body = match std::fs::read_to_string(&path) {
-        Ok(b) => b,
-        Err(e) => {
-            eprintln!(
-                "cannot read baseline {path}: {e}\n\
-                 regenerate with: cargo run --release --bin pfairsim -- perf --update {path}"
-            );
-            std::process::exit(2);
-        }
-    };
-    #[allow(clippy::cast_precision_loss)]
-    fn num_field(v: &serde_json::Value, name: &str) -> Option<f64> {
-        match *v.field(name).ok()? {
-            serde_json::Value::Float(x) => Some(x),
-            serde_json::Value::Int(n) => Some(n as f64),
-            _ => None,
-        }
-    }
-    let baseline: f64 = serde_json::from_str::<serde_json::Value>(&body)
-        .ok()
-        .and_then(|v| num_field(&v, "ns_per_quantum"))
-        .unwrap_or_else(|| {
-            eprintln!("baseline {path} has no numeric `ns_per_quantum` field");
-            std::process::exit(2);
-        });
+    let baseline = baseline.expect("baseline parsed before measuring");
     let limit = baseline * (1.0 + PERF_TOLERANCE);
     println!(
         "baseline {baseline:.1} ns/quantum, limit {limit:.1} (+{:.0}%)",
@@ -239,8 +287,10 @@ fn fuzz(mut args: std::env::Args) -> ! {
         shrink: true,
         stop_on_first: false,
     };
+    let mut repro_out: Option<String> = None;
     while let Some(a) = args.next() {
         match a.as_str() {
+            "--repro-out" => repro_out = Some(args.next().unwrap_or_else(|| usage())),
             "--trials" => {
                 cfg.trials = args
                     .next()
@@ -330,6 +380,25 @@ fn fuzz(mut args: std::env::Args) -> ! {
             Err(e) => println!("  (repro serialization failed: {e})"),
         }
         println!("  replay: pfairsim fuzz --seed {} --trials 1", v.seed);
+    }
+    if let Some(path) = &repro_out {
+        // One JSON array of the minimal repros (shrunk when available) —
+        // the artifact CI uploads when the smoke campaign fails.
+        let specs: Vec<_> = outcome
+            .violations
+            .iter()
+            .map(|v| v.shrunk.as_ref().unwrap_or(&v.original))
+            .collect();
+        match serde_json::to_string(&specs) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(path, json + "\n") {
+                    eprintln!("cannot write repros to {path}: {e}");
+                } else {
+                    println!("{} repro(s) written to {path}", specs.len());
+                }
+            }
+            Err(e) => eprintln!("repro serialization failed: {e}"),
+        }
     }
     eprintln!("{} violation(s) found", outcome.violations.len());
     std::process::exit(1)
@@ -441,6 +510,11 @@ fn main() {
             "dvq" => simulate_dvq_observed(&sys, m, order, &mut costs, &mut obs),
             "staggered" => simulate_staggered_observed(&sys, m, order, &mut costs, &mut obs),
             "pdb" => simulate_sfq_pdb_observed(&sys, m, &mut costs, &mut obs),
+            "bf" => {
+                require_boundary_periodic(&sys);
+                simulate_bf_observed(&sys, m, &mut costs, &mut obs)
+            }
+            "flow" => simulate_flow_observed(&sys, m, &mut costs, &mut obs),
             other => {
                 eprintln!("unknown model {other:?}");
                 std::process::exit(2);
@@ -452,6 +526,11 @@ fn main() {
             "dvq" => simulate_dvq(&sys, m, order, &mut costs),
             "staggered" => simulate_staggered(&sys, m, order, &mut costs),
             "pdb" => simulate_sfq_pdb(&sys, m, &mut costs),
+            "bf" => {
+                require_boundary_periodic(&sys);
+                simulate_bf(&sys, m, &mut costs)
+            }
+            "flow" => simulate_flow(&sys, m, &mut costs),
             other => {
                 eprintln!("unknown model {other:?}");
                 std::process::exit(2);
@@ -488,10 +567,11 @@ fn main() {
     );
     println!(
         "model {model}  alg {}  cost {cost}",
-        if model == "pdb" {
-            "PD^B".to_string()
-        } else {
-            alg.to_string()
+        match model.as_str() {
+            "pdb" => "PD^B".to_string(),
+            "bf" => "BF".to_string(),
+            "flow" => "maxflow".to_string(),
+            _ => alg.to_string(),
         },
     );
     println!("{}", schedule_report(&sys, &sched, alg.order()));

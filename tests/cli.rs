@@ -1,0 +1,160 @@
+//! Integration tests for the `pfairsim` CLI surface that CI leans on:
+//! the perf-ratchet `--check` edge cases (a broken baseline must fail in
+//! milliseconds with a pointed message and exit 2 — never a panic, never
+//! thirty timed repetitions first) and the `fuzz --repro-out` artifact
+//! path the smoke job uploads on failure.
+
+use std::process::{Command, Output};
+
+fn pfairsim(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_pfairsim"))
+        .args(args)
+        .output()
+        .expect("pfairsim runs")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// A scratch file path unique to this test binary run.
+fn scratch(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("pfairsim-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir.join(name)
+}
+
+#[test]
+fn perf_check_missing_baseline_fails_fast_and_pointed() {
+    let out = pfairsim(&[
+        "perf",
+        "--quick",
+        "--check",
+        "/nonexistent/bench-baseline.json",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(
+        err.contains("cannot read baseline"),
+        "pointed message expected, got: {err}"
+    );
+    assert!(
+        err.contains("perf --update"),
+        "must tell the user how to regenerate: {err}"
+    );
+    assert!(!err.contains("panicked"), "no panic: {err}");
+    // Fail-fast contract: no measurement output before the error.
+    assert!(!stdout(&out).contains("ns/quantum"));
+}
+
+#[test]
+fn perf_check_corrupt_json_is_reported_not_panicked() {
+    let path = scratch("corrupt.json");
+    std::fs::write(&path, "{\"bench\": \"perf/dvq_keyed/1000\", ns_per").unwrap();
+    let out = pfairsim(&["perf", "--quick", "--check", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("not valid JSON"), "got: {err}");
+    assert!(!err.contains("panicked"), "no panic: {err}");
+}
+
+#[test]
+fn perf_check_foreign_bench_name_is_refused() {
+    // A stale artifact from some other bench must not green-light the
+    // ratchet just because it happens to carry a plausible number.
+    let path = scratch("foreign.json");
+    std::fs::write(
+        &path,
+        "{\"bench\": \"perf/other_engine/9\", \"ns_per_quantum\": 1.0}\n",
+    )
+    .unwrap();
+    let out = pfairsim(&["perf", "--quick", "--check", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(
+        err.contains("perf/other_engine/9") && err.contains("perf/dvq_keyed/1000"),
+        "must name both benches: {err}"
+    );
+}
+
+#[test]
+fn perf_check_missing_bench_name_is_refused() {
+    let path = scratch("unnamed.json");
+    std::fs::write(&path, "{\"ns_per_quantum\": 424.6}\n").unwrap();
+    let out = pfairsim(&["perf", "--quick", "--check", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("no `bench` name"));
+}
+
+#[test]
+fn perf_check_non_numeric_ns_field_is_refused() {
+    let path = scratch("nonnumeric.json");
+    std::fs::write(
+        &path,
+        "{\"bench\": \"perf/dvq_keyed/1000\", \"ns_per_quantum\": \"fast\"}\n",
+    )
+    .unwrap();
+    let out = pfairsim(&["perf", "--quick", "--check", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("no numeric `ns_per_quantum`"));
+}
+
+#[test]
+fn perf_update_writes_a_baseline_check_accepts() {
+    let path = scratch("roundtrip.json");
+    let up = pfairsim(&["perf", "--quick", "--update", path.to_str().unwrap()]);
+    assert!(up.status.success(), "update failed: {}", stderr(&up));
+    let check = pfairsim(&["perf", "--quick", "--check", path.to_str().unwrap()]);
+    assert!(
+        check.status.success(),
+        "self-check failed: {} {}",
+        stdout(&check),
+        stderr(&check)
+    );
+    assert!(stdout(&check).contains("perf ratchet ok"));
+}
+
+#[test]
+fn fuzz_clean_run_writes_no_repro_artifact() {
+    let path = scratch("clean-repros.json");
+    let out = pfairsim(&[
+        "fuzz",
+        "--trials",
+        "25",
+        "--seed",
+        "1",
+        "--threads",
+        "1",
+        "--repro-out",
+        path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "clean fuzz failed: {}", stderr(&out));
+    // The CI artifact step only runs on failure; a clean campaign must not
+    // leave a stale file behind for it to pick up.
+    assert!(!path.exists(), "repro file written on a clean campaign");
+}
+
+#[test]
+fn run_rejects_unknown_model_with_usage() {
+    let out = pfairsim(&["run", "--m", "2", "--model", "zigzag", "1/2"]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn run_bf_and_flow_models_meet_deadlines_on_fig2() {
+    for model in ["bf", "flow"] {
+        let out = pfairsim(&[
+            "run", "--m", "2", "--model", model, "1/6", "1/6", "1/6", "1/2", "1/2", "1/2",
+        ]);
+        assert!(out.status.success(), "{model} run failed: {}", stderr(&out));
+        let text = stdout(&out);
+        assert!(
+            text.contains("misses 0/"),
+            "{model} should meet every deadline on fig2: {text}"
+        );
+    }
+}

@@ -227,6 +227,73 @@ fn fig2_dvq_limit_matches_pdb_slot_assignment() {
     }
 }
 
+// --------------------------------- BF vs PD²-DVQ context-switch overheads
+
+/// Boundary-Fair on the Fig. 2 task set versus PD²-DVQ with the figure's
+/// δ-yields: BF incurs strictly less preemption overhead. On this task set
+/// every subtask is a single unit quantum, so processor-*local* switch
+/// counts are structurally forced equal (each occupied slot is its own
+/// chunk under any engine); the overhead BF eliminates shows up entirely
+/// in cross-processor resumptions. A migration is the expensive kind of
+/// context switch — the incoming task's state lives in another
+/// processor's cache — so the preemption cost below counts it on top of
+/// the local switch. The full comparison is snapshot-tested verbatim
+/// against `figures/fig2_bf_vs_dvq.snapshot`.
+#[test]
+fn fig2_bf_strictly_cheaper_preemptions_than_dvq() {
+    let horizon = 24;
+    let sys = release::periodic_named(
+        &[
+            ("A", 1, 6),
+            ("B", 1, 6),
+            ("C", 1, 6),
+            ("D", 1, 2),
+            ("E", 1, 2),
+            ("F", 1, 2),
+        ],
+        horizon,
+    );
+    let delta = Rat::new(1, 4);
+    let mk = || {
+        FixedCosts::new(Rat::ONE)
+            .with(TaskId(0), 1, Rat::ONE - delta)
+            .with(TaskId(5), 1, Rat::ONE - delta)
+    };
+    let dvq = simulate_dvq(&sys, 2, &Pd2, &mut mk());
+    let bf = simulate_bf(&sys, 2, &mut mk());
+
+    let mut lines = format!(
+        "BF vs PD²-DVQ on the Fig. 2 task set (horizon {horizon}, δ = 1/4 yields on A₁, F₁)\n\n\
+         engine    switches  migrations  preemption-cost  max-tardiness\n"
+    );
+    let mut cost = |name: &str, sched: &Schedule| {
+        let sw = context_switch_stats(&sys, sched);
+        let mig = migration_stats(&sys, sched);
+        let tard = tardiness_stats(&sys, sched);
+        let total = sw.switches() + mig.migrations;
+        lines += &format!(
+            "{name:<8}  {:>8}  {:>10}  {:>15}  {:>13}\n",
+            sw.switches(),
+            mig.migrations,
+            total,
+            tard.max.to_string()
+        );
+        total
+    };
+    let dvq_cost = cost("PD²-DVQ", &dvq);
+    let bf_cost = cost("BF", &bf);
+    assert!(
+        bf_cost < dvq_cost,
+        "BF preemption cost {bf_cost} must beat DVQ's {dvq_cost}"
+    );
+    // BF's wrap-around tape pins every task of this set to one processor.
+    assert_eq!(migration_stats(&sys, &bf).migrations, 0);
+    assert_eq!(tardiness_stats(&sys, &bf).max, Rat::ZERO);
+
+    let golden = include_str!("../figures/fig2_bf_vs_dvq.snapshot");
+    assert_eq!(lines, golden, "regenerate figures/fig2_bf_vs_dvq.snapshot");
+}
+
 // ---------------------------------------------------------------- Fig. 3
 
 /// A concrete instance exhibiting the predecessor-blocking scenario of
