@@ -1,0 +1,125 @@
+//! Bench R1: the real multi-threaded runtime's two hot paths.
+//!
+//! * **Combiner throughput** — raw delegation-lock request rates: N
+//!   publisher threads hammering `DelegationLock::publish` with a trivial
+//!   counter state, so the number prices the flat-combining machinery
+//!   alone (slot push, lock election, batch drain), not scheduling.
+//! * **Dispatch-pass latency** — end-to-end `execute()` over a fixed pool
+//!   of seeded workloads at 1/2/4/8 worker threads with `spin = 0`
+//!   (quanta near-instant, so dispatch + combining + thread choreography
+//!   dominate), against the single-threaded `OnlineDvq` reference driving
+//!   the *same* workloads — the price of running the schedule for real
+//!   rather than simulating it.
+//!
+//! Run with `cargo bench -p pfair-bench --bench runtime`; numbers are
+//! recorded in `BENCH_runtime.json` at the repo root, and the CI-facing
+//! subset is ratcheted by `pfairsim perf --runtime`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pfair::conformance::{generate_runtime_case, RuntimeCase};
+use pfair::prelude::*;
+use pfair::runtime::DelegationLock;
+
+const REQUESTS_PER_PUBLISHER: u64 = 5_000;
+
+fn bench_combiner(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runtime");
+    g.sample_size(10);
+    for publishers in [2usize, 4, 8] {
+        let total = REQUESTS_PER_PUBLISHER * publishers as u64;
+        g.throughput(Throughput::Elements(total));
+        g.bench_with_input(
+            BenchmarkId::new("combiner_publish", publishers),
+            &publishers,
+            |b, &publishers| {
+                b.iter(|| {
+                    let lock: DelegationLock<u64, u64> = DelegationLock::new(0, publishers);
+                    let apply = |state: &mut u64, batch: Vec<u64>| {
+                        for req in batch {
+                            *state = state.wrapping_add(req);
+                        }
+                    };
+                    crossbeam::scope(|s| {
+                        for t in 0..publishers {
+                            let lock = &lock;
+                            s.spawn(move |_| {
+                                for i in 0..REQUESTS_PER_PUBLISHER {
+                                    lock.publish(t, i, apply);
+                                }
+                            });
+                        }
+                    })
+                    .expect("no publisher panicked");
+                    std::hint::black_box(lock.into_inner())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+/// A fixed pool of seeded 2..=8-processor workloads; quanta counts are
+/// what `Throughput::Elements` reports per dispatch-pass benchmark.
+fn case_pool(m: u32) -> (Vec<(u64, RuntimeCase)>, u64) {
+    let cases: Vec<(u64, RuntimeCase)> = (0..8u64)
+        .map(|s| (s, generate_runtime_case(s, m)))
+        .collect();
+    let quanta = cases.iter().map(|(_, c)| c.sys.num_subtasks() as u64).sum();
+    (cases, quanta)
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runtime");
+    g.sample_size(10);
+    for m in [1u32, 2, 4, 8] {
+        let (cases, quanta) = case_pool(m);
+        g.throughput(Throughput::Elements(quanta));
+        g.bench_with_input(BenchmarkId::new("dispatch_pass", m), &m, |b, &m| {
+            b.iter(|| {
+                for (seed, case) in &cases {
+                    let mut cfg = RuntimeConfig::new(m);
+                    cfg.seed = *seed;
+                    cfg.spin = 0;
+                    std::hint::black_box(execute(&case.sys, &case.jobs, &cfg));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_single_thread_reference(c: &mut Criterion) {
+    let mut g = c.benchmark_group("runtime");
+    g.sample_size(10);
+    // The same workloads the m = 2 dispatch-pass bench executes, driven
+    // through the single-threaded online scheduler: the no-threads
+    // floor the runtime's overhead is measured against.
+    let (cases, quanta) = case_pool(2);
+    g.throughput(Throughput::Elements(quanta));
+    g.bench_function("single_thread_reference", |b| {
+        b.iter(|| {
+            for (seed, case) in &cases {
+                let mut dvq = OnlineDvq::new(2);
+                for t in case.sys.tasks() {
+                    dvq.add_task(t.weight);
+                }
+                for &(task, at) in &case.jobs {
+                    dvq.submit_job(task, at).expect("generated plan is valid");
+                }
+                let log = dvq.run_until_idle(&mut |task, index| {
+                    quantum_cost(*seed, JitterRegime::Mild, task, index)
+                });
+                std::hint::black_box(log);
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_combiner,
+    bench_dispatch,
+    bench_single_thread_reference
+);
+criterion_main!(benches);

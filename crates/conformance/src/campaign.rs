@@ -141,6 +141,7 @@ pub fn run_campaign(cfg: &CampaignConfig, engines: &Engines) -> CampaignOutcome 
     let stop = AtomicBool::new(false);
     {
         let slots = parking_lot::Mutex::new(&mut results);
+        // pfair-lint: allow(no-nondeterminism): trial k always checks seed base+k whatever thread claims it; threading changes the wall-clock, never which violations exist.
         crossbeam::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|_| loop {

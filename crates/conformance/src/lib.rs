@@ -30,6 +30,12 @@
 //!   reduce processors).
 //! * [`mod@mutants`] — planted-bug engine sets that the mutation test suite
 //!   uses to prove the harness actually fires.
+//! * [`mod@runtime`] — a replay bank for real multi-threaded
+//!   `pfair-runtime` executions: the recorded event stream is replayed
+//!   through `slotplay` and checked for completeness, conservation,
+//!   structural validity, the Theorem 3 bound, and (in deterministic
+//!   mode) bit-equality against `OnlineDvq` — plus planted concurrency
+//!   mutants, each caught by a different invariant.
 //!
 //! The `pfairsim fuzz` CLI subcommand and the CI smoke job are thin
 //! wrappers over [`campaign::run_campaign`].
@@ -43,6 +49,7 @@ pub mod engines;
 pub mod gen;
 pub mod invariant;
 pub mod mutants;
+pub mod runtime;
 pub mod shrink;
 
 pub use campaign::{check_seed, run_campaign, CampaignConfig, CampaignOutcome, Violation};
@@ -50,5 +57,9 @@ pub use case::{Case, CaseSpec, CostOverride, SubtaskSpec, TaskSpec};
 pub use engines::{Engines, REFERENCE};
 pub use gen::{generate_case, GenConfig};
 pub use invariant::{bank, check_case, check_one, Failure, Invariant};
-pub use mutants::{mutants, Mutant};
+pub use mutants::{mutants, runtime_mutants, Mutant, RuntimeMutant};
+pub use runtime::{
+    check_runtime_run, generate_runtime_case, run_and_check, runtime_bank, RuntimeCase,
+    RuntimeInvariant,
+};
 pub use shrink::shrink;

@@ -809,3 +809,65 @@ fn simulate_flow_overfull(sys: &TaskSystem, m: u32, cost: &mut dyn CostModel) ->
 fn simulate_flow_window_slip(sys: &TaskSystem, m: u32, cost: &mut dyn CostModel) -> Schedule {
     flow_mutant_schedule(sys, m, cost, FlowBug::WindowSlip)
 }
+
+/// One deliberately planted concurrency bug in the real runtime.
+///
+/// Unlike [`Mutant`], which swaps a broken *engine* into the differential
+/// harness, a runtime mutant arms a [`FaultPlan`](pfair_runtime::FaultPlan) inside `pfair-runtime`
+/// itself — a torn dispatch batch, a lost combiner wakeup, a stale
+/// KeyCache read — and the replay bank
+/// ([`crate::runtime::runtime_bank`]) must catch the damage in the
+/// recorded artifacts of a real multi-threaded run.
+#[derive(Clone, Copy, Debug)]
+pub struct RuntimeMutant {
+    /// Mutant name.
+    pub name: &'static str,
+    /// What was broken, in one sentence.
+    pub description: &'static str,
+    /// The fault to arm in [`pfair_runtime::RuntimeConfig::fault`].
+    pub fault: pfair_runtime::FaultPlan,
+    /// The execution mode under which the bug is observable.
+    pub mode: pfair_runtime::Mode,
+    /// The bank invariant expected to fire first on a catching seed.
+    pub expect: &'static str,
+}
+
+/// The concurrency-mutant roster: each fault is caught by a *different*
+/// invariant of the replay bank, which is what proves the bank's checks
+/// are independent rather than one law firing for everything.
+#[must_use]
+pub fn runtime_mutants() -> Vec<RuntimeMutant> {
+    use pfair_runtime::{FaultPlan, Mode};
+    vec![
+        RuntimeMutant {
+            name: "torn-dispatch-batch",
+            description: "the combiner records stale processor ids for all but the \
+                          first entry of a multi-assignment dispatch batch, as if the \
+                          batch were published non-atomically; delivery stays correct, \
+                          so only the recorded stream is torn",
+            fault: FaultPlan::TornDispatchBatch,
+            mode: Mode::FreeRunning,
+            expect: "replay-structural",
+        },
+        RuntimeMutant {
+            name: "lost-wakeup-combiner",
+            description: "the combiner drops the first completion it drains, the \
+                          classic lost-wakeup: the worker already published and will \
+                          never re-notify, so the run stalls and the watchdog \
+                          truncates the log",
+            fault: FaultPlan::LostWakeupCombiner,
+            mode: Mode::FreeRunning,
+            expect: "replay-completeness",
+        },
+        RuntimeMutant {
+            name: "stale-keycache-read",
+            description: "dispatch reads the predecessor's KeyCache slot for any \
+                          subtask that has one, a stale-read race: every quantum still \
+                          executes and replays cleanly, but priorities shift and the \
+                          schedule silently diverges from the reference",
+            fault: FaultPlan::StaleKeyCacheRead,
+            mode: Mode::Deterministic,
+            expect: "determinism-equality",
+        },
+    ]
+}

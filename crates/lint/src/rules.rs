@@ -72,19 +72,20 @@ fn in_crates(scope: &Scope, names: &[&str]) -> bool {
 /// Exact-time crates where `f32`/`f64` may not appear: every boundary
 /// comparison in the paper's analysis is exact, and one float corrupts
 /// all of them. Bench/report crates (`bench`, `trace`) are excluded.
-const FLOAT_FREE: [&str; 7] = [
+const FLOAT_FREE: [&str; 8] = [
     "numeric",
     "core",
     "sim",
     "online",
     "obs",
     "conformance",
+    "runtime",
     "pfair",
 ];
 
 /// Crates whose values carry times, lags and weights — `as` narrowing on
 /// those must go through `try_from` with a diagnostic.
-const VALUE_CRATES: [&str; 11] = [
+const VALUE_CRATES: [&str; 12] = [
     "numeric",
     "core",
     "sim",
@@ -95,13 +96,23 @@ const VALUE_CRATES: [&str; 11] = [
     "taskmodel",
     "workload",
     "maxflow",
+    "runtime",
     "pfair",
 ];
 
 /// Scheduling and campaign code must be bit-for-bit deterministic:
-/// violations replay from a seed, so wall clocks and hash-order iteration
-/// are banned.
-const DETERMINISTIC: [&str; 5] = ["core", "sim", "online", "conformance", "workload"];
+/// violations replay from a seed, so wall clocks, hash-order iteration
+/// and (in `runtime`, whose *decisions* must stay a pure function of the
+/// workload even when execution rides real threads) unjustified thread
+/// spawns are banned.
+const DETERMINISTIC: [&str; 6] = [
+    "core",
+    "sim",
+    "online",
+    "conformance",
+    "workload",
+    "runtime",
+];
 
 /// Crates that emit or forward [`SchedEvent`]s.
 const OBSERVED: [&str; 3] = ["sim", "online", "obs"];
@@ -287,6 +298,15 @@ pub fn per_file_findings(f: &ScannedFile) -> Vec<Diagnostic> {
                         "no-nondeterminism",
                         i,
                         format!("`{pat}` injects wall-clock/entropy nondeterminism into code that must replay from a seed"),
+                    );
+                }
+            }
+            for pat in ["thread::spawn", "thread::scope", "crossbeam::scope"] {
+                if line.contains(pat) {
+                    diag(
+                        "no-nondeterminism",
+                        i,
+                        format!("`{pat}` spawns threads in code whose decisions must replay from a seed; justify why scheduling stays deterministic (or replay-proven) despite the race"),
                     );
                 }
             }

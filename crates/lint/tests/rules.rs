@@ -348,6 +348,42 @@ fn no_nondeterminism_fires_on_clocks_and_hash_iteration() {
 }
 
 #[test]
+fn no_nondeterminism_covers_the_runtime_crate_including_thread_spawns() {
+    // The runtime crate is deterministic-scope: wall clocks AND bare
+    // thread spawns need a justified allow.
+    let src = "fn run() {\n    crossbeam::scope(|s| {});\n    let t = Instant::now();\n}\n";
+    let d = lint_one("crates/runtime/src/x.rs", src);
+    assert_eq!(rules_of(&d), ["no-nondeterminism", "no-nondeterminism"]);
+    assert_eq!(d[0].line, 2);
+    assert!(
+        d[0].message.contains("crossbeam::scope"),
+        "thread-specific message missing: {}",
+        d[0].message
+    );
+    assert_eq!(d[1].line, 3);
+    // std thread entry points are flagged the same way.
+    let d = lint_one(
+        "crates/runtime/src/x.rs",
+        "fn run() {\n    std::thread::spawn(|| {});\n}\n",
+    );
+    assert_eq!(rules_of(&d), ["no-nondeterminism"]);
+    // A justified allow on the spawn site is the sanctioned escape hatch —
+    // this is how `exec.rs` hosts the one real spawn while the
+    // deterministic-mode dispatch core stays allow-free.
+    assert!(lint_one(
+        "crates/runtime/src/x.rs",
+        "fn run() {\n    // pfair-lint: allow(no-nondeterminism): decisions come from the deterministic core; the race is replay-proven.\n    crossbeam::scope(|s| {});\n}\n",
+    )
+    .is_empty());
+    // Thread spawns outside deterministic scope are not the lint's business.
+    assert!(lint_one(
+        "crates/trace/src/x.rs",
+        "fn run() {\n    crossbeam::scope(|s| {});\n}\n"
+    )
+    .is_empty());
+}
+
+#[test]
 fn observer_gating_requires_enabled_guard() {
     let ungated =
         "fn drive<O: Observer>(obs: &mut O) {\n    obs.on_event(&SchedEvent::Tick { at });\n}\n";

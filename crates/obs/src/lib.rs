@@ -78,6 +78,44 @@ impl Observer for NoopObserver {
     fn on_event(&mut self, _ev: &SchedEvent) {}
 }
 
+/// An observer that records every event verbatim, in arrival order.
+///
+/// This is how `pfair-runtime` turns a real multi-threaded execution into
+/// a first-class artifact: the recorded stream is replayed through
+/// `pfair-sim`'s `replay_events` into a `Schedule` the conformance bank
+/// can judge. It also serves any test that wants to assert on an exact
+/// event sequence.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RecordingObserver {
+    events: Vec<SchedEvent>,
+}
+
+impl RecordingObserver {
+    /// An empty recorder.
+    #[must_use]
+    pub fn new() -> RecordingObserver {
+        RecordingObserver::default()
+    }
+
+    /// The recorded events so far, in arrival order.
+    #[must_use]
+    pub fn events(&self) -> &[SchedEvent] {
+        &self.events
+    }
+
+    /// Consumes the recorder, yielding the recorded events.
+    #[must_use]
+    pub fn into_events(self) -> Vec<SchedEvent> {
+        self.events
+    }
+}
+
+impl Observer for RecordingObserver {
+    fn on_event(&mut self, ev: &SchedEvent) {
+        self.events.push(ev.clone());
+    }
+}
+
 impl<O: Observer> Observer for &mut O {
     const ENABLED: bool = O::ENABLED;
 

@@ -51,6 +51,7 @@
 //! | [`workload`] | random task systems, stochastic costs, sweep harness |
 //! | [`trace`] | ASCII Gantt / window diagrams, JSON export |
 //! | [`online`] | online heap-based PD² scheduler (sporadic arrivals) |
+//! | [`runtime`] | real multi-threaded execution: delegation-lock dispatch, replay-proven |
 //! | [`conformance`] | differential fuzzing: invariant bank, campaigns, shrinking |
 
 #![forbid(unsafe_code)]
@@ -62,6 +63,7 @@ pub use pfair_core as core;
 pub use pfair_numeric as numeric;
 pub use pfair_obs as obs;
 pub use pfair_online as online;
+pub use pfair_runtime as runtime;
 pub use pfair_sim as sim;
 pub use pfair_taskmodel as taskmodel;
 pub use pfair_trace as trace;
@@ -90,6 +92,10 @@ pub mod prelude {
     };
     pub use pfair_online::{
         OnlineAssignment, OnlineDvq, OnlineError, OnlineSfq, Pd2Key, TickAssignment,
+    };
+    pub use pfair_runtime::{
+        execute, quantum_cost, DispatchCore, FaultPlan, JitterRegime, Mode, RuntimeConfig,
+        RuntimeRun,
     };
     pub use pfair_sim::{
         is_boundary_periodic, simulate_bf, simulate_bf_observed, simulate_dvq,

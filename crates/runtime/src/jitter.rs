@@ -1,0 +1,113 @@
+//! Seeded per-quantum execution jitter.
+//!
+//! The paper's DVQ model exists because real quanta do not all take
+//! exactly one time unit: a subtask that finishes early *δ-yields* its
+//! processor, desynchronizing quantum boundaries across processors
+//! (§2, Fig. 1). The runtime makes those yields happen for real: every
+//! dispatched quantum draws its actual cost from [`quantum_cost`], a pure
+//! hash of `(seed, task, index)`, and the worker thread burns a slice of
+//! CPU proportional to that cost before reporting completion.
+//!
+//! Determinism is the point: the cost depends only on the seed and the
+//! subtask's identity — never on which worker runs it or when — so the
+//! deterministic-mode schedule is reproducible bit-for-bit and the
+//! single-threaded [`OnlineDvq`](pfair_online::OnlineDvq) reference can be
+//! driven with the identical cost source.
+
+use pfair_numeric::Rat;
+use pfair_taskmodel::TaskId;
+
+/// How much per-quantum execution-time variation the workers inject.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JitterRegime {
+    /// Every quantum takes its full unit: no δ-yields, synchronized
+    /// boundaries (the degenerate case where DVQ coincides with SFQ
+    /// timing).
+    None,
+    /// Costs in `{5/8, …, 8/8}`: frequent but small early yields, the
+    /// "provisioned worst case is rarely met" situation §6 argues is the
+    /// common one.
+    Mild,
+    /// Costs in `{1/8, …, 8/8}`: wild swings, maximal boundary
+    /// desynchronization.
+    Adversarial,
+}
+
+/// splitmix64 finalizer — the same mixer the `rand` shim's `StdRng` uses,
+/// reused here so a single `u64` seed spreads over all subtasks.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The actual execution cost of subtask `index` of `task`, in `(0, 1]`
+/// quanta: a pure, seeded function of the subtask's identity.
+///
+/// Costs land on the eighths grid so the event queue arithmetic stays on
+/// small denominators whatever the regime.
+#[must_use]
+pub fn quantum_cost(seed: u64, regime: JitterRegime, task: TaskId, index: u64) -> Rat {
+    let spread = match regime {
+        JitterRegime::None => return Rat::ONE,
+        JitterRegime::Mild => 4,
+        JitterRegime::Adversarial => 8,
+    };
+    let h = mix(seed ^ mix(u64::from(task.0) ^ mix(index)));
+    let drop = i64::try_from(h % spread).expect("spread is at most 8");
+    // `drop = 0` is the full quantum; each further step yields 1/8 earlier.
+    Rat::new(8 - drop, 8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn costs_stay_in_unit_range_and_replay() {
+        for regime in [
+            JitterRegime::None,
+            JitterRegime::Mild,
+            JitterRegime::Adversarial,
+        ] {
+            for task in 0..8u32 {
+                for index in 1..64u64 {
+                    let c = quantum_cost(0xC0FFEE, regime, TaskId(task), index);
+                    assert!(c.is_positive() && c <= Rat::ONE, "{regime:?} gave {c}");
+                    assert_eq!(c, quantum_cost(0xC0FFEE, regime, TaskId(task), index));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn regimes_differ_and_adversarial_reaches_deep_yields() {
+        let mut mild_min = Rat::ONE;
+        let mut adv_min = Rat::ONE;
+        for task in 0..8u32 {
+            for index in 1..64u64 {
+                mild_min = mild_min.min(quantum_cost(7, JitterRegime::Mild, TaskId(task), index));
+                adv_min = adv_min.min(quantum_cost(
+                    7,
+                    JitterRegime::Adversarial,
+                    TaskId(task),
+                    index,
+                ));
+            }
+        }
+        assert_eq!(mild_min, Rat::new(5, 8), "mild bottoms out at 5/8");
+        assert_eq!(adv_min, Rat::new(1, 8), "adversarial reaches 1/8");
+    }
+
+    #[test]
+    fn seed_changes_the_draw() {
+        let draws: Vec<Rat> = (0..32)
+            .map(|s| quantum_cost(s, JitterRegime::Adversarial, TaskId(0), 1))
+            .collect();
+        assert!(
+            draws.iter().any(|&c| c != draws[0]),
+            "32 seeds never changed the cost"
+        );
+    }
+}

@@ -66,4 +66,5 @@ pub use sfq::{
     simulate_sfq_observed, simulate_sfq_pdb, simulate_sfq_pdb_instrumented,
     simulate_sfq_pdb_observed, simulate_sfq_pdb_with, AffinityMode, PdbSlotStats, SfqPolicy,
 };
+pub use slotplay::replay_events;
 pub use staggered::{simulate_staggered, simulate_staggered_observed};

@@ -36,6 +36,75 @@ pub(crate) struct Cell {
     pub st: SubtaskRef,
 }
 
+/// Replays a recorded event stream into a DVQ [`Schedule`], validating it
+/// along the way.
+///
+/// This is the inverse of the emitting engines: where they turn decisions
+/// into `QuantumStart` events, this turns a stream of events — typically
+/// recorded from a *real* multi-threaded `pfair-runtime` execution — back
+/// into the `Schedule` the conformance bank and `pfair-analysis` judge.
+/// Only `QuantumStart` events carry placements; everything else is
+/// ignored here (the invariants that care about ends and verdicts recompute
+/// them from `start + cost`).
+///
+/// # Errors
+/// An explanatory message when the stream names a subtask the system does
+/// not contain, schedules one twice, runs one on a processor `≥ m`, or
+/// fails to schedule a released subtask at all. These are exactly the
+/// torn-publication shapes a concurrency bug produces, so the message
+/// carries the offending subtask.
+pub fn replay_events(sys: &TaskSystem, m: u32, events: &[SchedEvent]) -> Result<Schedule, String> {
+    let mut placements = Vec::new();
+    let mut placed = vec![false; sys.num_subtasks()];
+    for ev in events {
+        let SchedEvent::QuantumStart {
+            id,
+            proc,
+            start,
+            cost,
+            holds_until,
+            ..
+        } = ev
+        else {
+            continue;
+        };
+        let st = sys.find(*id).ok_or_else(|| {
+            format!(
+                "replayed stream schedules T{}_{}, which the system never released",
+                id.task.0, id.index
+            )
+        })?;
+        if placed[st.idx()] {
+            return Err(format!(
+                "replayed stream schedules T{}_{} twice",
+                id.task.0, id.index
+            ));
+        }
+        placed[st.idx()] = true;
+        if *proc >= m {
+            return Err(format!(
+                "replayed stream runs T{}_{} on processor {proc}, but m = {m}",
+                id.task.0, id.index
+            ));
+        }
+        placements.push(Placement {
+            st,
+            proc: *proc,
+            start: *start,
+            cost: *cost,
+            holds_until: *holds_until,
+        });
+    }
+    if let Some(idx) = placed.iter().position(|&p| !p) {
+        let s = sys.subtasks()[idx].id;
+        return Err(format!(
+            "replayed stream never schedules T{}_{} (released subtask lost)",
+            s.task.0, s.index
+        ));
+    }
+    Ok(Schedule::new(sys, QuantumModel::Dvq, m, placements))
+}
+
 /// Replays a decided slot table into a [`Schedule`], emitting the standard
 /// event stream along the way.
 pub(crate) fn replay<O: Observer>(

@@ -34,17 +34,38 @@
 //! * `--repro-out <p>`  on violation, also write the (shrunk) repro specs
 //!   to `p` as a JSON array — what the CI smoke job uploads as an artifact
 //!
+//! The `serve-sim` subcommand runs the real multi-threaded runtime
+//! (`pfair::runtime`): worker threads execute seeded jittered quanta,
+//! dispatch rides a flat-combining delegation lock, and every run's
+//! recorded event stream is checked against the conformance replay bank
+//! before the process exits 0:
+//!
+//! * `--threads <n>`  worker threads = virtual processors (default 2)
+//! * `--runs <k>`     generated workloads to execute (default 25)
+//! * `--seed <s>`     base seed; run `k` uses seed `s + k` (default 1)
+//! * `--regime <x>`   `none` | `mild` | `adversarial` jitter (default `mild`)
+//! * `--mode <x>`     `free` (replay-proven) | `det` (bit-identical to
+//!   `OnlineDvq`, additionally cross-checked here) (default `free`)
+//! * `--spin <n>`     busy-work iterations per full quantum (default 10000)
+//!
 //! The `perf` subcommand is a wall-clock ratchet over the keyed DVQ hot
 //! path (the bench suite's `dvq_keyed/1000` workload). `--update PATH`
 //! writes `bench-baseline.json` for the current machine; `--check PATH`
-//! exits 1 if ns/quantum regressed more than 15% over it:
+//! exits 1 if ns/quantum regressed more than 15% over it. With
+//! `--runtime` it ratchets the multi-threaded runtime's end-to-end
+//! dispatch path instead (2 workers, free-running, separate
+//! `bench-runtime-baseline.json`):
 //!
 //! ```text
 //! cargo run --release --bin pfairsim -- perf --update bench-baseline.json
 //! cargo run --release --bin pfairsim -- perf --quick --check bench-baseline.json
+//! cargo run --release --bin pfairsim -- perf --runtime --quick --check bench-runtime-baseline.json
 //! ```
 
-use pfair::conformance::{generate_case, run_campaign, CampaignConfig, Case, GenConfig, REFERENCE};
+use pfair::conformance::{
+    check_runtime_run, generate_case, generate_runtime_case, run_campaign, CampaignConfig, Case,
+    GenConfig, REFERENCE,
+};
 use pfair::core::Algorithm;
 use pfair::prelude::*;
 
@@ -73,7 +94,9 @@ fn usage() -> ! {
          \u{20}               [--metrics] [--events PATH] WEIGHT [WEIGHT ...]\n\
          \u{20}      pfairsim fuzz [--trials N] [--seconds S] [--seed S] [--threads T] [--no-shrink]\n\
          \u{20}                    [--repro-out PATH]\n\
-         \u{20}      pfairsim perf (--check PATH | --update PATH) [--quick] [--plant-slowdown F]\n\
+         \u{20}      pfairsim serve-sim [--threads N] [--runs K] [--seed S] [--regime none|mild|adversarial]\n\
+         \u{20}                         [--mode free|det] [--spin N]\n\
+         \u{20}      pfairsim perf [--runtime] (--check PATH | --update PATH) [--quick] [--plant-slowdown F]\n\
          example: pfairsim --m 2 --model dvq --cost 7/8 1/6 1/6 1/6 1/2 1/2 1/2"
     );
     std::process::exit(2)
@@ -117,14 +140,20 @@ fn perf_workload() -> (TaskSystem, u32) {
 /// `--update`, but CI never lets it silently regress.
 const PERF_TOLERANCE: f64 = 0.15;
 
-/// The bench the ratchet measures; `--check` refuses a baseline naming
-/// anything else (a stale or foreign artifact must not green-light CI).
+/// The bench the default ratchet measures; `--check` refuses a baseline
+/// naming anything else (a stale or foreign artifact must not green-light
+/// CI).
 const PERF_BENCH: &str = "perf/dvq_keyed/1000";
 
-/// Reads and validates a `--check` baseline. Exits 2 with a pointed,
-/// panic-free message on a missing file, invalid JSON, a baseline naming
-/// a different bench, or a missing/non-numeric `ns_per_quantum` field.
-fn read_baseline(path: &str) -> f64 {
+/// The bench the `--runtime` ratchet measures: the multi-threaded
+/// runtime's end-to-end dispatch path at 2 workers, free-running.
+const PERF_RUNTIME_BENCH: &str = "perf/runtime_free/2t";
+
+/// Reads and validates a `--check` baseline for `bench`. Exits 2 with a
+/// pointed, panic-free message on a missing file, invalid JSON, a
+/// baseline naming a different bench, or a missing/non-numeric
+/// `ns_per_quantum` field.
+fn read_baseline(path: &str, bench: &str) -> f64 {
     let regen =
         format!("regenerate with: cargo run --release --bin pfairsim -- perf --update {path}");
     let body = match std::fs::read_to_string(path) {
@@ -142,10 +171,10 @@ fn read_baseline(path: &str) -> f64 {
         }
     };
     match v.field("bench") {
-        Ok(serde_json::Value::Str(name)) if name == PERF_BENCH => {}
+        Ok(serde_json::Value::Str(name)) if name == bench => {}
         Ok(serde_json::Value::Str(name)) => {
             eprintln!(
-                "baseline {path} is for bench {name:?}; this ratchet measures {PERF_BENCH:?}\n{regen}"
+                "baseline {path} is for bench {name:?}; this ratchet measures {bench:?}\n{regen}"
             );
             std::process::exit(2);
         }
@@ -177,12 +206,14 @@ fn perf(mut args: std::env::Args) -> ! {
     let mut check: Option<String> = None;
     let mut update: Option<String> = None;
     let mut quick = false;
+    let mut runtime_path = false;
     let mut plant: f64 = 1.0;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--check" => check = Some(args.next().unwrap_or_else(|| usage())),
             "--update" => update = Some(args.next().unwrap_or_else(|| usage())),
             "--quick" => quick = true,
+            "--runtime" => runtime_path = true,
             "--plant-slowdown" => {
                 plant = args
                     .next()
@@ -196,36 +227,74 @@ fn perf(mut args: std::env::Args) -> ! {
     if check.is_none() && update.is_none() {
         usage();
     }
+    let bench = if runtime_path {
+        PERF_RUNTIME_BENCH
+    } else {
+        PERF_BENCH
+    };
 
     // Read and validate the baseline BEFORE measuring: a missing, corrupt
     // or mismatched baseline should fail in milliseconds with a pointed
     // message, not after thirty timed repetitions.
-    let baseline: Option<f64> = check.as_deref().map(read_baseline);
+    let baseline: Option<f64> = check.as_deref().map(|p| read_baseline(p, bench));
 
-    let (sys, m) = perf_workload();
-    let quanta = sys.num_subtasks() as u64;
     // Each rep is only a few ms, so even `--quick` can afford a deep
     // min: noise on shared CI hosts easily exceeds the 15% tolerance
     // with too few samples.
     let (warmup, reps) = if quick { (2, 12) } else { (3, 30) };
-    for _ in 0..warmup {
-        let mut cost = UniformCost::new(Rat::new(1, 2), 7);
-        std::hint::black_box(simulate_dvq(&sys, m, &Pd2, &mut cost));
-    }
-    // Minimum over repetitions: the robust statistic on a noisy host —
-    // every perturbation only ever adds time.
-    let mut best = std::time::Duration::MAX;
-    for _ in 0..reps {
-        let mut cost = UniformCost::new(Rat::new(1, 2), 7);
-        let t = std::time::Instant::now();
-        std::hint::black_box(simulate_dvq(&sys, m, &Pd2, &mut cost));
-        best = best.min(t.elapsed());
-    }
+    let (quanta, best) = if runtime_path {
+        // End-to-end runtime dispatch: worker spawn, delegation-lock
+        // combining, dispatch passes, join — over a fixed pool of seeded
+        // 2-processor workloads. `spin = 0` keeps quanta near-instant so
+        // the measurement is dominated by the machinery being ratcheted.
+        let cases: Vec<_> = (0..16u64)
+            .map(|s| (s, generate_runtime_case(s, 2)))
+            .collect();
+        let cfg_for = |seed: u64| {
+            let mut cfg = RuntimeConfig::new(2);
+            cfg.seed = seed;
+            cfg.spin = 0;
+            cfg
+        };
+        let quanta: u64 = cases.iter().map(|(_, c)| c.sys.num_subtasks() as u64).sum();
+        for _ in 0..warmup {
+            for (seed, case) in &cases {
+                std::hint::black_box(execute(&case.sys, &case.jobs, &cfg_for(*seed)));
+            }
+        }
+        let mut best = std::time::Duration::MAX;
+        for _ in 0..reps {
+            let t = std::time::Instant::now();
+            for (seed, case) in &cases {
+                std::hint::black_box(execute(&case.sys, &case.jobs, &cfg_for(*seed)));
+            }
+            best = best.min(t.elapsed());
+        }
+        (quanta, best)
+    } else {
+        let (sys, m) = perf_workload();
+        let quanta = sys.num_subtasks() as u64;
+        for _ in 0..warmup {
+            let mut cost = UniformCost::new(Rat::new(1, 2), 7);
+            std::hint::black_box(simulate_dvq(&sys, m, &Pd2, &mut cost));
+        }
+        // Minimum over repetitions: the robust statistic on a noisy host —
+        // every perturbation only ever adds time.
+        let mut best = std::time::Duration::MAX;
+        for _ in 0..reps {
+            let mut cost = UniformCost::new(Rat::new(1, 2), 7);
+            let t = std::time::Instant::now();
+            std::hint::black_box(simulate_dvq(&sys, m, &Pd2, &mut cost));
+            best = best.min(t.elapsed());
+        }
+        (quanta, best)
+    };
     #[allow(clippy::cast_precision_loss)]
     let ns_per_quantum = best.as_nanos() as f64 / quanta as f64 * plant;
     println!(
-        "perf: dvq_keyed/1000 — {quanta} quanta in {best:?} (min of {reps}) \
+        "perf: {} — {quanta} quanta in {best:?} (min of {reps}) \
          = {ns_per_quantum:.1} ns/quantum{}",
+        bench.trim_start_matches("perf/"),
         if plant != 1.0 {
             format!(" [planted x{plant}]")
         } else {
@@ -235,7 +304,7 @@ fn perf(mut args: std::env::Args) -> ! {
 
     if let Some(path) = update {
         let body = format!(
-            "{{\"bench\": \"{PERF_BENCH}\", \"quanta\": {quanta}, \
+            "{{\"bench\": \"{bench}\", \"quanta\": {quanta}, \
              \"ns_per_quantum\": {ns_per_quantum:.1}}}\n"
         );
         if let Err(e) = std::fs::write(&path, body) {
@@ -404,6 +473,98 @@ fn fuzz(mut args: std::env::Args) -> ! {
     std::process::exit(1)
 }
 
+/// The `serve-sim` subcommand: execute seeded workloads on real worker
+/// threads and prove every run against the conformance replay bank
+/// (plus `OnlineDvq` bit-equality in deterministic mode). Exits 1 on any
+/// violation or stall, 0 on a clean sweep, 2 on bad arguments.
+fn serve_sim(mut args: std::env::Args) -> ! {
+    let mut cfg = RuntimeConfig::new(2);
+    let mut runs: u64 = 25;
+    let mut base_seed: u64 = 1;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--threads" => {
+                cfg.m = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage());
+            }
+            "--runs" => {
+                runs = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--seed" => {
+                base_seed = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--regime" => {
+                cfg.regime = match args.next().as_deref() {
+                    Some("none") => JitterRegime::None,
+                    Some("mild") => JitterRegime::Mild,
+                    Some("adversarial") => JitterRegime::Adversarial,
+                    _ => usage(),
+                };
+            }
+            "--mode" => {
+                cfg.mode = match args.next().as_deref() {
+                    Some("free") => Mode::FreeRunning,
+                    Some("det") => Mode::Deterministic,
+                    _ => usage(),
+                };
+            }
+            "--spin" => {
+                cfg.spin = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    println!(
+        "serve-sim: {} runs from seed {base_seed} on {} worker thread(s), \
+         {:?} jitter, {:?} mode",
+        runs, cfg.m, cfg.regime, cfg.mode
+    );
+    let mut quanta: u64 = 0;
+    for k in 0..runs {
+        let seed = base_seed + k;
+        cfg.seed = seed;
+        let case = generate_runtime_case(seed, cfg.m);
+        let run = execute(&case.sys, &case.jobs, &cfg);
+        quanta += run.log.len() as u64;
+        if let Err(f) = check_runtime_run(&case, &cfg, &run) {
+            eprintln!("violation at seed {seed}: {} — {}", f.invariant, f.detail);
+            eprintln!(
+                "replay: pfairsim serve-sim --threads {} --runs 1 --seed {seed} \
+                 --regime {} --mode {}",
+                cfg.m,
+                match cfg.regime {
+                    JitterRegime::None => "none",
+                    JitterRegime::Mild => "mild",
+                    JitterRegime::Adversarial => "adversarial",
+                },
+                match cfg.mode {
+                    Mode::FreeRunning => "free",
+                    Mode::Deterministic => "det",
+                }
+            );
+            std::process::exit(1);
+        }
+    }
+    println!(
+        "{runs} run(s), {quanta} quanta executed; every event stream replayed \
+         clean through the conformance bank"
+    );
+    std::process::exit(0)
+}
+
 fn main() {
     let mut argv = std::env::args();
     let _ = argv.next();
@@ -414,6 +575,12 @@ fn main() {
         let _ = args.next();
         let _ = args.next();
         fuzz(args);
+    }
+    if rest.first().map(String::as_str) == Some("serve-sim") {
+        let mut args = std::env::args();
+        let _ = args.next();
+        let _ = args.next();
+        serve_sim(args);
     }
     if rest.first().map(String::as_str) == Some("perf") {
         let mut args = std::env::args();

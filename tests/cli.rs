@@ -105,17 +105,23 @@ fn perf_check_non_numeric_ns_field_is_refused() {
 
 #[test]
 fn perf_update_writes_a_baseline_check_accepts() {
+    // Wall-clock round trip: the two measurements can land >15% apart on
+    // a noisy single-core host, so allow a few attempts — if the ratchet
+    // is actually broken (always rejects its own baseline) every attempt
+    // fails identically.
     let path = scratch("roundtrip.json");
-    let up = pfairsim(&["perf", "--quick", "--update", path.to_str().unwrap()]);
-    assert!(up.status.success(), "update failed: {}", stderr(&up));
-    let check = pfairsim(&["perf", "--quick", "--check", path.to_str().unwrap()]);
-    assert!(
-        check.status.success(),
-        "self-check failed: {} {}",
-        stdout(&check),
-        stderr(&check)
-    );
-    assert!(stdout(&check).contains("perf ratchet ok"));
+    let mut last = String::new();
+    for _ in 0..4 {
+        let up = pfairsim(&["perf", "--quick", "--update", path.to_str().unwrap()]);
+        assert!(up.status.success(), "update failed: {}", stderr(&up));
+        let check = pfairsim(&["perf", "--quick", "--check", path.to_str().unwrap()]);
+        if check.status.success() {
+            assert!(stdout(&check).contains("perf ratchet ok"));
+            return;
+        }
+        last = format!("{} {}", stdout(&check), stderr(&check));
+    }
+    panic!("self-check failed on every attempt: {last}");
 }
 
 #[test]
